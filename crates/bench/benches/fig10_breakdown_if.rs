@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig10` artifact. Run: `cargo bench --bench fig10_breakdown_if`.
+fn main() {
+    diq_bench::emit("fig10_breakdown_if", diq_sim::figures::fig10);
+}

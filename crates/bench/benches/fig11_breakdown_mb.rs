@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig11` artifact. Run: `cargo bench --bench fig11_breakdown_mb`.
+fn main() {
+    diq_bench::emit("fig11_breakdown_mb", diq_sim::figures::fig11);
+}

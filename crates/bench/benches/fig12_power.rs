@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig12` artifact. Run: `cargo bench --bench fig12_power`.
+fn main() {
+    diq_bench::emit("fig12_power", diq_sim::figures::fig12);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig13` artifact. Run: `cargo bench --bench fig13_energy`.
+fn main() {
+    diq_bench::emit("fig13_energy", diq_sim::figures::fig13);
+}

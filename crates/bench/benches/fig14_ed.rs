@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig14` artifact. Run: `cargo bench --bench fig14_ed`.
+fn main() {
+    diq_bench::emit("fig14_ed", diq_sim::figures::fig14);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig15` artifact. Run: `cargo bench --bench fig15_ed2`.
+fn main() {
+    diq_bench::emit("fig15_ed2", diq_sim::figures::fig15);
+}

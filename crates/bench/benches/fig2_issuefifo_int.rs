@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig2` artifact. Run: `cargo bench --bench fig2_issuefifo_int`.
+fn main() {
+    diq_bench::emit("fig2_issuefifo_int", diq_sim::figures::fig2);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig3` artifact. Run: `cargo bench --bench fig3_issuefifo_fp`.
+fn main() {
+    diq_bench::emit("fig3_issuefifo_fp", diq_sim::figures::fig3);
+}

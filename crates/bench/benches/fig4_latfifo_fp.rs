@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig4` artifact. Run: `cargo bench --bench fig4_latfifo_fp`.
+fn main() {
+    diq_bench::emit("fig4_latfifo_fp", diq_sim::figures::fig4);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig6` artifact. Run: `cargo bench --bench fig6_mixbuff_fp`.
+fn main() {
+    diq_bench::emit("fig6_mixbuff_fp", diq_sim::figures::fig6);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig7` artifact. Run: `cargo bench --bench fig7_ipc_int`.
+fn main() {
+    diq_bench::emit("fig7_ipc_int", diq_sim::figures::fig7);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig8` artifact. Run: `cargo bench --bench fig8_ipc_fp`.
+fn main() {
+    diq_bench::emit("fig8_ipc_fp", diq_sim::figures::fig8);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig9` artifact. Run: `cargo bench --bench fig9_breakdown_base`.
+fn main() {
+    diq_bench::emit("fig9_breakdown_base", diq_sim::figures::fig9);
+}

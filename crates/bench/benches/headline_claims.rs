@@ -1,0 +1,4 @@
+//! Regenerates the paper's `headline` artifact. Run: `cargo bench --bench headline_claims`.
+fn main() {
+    diq_bench::emit("headline_claims", diq_sim::figures::headline);
+}

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the scheduler primitives and the
+//! end-to-end simulator, isolating the per-cycle costs of each scheme.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use diq_core::{DispatchInst, IssueSink, SchedulerConfig, Side};
+use diq_isa::{ArchReg, InstId, OpClass, PhysReg, ProcessorConfig, RegClass};
+use diq_pipeline::Simulator;
+use diq_workload::{kernels, suite};
+
+/// A sink that accepts everything (isolates scheduler-side costs).
+struct OpenSink;
+
+impl IssueSink for OpenSink {
+    fn is_ready(&self, _r: PhysReg) -> bool {
+        true
+    }
+    fn try_issue(&mut self, _i: InstId, _o: OpClass, _q: Option<(Side, usize)>) -> bool {
+        true
+    }
+}
+
+fn fp_dispatch(id: u64) -> DispatchInst {
+    let dst = 4 + (id % 20) as u8;
+    DispatchInst {
+        id: InstId(id),
+        op: OpClass::FpMul,
+        dst: Some(PhysReg::new(RegClass::Fp, u16::from(dst))),
+        srcs: [Some(PhysReg::new(RegClass::Fp, u16::from(dst))), None],
+        srcs_ready: [true, true],
+        src_arch: [Some(ArchReg::fp(dst)), None],
+        dst_arch: Some(ArchReg::fp(dst)),
+    }
+}
+
+fn bench_dispatch_issue(c: &mut Criterion) {
+    let cfg = ProcessorConfig::hpca2004();
+    let mut group = c.benchmark_group("dispatch_issue_100fp");
+    for sched_cfg in [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+    ] {
+        group.bench_function(sched_cfg.label(), |b| {
+            b.iter_batched(
+                || sched_cfg.build(&cfg),
+                |mut s| {
+                    let mut sink = OpenSink;
+                    for i in 0..100u64 {
+                        let _ = s.try_dispatch(&fp_dispatch(i), i);
+                        s.issue_cycle(i, &mut sink);
+                    }
+                    s.occupancy()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let cfg = ProcessorConfig::hpca2004();
+    let trace = suite::by_name("applu").unwrap().generate(5_000);
+    let mut group = c.benchmark_group("simulate_5k_applu");
+    group.sample_size(20);
+    for sched_cfg in [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+    ] {
+        group.bench_function(sched_cfg.label(), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&cfg, &sched_cfg);
+                sim.run(trace.clone(), 5_000).cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let spec = kernels::parallel_fp_chains(16, 5);
+    c.bench_function("generate_10k_trace", |b| {
+        b.iter(|| spec.generate(10_000).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch_issue,
+    bench_simulator_throughput,
+    bench_trace_generation
+);
+criterion_main!(benches);

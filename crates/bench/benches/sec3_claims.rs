@@ -1,0 +1,4 @@
+//! Regenerates the paper's `section3_claims` artifact. Run: `cargo bench --bench sec3_claims`.
+fn main() {
+    diq_bench::emit("sec3_claims", diq_sim::figures::section3_claims);
+}

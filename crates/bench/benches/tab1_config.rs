@@ -1,0 +1,4 @@
+//! Regenerates the paper's `table1` artifact. Run: `cargo bench --bench tab1_config`.
+fn main() {
+    diq_bench::emit("tab1_config", diq_sim::figures::table1);
+}

@@ -1,0 +1,115 @@
+//! Branch target buffer.
+
+/// A set-associative branch target buffer with LRU replacement
+/// (Table 1: 2048 entries, 4-way).
+///
+/// # Example
+///
+/// ```
+/// use diq_branch::Btb;
+///
+/// let mut btb = Btb::new(2048, 4);
+/// assert_eq!(btb.lookup(0x40), None);
+/// btb.update(0x40, 0x1000);
+/// assert_eq!(btb.lookup(0x40), Some(0x1000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    /// `sets[set]` is a small LRU list: most recent first.
+    sets: Vec<Vec<(u64, u64)>>, // (tag = pc, target)
+    assoc: usize,
+}
+
+impl Btb {
+    /// Builds a BTB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `assoc`, or the set
+    /// count is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(assoc > 0 && entries > 0 && entries.is_multiple_of(assoc));
+        let nsets = entries / assoc;
+        assert!(nsets.is_power_of_two(), "BTB set count must be a power of two");
+        Btb {
+            sets: vec![Vec::with_capacity(assoc); nsets],
+            assoc,
+        }
+    }
+
+    fn set_idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`, refreshing LRU
+    /// state on a hit.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let idx = self.set_idx(pc);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(tag, _)| tag == pc) {
+            let entry = set.remove(pos);
+            set.insert(0, entry);
+            Some(set[0].1)
+        } else {
+            None
+        }
+    }
+
+    /// Installs or refreshes the target of the taken branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.set_idx(pc);
+        let assoc = self.assoc;
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(tag, _)| tag == pc) {
+            set.remove(pos);
+        } else if set.len() == assoc {
+            set.pop(); // evict LRU
+        }
+        set.insert(0, (pc, target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut btb = Btb::new(8, 2); // 4 sets, 2 ways
+        // Three branches mapping to the same set (stride = 4 * nsets = 16).
+        let (a, b, c) = (0x10u64, 0x10 + 16, 0x10 + 32);
+        btb.update(a, 1);
+        btb.update(b, 2);
+        btb.update(c, 3); // evicts a (LRU)
+        assert_eq!(btb.lookup(a), None);
+        assert_eq!(btb.lookup(b), Some(2));
+        assert_eq!(btb.lookup(c), Some(3));
+    }
+
+    #[test]
+    fn lookup_refreshes_lru() {
+        let mut btb = Btb::new(8, 2);
+        let (a, b, c) = (0x10u64, 0x10 + 16, 0x10 + 32);
+        btb.update(a, 1);
+        btb.update(b, 2);
+        assert_eq!(btb.lookup(a), Some(1)); // a becomes MRU
+        btb.update(c, 3); // evicts b
+        assert_eq!(btb.lookup(a), Some(1));
+        assert_eq!(btb.lookup(b), None);
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut btb = Btb::new(8, 2);
+        btb.update(0x40, 0x100);
+        btb.update(0x40, 0x200);
+        assert_eq!(btb.lookup(0x40), Some(0x200));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_geometry() {
+        let _ = Btb::new(10, 4);
+    }
+}

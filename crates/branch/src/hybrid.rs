@@ -1,0 +1,182 @@
+//! Hybrid (gshare + bimodal + selector) direction predictor.
+
+use crate::Prediction;
+use diq_isa::BranchConfig;
+
+/// Two-bit saturating counter helpers.
+fn counter_inc(c: u8) -> u8 {
+    (c + 1).min(3)
+}
+fn counter_dec(c: u8) -> u8 {
+    c.saturating_sub(1)
+}
+fn counter_taken(c: u8) -> bool {
+    c >= 2
+}
+
+/// Internal prediction token (history snapshot + component votes).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct HybridToken {
+    pub ghr_snapshot: u64,
+    pub used_gshare: bool,
+    pub bimodal_taken: bool,
+    pub gshare_taken: bool,
+}
+
+/// The hybrid direction predictor of Table 1: a gshare component indexed by
+/// `pc ⊕ history`, a bimodal component indexed by `pc`, and a selector table
+/// that learns per-branch which component to trust.
+///
+/// All tables hold 2-bit saturating counters. The global history register is
+/// updated speculatively at prediction time and repaired at resolution on a
+/// misprediction (exact, because fetch stalls on mispredictions).
+#[derive(Clone, Debug)]
+pub struct HybridPredictor {
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    selector: Vec<u8>,
+    ghr: u64,
+    history_bits: u32,
+}
+
+impl HybridPredictor {
+    /// Builds the predictor from Table 1 geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is zero or not a power of two.
+    #[must_use]
+    pub fn new(cfg: &BranchConfig) -> Self {
+        for (name, n) in [
+            ("gshare", cfg.gshare_entries),
+            ("bimodal", cfg.bimodal_entries),
+            ("selector", cfg.selector_entries),
+        ] {
+            assert!(n > 0 && n.is_power_of_two(), "{name} size must be a power of two");
+        }
+        HybridPredictor {
+            // Initialize to weakly taken: loops warm up fast, matching
+            // common simulator practice.
+            bimodal: vec![2; cfg.bimodal_entries],
+            gshare: vec![2; cfg.gshare_entries],
+            selector: vec![1; cfg.selector_entries], // weakly prefer bimodal
+            ghr: 0,
+            history_bits: cfg.gshare_entries.trailing_zeros(),
+        }
+    }
+
+    fn bimodal_idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.bimodal.len() - 1)
+    }
+
+    fn gshare_idx(&self, pc: u64, ghr: u64) -> usize {
+        let mask = (1u64 << self.history_bits) - 1;
+        (((pc >> 2) ^ (ghr & mask)) as usize) & (self.gshare.len() - 1)
+    }
+
+    fn selector_idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.selector.len() - 1)
+    }
+
+    /// Current global history register (for snapshotting by unconditional
+    /// transfers).
+    #[must_use]
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`, updating
+    /// the history speculatively.
+    pub(crate) fn predict(&mut self, pc: u64) -> (bool, HybridToken) {
+        let snapshot = self.ghr;
+        let bimodal_taken = counter_taken(self.bimodal[self.bimodal_idx(pc)]);
+        let gshare_taken = counter_taken(self.gshare[self.gshare_idx(pc, snapshot)]);
+        let use_gshare = counter_taken(self.selector[self.selector_idx(pc)]);
+        let taken = if use_gshare { gshare_taken } else { bimodal_taken };
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+        (
+            taken,
+            HybridToken {
+                ghr_snapshot: snapshot,
+                used_gshare: use_gshare,
+                bimodal_taken,
+                gshare_taken,
+            },
+        )
+    }
+
+    /// Trains the component tables with the architectural outcome and
+    /// repairs the history if the prediction was wrong.
+    pub fn update(&mut self, pc: u64, pred: &Prediction, taken: bool) {
+        let bi = self.bimodal_idx(pc);
+        let gi = self.gshare_idx(pc, pred.ghr_snapshot);
+        let si = self.selector_idx(pc);
+
+        // Selector trains toward whichever component was right, only when
+        // they disagree (standard McFarling combining rule).
+        if pred.bimodal_taken != pred.gshare_taken {
+            if pred.gshare_taken == taken {
+                self.selector[si] = counter_inc(self.selector[si]);
+            } else {
+                self.selector[si] = counter_dec(self.selector[si]);
+            }
+        }
+        if taken {
+            self.bimodal[bi] = counter_inc(self.bimodal[bi]);
+            self.gshare[gi] = counter_inc(self.gshare[gi]);
+        } else {
+            self.bimodal[bi] = counter_dec(self.bimodal[bi]);
+            self.gshare[gi] = counter_dec(self.gshare[gi]);
+        }
+
+        if pred.taken != taken {
+            // Fetch stalled after the mispredict, so no younger predictions
+            // polluted the history: rebuild it exactly.
+            self.ghr = (pred.ghr_snapshot << 1) | u64::from(taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> HybridPredictor {
+        HybridPredictor::new(&BranchConfig::default())
+    }
+
+    #[test]
+    fn counters_saturate() {
+        assert_eq!(counter_inc(3), 3);
+        assert_eq!(counter_dec(0), 0);
+        assert!(counter_taken(2));
+        assert!(!counter_taken(1));
+    }
+
+    #[test]
+    fn history_repaired_on_mispredict() {
+        let mut p = predictor();
+        let before = p.ghr();
+        let (taken, tok) = p.predict(0x40);
+        let pred = Prediction {
+            taken,
+            target: None,
+            ghr_snapshot: tok.ghr_snapshot,
+            used_gshare: tok.used_gshare,
+            bimodal_taken: tok.bimodal_taken,
+            gshare_taken: tok.gshare_taken,
+        };
+        p.update(0x40, &pred, !taken); // mispredict
+        assert_eq!(p.ghr(), (before << 1) | u64::from(!taken));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let cfg = BranchConfig {
+            gshare_entries: 1000,
+            ..BranchConfig::default()
+        };
+        let _ = HybridPredictor::new(&cfg);
+    }
+}

@@ -1,0 +1,90 @@
+//! Return-address stack.
+
+/// A fixed-depth return-address stack.
+///
+/// Calls push their fall-through address; returns pop it. On overflow the
+/// oldest entry is dropped (circular behaviour), matching hardware RAS
+/// designs.
+///
+/// # Example
+///
+/// ```
+/// use diq_branch::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(2);
+/// ras.push(0x104);
+/// ras.push(0x208);
+/// assert_eq!(ras.pop(), Some(0x208));
+/// assert_eq!(ras.pop(), Some(0x104));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    stack: Vec<u64>,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack holding up to `depth` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        ReturnAddressStack {
+            stack: Vec::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// Pushes a return address (dropping the oldest entry when full).
+    pub fn push(&mut self, addr: u64) {
+        if self.stack.len() == self.depth {
+            self.stack.remove(0);
+        }
+        self.stack.push(addr);
+    }
+
+    /// Pops the most recent return address.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the stack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // drops 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut ras = ReturnAddressStack::new(4);
+        assert!(ras.is_empty());
+        ras.push(1);
+        assert_eq!(ras.len(), 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! Palacharla-style FIFO issue queues (`IssueFIFO`), and the shared FIFO
+//! machinery reused by the integer side of `LatFIFO` and `MixBUFF`.
+
+use crate::energy::FifoEnergy;
+use crate::fu::FuTopology;
+use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
+use diq_isa::{ArchReg, Cycle, InstId, OpClass, PhysReg, ProcessorConfig};
+use diq_power::{Component, EnergyMeter, TechParams};
+use std::collections::VecDeque;
+
+/// One queued instruction.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Entry {
+    pub id: InstId,
+    pub op: OpClass,
+    pub srcs: [Option<PhysReg>; 2],
+}
+
+/// An array of FIFO queues for one side of the machine, with the paper's
+/// dependence-based steering:
+///
+/// 1. if a queue's **tail** produces the first operand, append there (stall
+///    if it is full and the instruction has no second operand);
+/// 2. else if a queue's tail produces the second operand, append there
+///    (stall if full);
+/// 3. else append to an empty queue (stall if none).
+///
+/// The steering table maps architectural registers to the queue whose tail
+/// is their producer, exactly the structure the paper describes; it is
+/// cleared on branch mispredictions.
+#[derive(Clone, Debug)]
+pub(crate) struct FifoArray {
+    side: Side,
+    queues: Vec<VecDeque<Entry>>,
+    capacity: usize,
+    /// arch-reg flat index → (queue, producing instruction).
+    steer: Vec<Option<(usize, InstId)>>,
+    /// Per queue: the architectural register produced by the tail.
+    tail_reg: Vec<Option<ArchReg>>,
+    /// Per queue: the tail instruction.
+    tail_id: Vec<Option<InstId>>,
+}
+
+impl FifoArray {
+    pub(crate) fn new(side: Side, queues: usize, capacity: usize) -> Self {
+        assert!(queues > 0 && capacity > 0);
+        FifoArray {
+            side,
+            queues: vec![VecDeque::with_capacity(capacity); queues],
+            capacity,
+            steer: vec![None; 2 * diq_isa::ARCH_REGS_PER_CLASS],
+            tail_reg: vec![None; queues],
+            tail_id: vec![None; queues],
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn place(&mut self, q: usize, d: &DispatchInst) {
+        if let Some(old) = self.tail_reg[q].take() {
+            self.steer[old.flat_index()] = None;
+        }
+        self.queues[q].push_back(Entry {
+            id: d.id,
+            op: d.op,
+            srcs: d.srcs,
+        });
+        self.tail_id[q] = Some(d.id);
+        if let Some(dst) = d.dst_arch {
+            self.steer[dst.flat_index()] = Some((q, d.id));
+            self.tail_reg[q] = Some(dst);
+        } else {
+            self.tail_reg[q] = None;
+        }
+    }
+
+    /// The steering decision, without placing. `Ok(queue)` or a stall.
+    fn steer_queue(&self, d: &DispatchInst) -> Result<usize, DispatchStall> {
+        let n_srcs = d.src_arch.iter().flatten().count();
+        // Rule 1: first operand's producer at a tail.
+        if let Some(r) = d.src_arch[0] {
+            if let Some((q, pid)) = self.steer[r.flat_index()] {
+                if self.tail_id[q] == Some(pid) {
+                    if self.queues[q].len() < self.capacity {
+                        return Ok(q);
+                    }
+                    if n_srcs == 1 {
+                        return Err(DispatchStall::QueueFull);
+                    }
+                    // Two operands: fall through to the second operand rule.
+                }
+            }
+        }
+        // Rule 2: second operand's producer at a tail.
+        if let Some(r) = d.src_arch[1] {
+            if let Some((q, pid)) = self.steer[r.flat_index()] {
+                if self.tail_id[q] == Some(pid) {
+                    if self.queues[q].len() < self.capacity {
+                        return Ok(q);
+                    }
+                    return Err(DispatchStall::QueueFull);
+                }
+            }
+        }
+        // Rule 3: an empty queue.
+        self.queues
+            .iter()
+            .position(VecDeque::is_empty)
+            .ok_or(DispatchStall::NoEmptyQueue)
+    }
+
+    /// Steers and places one instruction.
+    pub(crate) fn try_dispatch(&mut self, d: &DispatchInst) -> Result<usize, DispatchStall> {
+        let q = self.steer_queue(d)?;
+        self.place(q, d);
+        Ok(q)
+    }
+
+    /// Head candidates: `(queue, entry)` for each non-empty queue.
+    pub(crate) fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter_map(|(q, fifo)| fifo.front().map(|e| (q, *e)))
+    }
+
+    /// Removes the head of queue `q` after it issued.
+    pub(crate) fn pop_head(&mut self, q: usize) -> Entry {
+        let e = self.queues[q].pop_front().expect("pop from empty FIFO");
+        if self.tail_id[q] == Some(e.id) {
+            // The queue is now empty; drop its steering state.
+            if let Some(r) = self.tail_reg[q].take() {
+                self.steer[r.flat_index()] = None;
+            }
+            self.tail_id[q] = None;
+        }
+        e
+    }
+
+    /// Clears the steering table (mispredict recovery, as in the paper).
+    pub(crate) fn clear_steering(&mut self) {
+        self.steer.iter_mut().for_each(|s| *s = None);
+        self.tail_reg.iter_mut().for_each(|s| *s = None);
+        // tail_id stays: it only matters together with `steer`, which is
+        // now empty; it will be rebuilt by subsequent placements.
+    }
+
+    pub(crate) fn side(&self) -> Side {
+        self.side
+    }
+}
+
+/// The `IssueFIFO` scheme: A×B integer FIFOs and C×D FP FIFOs, no wakeup
+/// logic — FIFO heads check a 1-bit/register scoreboard every cycle.
+///
+/// With `distributed_fus`, functional units are attached per queue
+/// (`IF_distr`).
+///
+/// # Example
+///
+/// ```
+/// use diq_core::SchedulerConfig;
+/// use diq_isa::ProcessorConfig;
+///
+/// let sched = SchedulerConfig::issue_fifo(8, 8, 16, 16).build(&ProcessorConfig::hpca2004());
+/// assert_eq!(sched.name(), "IssueFIFO_8x8_16x16");
+/// ```
+#[derive(Debug)]
+pub struct IssueFifo {
+    name: String,
+    int: FifoArray,
+    fp: FifoArray,
+    energy_model: [FifoEnergy; 2],
+    meter: EnergyMeter,
+    topology: FuTopology,
+}
+
+impl IssueFifo {
+    /// Builds an IssueFIFO scheduler. Prefer
+    /// [`SchedulerConfig`](crate::SchedulerConfig) in application code.
+    #[must_use]
+    pub fn new(
+        name: String,
+        int: (usize, usize),
+        fp: (usize, usize),
+        topology: FuTopology,
+        cfg: &ProcessorConfig,
+    ) -> Self {
+        let tech = TechParams::um100();
+        IssueFifo {
+            name,
+            int: FifoArray::new(Side::Int, int.0, int.1),
+            fp: FifoArray::new(Side::Fp, fp.0, fp.1),
+            energy_model: [
+                FifoEnergy::new(int.1, int.0, cfg.phys_int_regs, &topology, &tech),
+                FifoEnergy::new(fp.1, fp.0, cfg.phys_fp_regs, &topology, &tech),
+            ],
+            meter: EnergyMeter::new(),
+            topology,
+        }
+    }
+
+    fn array(&mut self, side: Side) -> &mut FifoArray {
+        match side {
+            Side::Int => &mut self.int,
+            Side::Fp => &mut self.fp,
+        }
+    }
+}
+
+impl Scheduler for IssueFifo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_dispatch(&mut self, d: &DispatchInst, _now: Cycle) -> Result<(), DispatchStall> {
+        let side = d.side();
+        let em = self.energy_model[side.index()];
+        // The steering table is consulted for both operands regardless of
+        // the outcome (it is indexed during rename).
+        let reads = d.src_arch.iter().flatten().count() as u64;
+        self.meter
+            .add_events(Component::Qrename, reads, em.qrename_read);
+        self.array(side).try_dispatch(d)?;
+        self.meter.add(Component::Qrename, em.qrename_write);
+        self.meter.add(Component::Fifo, em.fifo_write);
+        Ok(())
+    }
+
+    fn issue_cycle(&mut self, _now: Cycle, sink: &mut dyn IssueSink) {
+        // Gather ready heads from both sides, oldest first, and let the sink
+        // arbitrate width and functional units.
+        let mut candidates: Vec<(u64, Side, usize, Entry)> = Vec::new();
+        for array in [&self.int, &self.fp] {
+            let em = self.energy_model[array.side().index()];
+            for (q, e) in array.heads() {
+                // Heads read the scoreboard every cycle, ready or not.
+                let nsrc = e.srcs.iter().flatten().count() as u64;
+                self.meter
+                    .add_events(Component::RegsReady, nsrc, em.regs_ready_read);
+                let ready = e.srcs.iter().flatten().all(|&r| sink.is_ready(r));
+                if ready {
+                    candidates.push((e.id.0, array.side(), q, e));
+                }
+            }
+        }
+        candidates.sort_unstable_by_key(|c| c.0);
+        for (_, side, q, e) in candidates {
+            if sink.try_issue(e.id, e.op, Some((side, q))) {
+                let em = self.energy_model[side.index()];
+                self.array(side).pop_head(q);
+                self.meter.add(Component::Fifo, em.fifo_read);
+                let (mux, pj) = em.mux.event(e.op);
+                self.meter.add(mux, pj);
+            }
+        }
+    }
+
+    fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
+        let em = self.energy_model[dst.class().index()];
+        self.meter.add(Component::RegsReady, em.regs_ready_write);
+    }
+
+    fn on_mispredict(&mut self) {
+        self.int.clear_steering();
+        self.fp.clear_steering();
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        (self.int.len(), self.fp.len())
+    }
+
+    fn energy(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    fn fu_topology(&self) -> &FuTopology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{di, BoundedSink};
+
+    fn arr() -> FifoArray {
+        FifoArray::new(Side::Int, 4, 2)
+    }
+
+    #[test]
+    fn dependent_goes_behind_its_producer() {
+        let mut a = arr();
+        let p = di(1, OpClass::IntAlu, Some(3), [None, None]);
+        let q1 = a.try_dispatch(&p).unwrap();
+        // consumer reads r3 (produced by inst 1, at the tail of q1)
+        let c = di(2, OpClass::IntAlu, Some(4), [Some(3), None]);
+        let q2 = a.try_dispatch(&c).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(a.queues[q1].len(), 2);
+    }
+
+    #[test]
+    fn independent_instruction_takes_empty_queue() {
+        let mut a = arr();
+        let q1 = a
+            .try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        let q2 = a
+            .try_dispatch(&di(2, OpClass::IntAlu, Some(5), [None, None]))
+            .unwrap();
+        assert_ne!(q1, q2);
+    }
+
+    #[test]
+    fn stalls_when_no_empty_queue_for_fresh_chain() {
+        let mut a = arr();
+        for i in 0..4 {
+            a.try_dispatch(&di(i, OpClass::IntAlu, Some(i as u8 + 1), [None, None]))
+                .unwrap();
+        }
+        let e = a
+            .try_dispatch(&di(9, OpClass::IntAlu, Some(9), [None, None]))
+            .unwrap_err();
+        assert_eq!(e, DispatchStall::NoEmptyQueue);
+    }
+
+    #[test]
+    fn one_source_full_queue_stalls_rather_than_spilling() {
+        let mut a = arr(); // capacity 2
+        a.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        a.try_dispatch(&di(2, OpClass::IntAlu, Some(3), [Some(3), None]))
+            .unwrap();
+        // Queue holding r3's chain is now full; a single-source consumer of
+        // r3 must stall (paper rule 1), not start a new chain.
+        let e = a
+            .try_dispatch(&di(3, OpClass::IntAlu, Some(4), [Some(3), None]))
+            .unwrap_err();
+        assert_eq!(e, DispatchStall::QueueFull);
+    }
+
+    #[test]
+    fn two_source_full_queue_tries_second_operand() {
+        let mut a = arr();
+        // Chain A fills queue 0.
+        a.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        a.try_dispatch(&di(2, OpClass::IntAlu, Some(3), [Some(3), None]))
+            .unwrap();
+        // Chain B sits in queue 1 with space.
+        a.try_dispatch(&di(3, OpClass::IntAlu, Some(5), [None, None]))
+            .unwrap();
+        // Consumer of r3 (full queue) and r5 (queue 1): goes behind r5.
+        let q = a
+            .try_dispatch(&di(4, OpClass::IntAlu, Some(6), [Some(3), Some(5)]))
+            .unwrap();
+        assert_eq!(q, 1);
+    }
+
+    #[test]
+    fn steering_requires_producer_still_at_tail() {
+        let mut a = arr();
+        let q0 = a
+            .try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        // Producer issues and leaves; queue q0 becomes empty.
+        a.pop_head(q0);
+        // Consumer of r3 must now take an empty queue (possibly the same
+        // one), via rule 3 — the steering entry is gone.
+        assert!(a.steer[ArchReg::int(3).flat_index()].is_none());
+        a.try_dispatch(&di(2, OpClass::IntAlu, Some(4), [Some(3), None]))
+            .unwrap();
+    }
+
+    #[test]
+    fn appending_clears_previous_tail_mapping() {
+        let mut a = arr();
+        let q = a
+            .try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        a.try_dispatch(&di(2, OpClass::IntAlu, Some(4), [Some(3), None]))
+            .unwrap();
+        // r3's producer is no longer the tail of q (inst 2 is): a new
+        // consumer of r3 cannot join the chain mid-queue.
+        assert!(a.steer[ArchReg::int(3).flat_index()].is_none());
+        assert_eq!(a.tail_reg[q], Some(ArchReg::int(4)));
+    }
+
+    #[test]
+    fn mispredict_clears_steering_but_keeps_contents() {
+        let mut a = arr();
+        a.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        a.clear_steering();
+        assert_eq!(a.len(), 1);
+        assert!(a.steer.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn scheduler_issues_only_ready_heads_in_age_order() {
+        let cfg = ProcessorConfig::hpca2004();
+        let mut s = crate::SchedulerConfig::issue_fifo(4, 4, 4, 4).build(&cfg);
+        // Two independent chains; make only the second's head ready.
+        s.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [Some(10), None]), 0)
+            .unwrap();
+        s.try_dispatch(&di(2, OpClass::IntAlu, Some(4), [Some(11), None]), 0)
+            .unwrap();
+        let mut sink = BoundedSink::ready_only(&[11]);
+        s.issue_cycle(0, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(2)]);
+        assert_eq!(s.occupancy().0, 1);
+    }
+}

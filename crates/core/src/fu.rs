@@ -1,0 +1,262 @@
+//! Functional-unit topology: shared pools versus queue-distributed units.
+
+use crate::Side;
+use diq_isa::{FuKind, FuPoolConfig, OpClass};
+
+/// A functional-unit instance identifier (dense, machine-wide).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitId(pub usize);
+
+/// One functional unit instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuInstance {
+    /// What the unit executes.
+    pub kind: FuKind,
+    /// Whether it accepts a new operation every cycle (divides do not).
+    pub pipelined: bool,
+}
+
+/// How functional units are reachable from issue queues.
+///
+/// The paper's Section 3.3 distributes units across the queues:
+/// one integer ALU per integer queue, one integer mul/div per integer-queue
+/// *pair*, and one FP adder plus one FP mul/div per FP-queue pair. An
+/// instruction issued from a distributed queue can only use its own
+/// (pair's) units, which is what lets the issue crossbar collapse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuTopology {
+    /// A centralized pool: any queue reaches any unit of the right kind.
+    Shared {
+        /// Unit counts per kind.
+        pool: FuPoolConfig,
+    },
+    /// Units attached to queues (the `_distr` configurations).
+    Distributed {
+        /// Number of integer queues.
+        int_queues: usize,
+        /// Number of FP queues.
+        fp_queues: usize,
+    },
+}
+
+impl FuTopology {
+    /// All unit instances, in a fixed order. [`UnitId`]s index this list.
+    #[must_use]
+    pub fn units(&self) -> Vec<FuInstance> {
+        match *self {
+            FuTopology::Shared { pool } => {
+                let mut v = Vec::new();
+                for kind in [
+                    FuKind::IntAlu,
+                    FuKind::IntMulDiv,
+                    FuKind::FpAdd,
+                    FuKind::FpMulDiv,
+                ] {
+                    for _ in 0..pool.count(kind) {
+                        v.push(FuInstance {
+                            kind,
+                            pipelined: true,
+                        });
+                    }
+                }
+                v
+            }
+            FuTopology::Distributed {
+                int_queues,
+                fp_queues,
+            } => {
+                let mut v = Vec::new();
+                // One ALU per integer queue…
+                for _ in 0..int_queues {
+                    v.push(FuInstance {
+                        kind: FuKind::IntAlu,
+                        pipelined: true,
+                    });
+                }
+                // …one mul/div per integer-queue pair…
+                for _ in 0..int_queues.div_ceil(2) {
+                    v.push(FuInstance {
+                        kind: FuKind::IntMulDiv,
+                        pipelined: true,
+                    });
+                }
+                // …and per FP-queue pair, one adder and one mul/div.
+                for _ in 0..fp_queues.div_ceil(2) {
+                    v.push(FuInstance {
+                        kind: FuKind::FpAdd,
+                        pipelined: true,
+                    });
+                }
+                for _ in 0..fp_queues.div_ceil(2) {
+                    v.push(FuInstance {
+                        kind: FuKind::FpMulDiv,
+                        pipelined: true,
+                    });
+                }
+                v
+            }
+        }
+    }
+
+    /// The unit instances instruction `op`, issued from `queue`, may use.
+    ///
+    /// For a shared pool this is every unit of the kind; for distributed
+    /// units it is the single unit owned by the queue (ALUs) or its pair
+    /// (mul/div, FP units). `queue` is ignored for shared pools; a missing
+    /// queue with a distributed topology is a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is distributed and `queue` is `None`, or the
+    /// queue index is out of range.
+    #[must_use]
+    pub fn reachable(&self, op: OpClass, queue: Option<(Side, usize)>) -> Vec<UnitId> {
+        let kind = op.fu_kind();
+        match *self {
+            FuTopology::Shared { pool } => {
+                let mut base = 0;
+                for k in [
+                    FuKind::IntAlu,
+                    FuKind::IntMulDiv,
+                    FuKind::FpAdd,
+                    FuKind::FpMulDiv,
+                ] {
+                    if k == kind {
+                        return (base..base + pool.count(k)).map(UnitId).collect();
+                    }
+                    base += pool.count(k);
+                }
+                unreachable!("all kinds covered");
+            }
+            FuTopology::Distributed {
+                int_queues,
+                fp_queues,
+            } => {
+                let (side, q) = queue.expect("distributed topology requires a queue");
+                match (side, kind) {
+                    (Side::Int, FuKind::IntAlu) => {
+                        assert!(q < int_queues, "integer queue {q} out of range");
+                        vec![UnitId(q)]
+                    }
+                    (Side::Int, FuKind::IntMulDiv) => {
+                        assert!(q < int_queues);
+                        vec![UnitId(int_queues + q / 2)]
+                    }
+                    (Side::Fp, FuKind::FpAdd) => {
+                        assert!(q < fp_queues, "fp queue {q} out of range");
+                        let base = int_queues + int_queues.div_ceil(2);
+                        vec![UnitId(base + q / 2)]
+                    }
+                    (Side::Fp, FuKind::FpMulDiv) => {
+                        assert!(q < fp_queues);
+                        let base = int_queues + int_queues.div_ceil(2) + fp_queues.div_ceil(2);
+                        vec![UnitId(base + q / 2)]
+                    }
+                    (s, k) => unreachable!("op {op} (kind {k}) issued from {s:?} queue"),
+                }
+            }
+        }
+    }
+
+    /// Number of functional units an issued instruction's crossbar spans —
+    /// the knob behind the `Mux*` energy terms.
+    #[must_use]
+    pub fn mux_span(&self, kind: FuKind) -> usize {
+        match *self {
+            FuTopology::Shared { pool } => pool.count(kind),
+            FuTopology::Distributed { .. } => 1,
+        }
+    }
+
+    /// Whether this is a distributed (queue-attached) topology.
+    #[must_use]
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, FuTopology::Distributed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> FuTopology {
+        FuTopology::Shared {
+            pool: FuPoolConfig::default(),
+        }
+    }
+
+    fn distr() -> FuTopology {
+        FuTopology::Distributed {
+            int_queues: 8,
+            fp_queues: 8,
+        }
+    }
+
+    #[test]
+    fn shared_units_match_table1() {
+        let units = shared().units();
+        assert_eq!(units.len(), 8 + 4 + 4 + 4);
+        assert_eq!(
+            units.iter().filter(|u| u.kind == FuKind::IntAlu).count(),
+            8
+        );
+    }
+
+    #[test]
+    fn distributed_units_match_section_3_3() {
+        // 8 int ALUs + 4 int mul/div + 4 FP add + 4 FP mul/div.
+        let units = distr().units();
+        assert_eq!(units.len(), 8 + 4 + 4 + 4);
+    }
+
+    #[test]
+    fn shared_reaches_all_units_of_kind() {
+        let r = shared().reachable(OpClass::FpMul, None);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn distributed_pairs_share_muldiv() {
+        let t = distr();
+        let q0 = t.reachable(OpClass::IntMul, Some((Side::Int, 0)));
+        let q1 = t.reachable(OpClass::IntMul, Some((Side::Int, 1)));
+        let q2 = t.reachable(OpClass::IntMul, Some((Side::Int, 2)));
+        assert_eq!(q0, q1, "queues 0 and 1 share a mul/div unit");
+        assert_ne!(q0, q2);
+    }
+
+    #[test]
+    fn distributed_alu_is_private() {
+        let t = distr();
+        let q0 = t.reachable(OpClass::IntAlu, Some((Side::Int, 0)));
+        let q1 = t.reachable(OpClass::IntAlu, Some((Side::Int, 1)));
+        assert_eq!(q0.len(), 1);
+        assert_ne!(q0, q1);
+    }
+
+    #[test]
+    fn fp_pair_units_are_disjoint_from_int_units() {
+        let t = distr();
+        let fa = t.reachable(OpClass::FpAdd, Some((Side::Fp, 0)));
+        let fm = t.reachable(OpClass::FpMul, Some((Side::Fp, 0)));
+        let ia = t.reachable(OpClass::IntAlu, Some((Side::Int, 0)));
+        assert_ne!(fa, fm);
+        assert_ne!(fa, ia);
+        let units = t.units();
+        assert_eq!(units[fa[0].0].kind, FuKind::FpAdd);
+        assert_eq!(units[fm[0].0].kind, FuKind::FpMulDiv);
+    }
+
+    #[test]
+    fn mux_span_collapses_when_distributed() {
+        assert_eq!(shared().mux_span(FuKind::IntAlu), 8);
+        assert_eq!(distr().mux_span(FuKind::IntAlu), 1);
+    }
+
+    #[test]
+    fn loads_use_int_alu_topology() {
+        let t = distr();
+        let r = t.reachable(OpClass::Load, Some((Side::Int, 3)));
+        assert_eq!(r, vec![UnitId(3)]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The issue-queue schemes of *Low-Complexity Distributed Issue Queue*
+//! (Abella & González, HPCA 2004) — the paper's contribution, plus the
+//! baselines it is evaluated against.
+//!
+//! Four schemes implement the [`Scheduler`] trait:
+//!
+//! | Scheme | Paper name | Wakeup | Dispatch placement | Selection |
+//! |--------|------------|--------|--------------------|-----------|
+//! | [`CamIssueQueue`] | `IQ_64_64` / unbounded baseline | CAM broadcast (unready operands only, banked) | any free entry | N oldest ready |
+//! | [`IssueFifo`] | `IssueFIFO` / `IF_distr` | none (ready-bit check at heads) | Palacharla dependence heuristics | FIFO heads, oldest first |
+//! | [`LatFifo`] | `LatFIFO` | none | estimated issue time (§3.1 recurrence) | FIFO heads |
+//! | [`MixBuff`] | `MixBUFF` / `MB_distr` | none | dependence chains in RAM buffers | 1/queue/cycle by 2-bit latency code ∥ age |
+//!
+//! All schemes plug into the same pipeline through [`Scheduler`]; the
+//! pipeline provides readiness and functional-unit arbitration through
+//! [`IssueSink`]. Functional units may be [shared or
+//! distributed](FuTopology) across the queues (the `_distr` variants).
+//!
+//! # Example
+//!
+//! ```
+//! use diq_core::SchedulerConfig;
+//! use diq_isa::ProcessorConfig;
+//!
+//! let cfg = ProcessorConfig::hpca2004();
+//! let mb = SchedulerConfig::mb_distr().build(&cfg);
+//! assert_eq!(mb.name(), "MB_distr");
+//! assert_eq!(mb.occupancy(), (0, 0));
+//! ```
+
+#![deny(missing_docs)]
+
+mod cam;
+mod config;
+mod energy;
+mod estimate;
+mod fifo;
+mod fu;
+mod latfifo;
+mod mixbuff;
+pub mod select;
+#[cfg(test)]
+pub(crate) mod test_util;
+
+pub use cam::CamIssueQueue;
+pub use config::{QueueArrayConfig, SchedulerConfig};
+pub use estimate::IssueTimeEstimator;
+pub use fifo::IssueFifo;
+pub use fu::{FuInstance, FuTopology, UnitId};
+pub use latfifo::LatFifo;
+pub use mixbuff::MixBuff;
+
+use diq_isa::{ArchReg, Cycle, InstId, OpClass, PhysReg};
+use diq_power::EnergyMeter;
+
+/// Which half of the machine an instruction issues from.
+///
+/// FP arithmetic uses the FP queues; everything else — including loads,
+/// stores and branches, which schedule integer address/condition work —
+/// uses the integer queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Integer queues.
+    Int,
+    /// Floating-point queues.
+    Fp,
+}
+
+impl Side {
+    /// The side an operation class issues from.
+    #[must_use]
+    pub fn of(op: OpClass) -> Side {
+        if op.is_fp_side() {
+            Side::Fp
+        } else {
+            Side::Int
+        }
+    }
+
+    /// Dense index (0 = int, 1 = fp).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Side::Int => 0,
+            Side::Fp => 1,
+        }
+    }
+}
+
+/// Everything a scheduler learns about an instruction at dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchInst {
+    /// Dynamic instruction identity; doubles as the age tag (monotonic in
+    /// program order, exactly what the paper's ROB-position + wrap-bit age
+    /// encoding reconstructs).
+    pub id: InstId,
+    /// Operation class.
+    pub op: OpClass,
+    /// Renamed destination.
+    pub dst: Option<PhysReg>,
+    /// Renamed sources.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Whether each source was already ready at dispatch.
+    pub srcs_ready: [bool; 2],
+    /// Architectural sources (for the queue-steering tables).
+    pub src_arch: [Option<ArchReg>; 2],
+    /// Architectural destination (for the queue-steering tables).
+    pub dst_arch: Option<ArchReg>,
+}
+
+impl DispatchInst {
+    /// The issue side of this instruction.
+    #[must_use]
+    pub fn side(&self) -> Side {
+        Side::of(self.op)
+    }
+}
+
+/// Why dispatch stalled this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DispatchStall {
+    /// The scheme's target queue for this instruction is full.
+    QueueFull,
+    /// No empty FIFO was available for a fresh dependence chain.
+    NoEmptyQueue,
+    /// MixBUFF: no free chain (or all candidate queues full).
+    NoFreeChain,
+    /// The monolithic queue is full (baseline).
+    Full,
+}
+
+/// The pipeline services issue requests through this interface: it owns the
+/// scoreboard, functional-unit state and issue-width accounting.
+///
+/// `Scheduler::issue_cycle` calls [`try_issue`](IssueSink::try_issue) for
+/// each candidate, oldest first; the sink says whether the machine can
+/// actually execute it this cycle.
+pub trait IssueSink {
+    /// Whether physical register `r` holds its value this cycle (the
+    /// `regs_ready` scoreboard of the paper).
+    fn is_ready(&self, r: PhysReg) -> bool;
+
+    /// Requests issue of `inst` (operation `op`) from queue `queue` (`None`
+    /// for the monolithic baseline). Returns `false` when issue width or the
+    /// required functional unit is exhausted; the instruction then stays
+    /// queued.
+    fn try_issue(&mut self, inst: InstId, op: OpClass, queue: Option<(Side, usize)>) -> bool;
+}
+
+/// A scheme-agnostic issue queue, as the pipeline sees it.
+///
+/// Call protocol, once per cycle, in pipeline order:
+///
+/// 1. [`on_result`](Scheduler::on_result) for every value produced this
+///    cycle (writeback);
+/// 2. [`issue_cycle`](Scheduler::issue_cycle) once (issue/select);
+/// 3. [`try_dispatch`](Scheduler::try_dispatch) for each instruction leaving
+///    rename, in program order, stopping at the first `Err` (dispatch);
+/// 4. [`on_mispredict`](Scheduler::on_mispredict) when a mispredicted branch
+///    resolves (clears the steering tables, as the paper prescribes).
+pub trait Scheduler {
+    /// Short display name (`IQ_64_64`, `IF_distr`, `MB_distr`, …).
+    fn name(&self) -> &str;
+
+    /// Accepts one instruction into the queue, or reports why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stall reason; the pipeline must re-present the same
+    /// instruction next cycle (in-order dispatch).
+    fn try_dispatch(&mut self, inst: &DispatchInst, now: Cycle) -> Result<(), DispatchStall>;
+
+    /// Performs this cycle's selection, requesting issue through `sink`.
+    fn issue_cycle(&mut self, now: Cycle, sink: &mut dyn IssueSink);
+
+    /// Informs the scheme that `dst`'s value becomes available this cycle
+    /// (CAM wakeup broadcast / `regs_ready` write).
+    fn on_result(&mut self, dst: PhysReg, now: Cycle);
+
+    /// A mispredicted branch resolved: clear the register-to-queue steering
+    /// tables (they may be stale). Queue contents are unaffected — the
+    /// simulator never dispatches wrong-path instructions.
+    fn on_mispredict(&mut self);
+
+    /// Current (integer, FP) entry counts.
+    fn occupancy(&self) -> (usize, usize);
+
+    /// Whether both sides are empty.
+    fn is_empty(&self) -> bool {
+        self.occupancy() == (0, 0)
+    }
+
+    /// Accumulated energy, by component.
+    fn energy(&self) -> &EnergyMeter;
+
+    /// The functional-unit topology this scheme was configured with.
+    fn fu_topology(&self) -> &FuTopology;
+}

@@ -1,0 +1,523 @@
+//! The `MixBUFF` scheme — the paper's contribution (Section 3.2).
+//!
+//! The integer side reuses the `IssueFIFO` dependence-steered FIFOs. The FP
+//! side replaces FIFOs with RAM **buffers** in which instructions sit in any
+//! order, organized into **chains**:
+//!
+//! * a mapping table (`Qrename`) records, per FP architectural register,
+//!   the (queue, chain) of its producer — valid only while the producer is
+//!   the chain's last instruction;
+//! * a dispatched instruction joins its producer's chain when possible;
+//!   otherwise it gets the lowest free chain identifier, handed out in an
+//!   order that balances busy chains across queues;
+//! * each queue keeps a tiny chain latency table (one saturating counter per
+//!   chain) tracking when the chain's last issued instruction finishes; it
+//!   is read and written every cycle and compressed to the 2-bit code of
+//!   [`select`](crate::select);
+//! * every cycle each queue selects at most **one** instruction — the
+//!   minimum of (2-bit code ∥ age) — and checks its operands in the
+//!   1-bit/register scoreboard; no CAM wakeup exists anywhere.
+
+use crate::energy::{FifoEnergy, MixEnergy};
+use crate::fifo::FifoArray;
+use crate::fu::FuTopology;
+use crate::select::{selection_key, LatencyCode};
+use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
+use diq_isa::{Cycle, InstId, LatencyConfig, OpClass, PhysReg, ProcessorConfig};
+use diq_power::{Component, EnergyMeter, TechParams};
+
+/// One FP buffer entry.
+#[derive(Clone, Copy, Debug)]
+struct BuffEntry {
+    id: InstId,
+    op: OpClass,
+    srcs: [Option<PhysReg>; 2],
+    chain: usize,
+}
+
+/// Per-chain state within one queue.
+#[derive(Clone, Copy, Debug)]
+struct ChainState {
+    /// Last *dispatched* instruction of the chain (the joinable end).
+    last: Option<InstId>,
+    /// Instructions of this chain currently in the buffer.
+    count: usize,
+    /// Absolute cycle when the last *issued* instruction's result is
+    /// available (the latency-table counter, in absolute-time form).
+    ready: Cycle,
+}
+
+impl ChainState {
+    const IDLE: ChainState = ChainState {
+        last: None,
+        count: 0,
+        ready: 0,
+    };
+}
+
+/// The FP buffer array with chains.
+#[derive(Clone, Debug)]
+struct MixQueues {
+    queues: Vec<Vec<BuffEntry>>,
+    capacity: usize,
+    chains_per_queue: usize,
+    chains: Vec<Vec<ChainState>>,
+    /// FP arch reg (class-local index) → (queue, chain, producer).
+    steer: Vec<Option<(usize, usize, InstId)>>,
+    /// The paper's priority heuristic: instructions whose chain finishes
+    /// *this* cycle beat instructions that became ready earlier but were
+    /// delayed. `false` selects purely oldest-first (the ablation).
+    fresh_first: bool,
+}
+
+impl MixQueues {
+    fn new(queues: usize, capacity: usize, chains_per_queue: usize, fresh_first: bool) -> Self {
+        assert!(queues > 0 && capacity > 0 && chains_per_queue > 0);
+        MixQueues {
+            queues: vec![Vec::with_capacity(capacity); queues],
+            capacity,
+            chains_per_queue,
+            chains: vec![vec![ChainState::IDLE; chains_per_queue]; queues],
+            steer: vec![None; diq_isa::ARCH_REGS_PER_CLASS],
+            fresh_first,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// A chain is reallocatable when nothing of it remains in the buffer and
+    /// its last issued instruction has finished.
+    fn chain_free(&self, q: usize, c: usize, now: Cycle) -> bool {
+        let ch = &self.chains[q][c];
+        ch.count == 0 && ch.ready <= now
+    }
+
+    fn place(&mut self, q: usize, c: usize, d: &DispatchInst) {
+        self.queues[q].push(BuffEntry {
+            id: d.id,
+            op: d.op,
+            srcs: d.srcs,
+            chain: c,
+        });
+        let ch = &mut self.chains[q][c];
+        ch.last = Some(d.id);
+        ch.count += 1;
+        if let Some(dst) = d.dst_arch {
+            self.steer[dst.index()] = Some((q, c, d.id));
+        }
+    }
+
+    /// Dispatch per Section 3.2.1: join the producer's chain if the producer
+    /// is still the chain's last instruction and the queue has room;
+    /// otherwise take the lowest free chain identifier in queue-balancing
+    /// order; otherwise stall.
+    fn try_dispatch(&mut self, d: &DispatchInst, now: Cycle) -> Result<usize, DispatchStall> {
+        for src in d.src_arch.into_iter().flatten() {
+            if src.class() != diq_isa::RegClass::Fp {
+                continue;
+            }
+            if let Some((q, c, pid)) = self.steer[src.index()] {
+                if self.chains[q][c].last == Some(pid) && self.queues[q].len() < self.capacity {
+                    self.place(q, c, d);
+                    return Ok(q);
+                }
+            }
+        }
+        // Lowest free chain id, interleaved across queues: (chain 0, q0),
+        // (chain 0, q1), …, (chain 1, q0), … — balances busy chains.
+        for c in 0..self.chains_per_queue {
+            for q in 0..self.queues.len() {
+                if self.queues[q].len() < self.capacity && self.chain_free(q, c, now) {
+                    // Reallocating the chain invalidates stale mappings
+                    // still pointing at its previous life.
+                    for s in self.steer.iter_mut() {
+                        if matches!(s, Some((sq, sc, _)) if *sq == q && *sc == c) {
+                            *s = None;
+                        }
+                    }
+                    self.chains[q][c] = ChainState::IDLE;
+                    self.place(q, c, d);
+                    return Ok(q);
+                }
+            }
+        }
+        Err(DispatchStall::NoFreeChain)
+    }
+
+    /// This cycle's selection for queue `q`: the minimum (code ∥ age) among
+    /// selectable entries, or `None`. With `fresh_first` disabled the code
+    /// still gates eligibility (a `11` chain cannot issue) but ties are
+    /// broken purely by age — the ablation of the paper's heuristic.
+    fn select(&self, q: usize, now: Cycle) -> Option<(usize, BuffEntry)> {
+        self.queues[q]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let code = LatencyCode::classify(self.chains[q][e.chain].ready, now);
+                code.selectable().then(|| {
+                    let key = if self.fresh_first {
+                        selection_key(code, e.id.0)
+                    } else {
+                        e.id.0
+                    };
+                    (key, i, *e)
+                })
+            })
+            .min_by_key(|&(key, _, _)| key)
+            .map(|(_, i, e)| (i, e))
+    }
+
+    /// Removes entry `i` of queue `q` after issue and updates the chain
+    /// latency table with the instruction's result latency.
+    fn issue_at(&mut self, q: usize, i: usize, now: Cycle, result_lat: u64) {
+        let e = self.queues[q].swap_remove(i);
+        let ch = &mut self.chains[q][e.chain];
+        ch.count -= 1;
+        ch.ready = now + result_lat;
+    }
+
+    fn clear_steering(&mut self) {
+        self.steer.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+/// The `MixBUFF` scheduler (`MB_distr` when configured with distributed
+/// functional units).
+///
+/// # Example
+///
+/// ```
+/// use diq_core::SchedulerConfig;
+/// use diq_isa::ProcessorConfig;
+///
+/// let s = SchedulerConfig::mb_distr().build(&ProcessorConfig::hpca2004());
+/// assert_eq!(s.name(), "MB_distr");
+/// ```
+#[derive(Debug)]
+pub struct MixBuff {
+    name: String,
+    int: FifoArray,
+    fp: MixQueues,
+    lat: LatencyConfig,
+    dl1_hit: u64,
+    energy_model: [FifoEnergy; 2],
+    mix_energy: MixEnergy,
+    meter: EnergyMeter,
+    topology: FuTopology,
+}
+
+impl MixBuff {
+    /// Builds a MixBUFF scheduler. Prefer
+    /// [`SchedulerConfig`](crate::SchedulerConfig) in application code.
+    #[must_use]
+    pub fn new(
+        name: String,
+        int: (usize, usize),
+        fp: (usize, usize),
+        chains_per_queue: usize,
+        fresh_first: bool,
+        topology: FuTopology,
+        cfg: &ProcessorConfig,
+    ) -> Self {
+        let tech = TechParams::um100();
+        MixBuff {
+            name,
+            int: FifoArray::new(Side::Int, int.0, int.1),
+            fp: MixQueues::new(fp.0, fp.1, chains_per_queue, fresh_first),
+            lat: cfg.lat,
+            dl1_hit: cfg.mem.dl1.latency,
+            energy_model: [
+                FifoEnergy::new(int.1, int.0, cfg.phys_int_regs, &topology, &tech),
+                FifoEnergy::new(fp.1, fp.0, cfg.phys_fp_regs, &topology, &tech),
+            ],
+            mix_energy: MixEnergy::new(fp.1, chains_per_queue, &tech),
+            meter: EnergyMeter::new(),
+            topology,
+        }
+    }
+
+    /// When the chain's last issued instruction's *result* is available:
+    /// the operation latency (L1 hit assumed for loads, though loads never
+    /// reach the FP buffers).
+    fn result_latency(&self, op: OpClass) -> u64 {
+        match op {
+            OpClass::Load => self.lat.address + self.dl1_hit,
+            op => self.lat.for_op(op),
+        }
+    }
+}
+
+impl Scheduler for MixBuff {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_dispatch(&mut self, d: &DispatchInst, now: Cycle) -> Result<(), DispatchStall> {
+        let side = d.side();
+        let em = self.energy_model[side.index()];
+        let reads = d.src_arch.iter().flatten().count() as u64;
+        self.meter
+            .add_events(Component::Qrename, reads, em.qrename_read);
+        match side {
+            Side::Int => {
+                self.int.try_dispatch(d)?;
+                self.meter.add(Component::Fifo, em.fifo_write);
+            }
+            Side::Fp => {
+                self.fp.try_dispatch(d, now)?;
+                self.meter.add(Component::Buff, self.mix_energy.buff_write);
+            }
+        }
+        self.meter.add(Component::Qrename, em.qrename_write);
+        Ok(())
+    }
+
+    fn issue_cycle(&mut self, now: Cycle, sink: &mut dyn IssueSink) {
+        // Integer side: FIFO heads, as IssueFIFO.
+        let mut candidates: Vec<(u64, usize, crate::fifo::Entry)> = Vec::new();
+        {
+            let em = self.energy_model[Side::Int.index()];
+            for (q, e) in self.int.heads() {
+                let nsrc = e.srcs.iter().flatten().count() as u64;
+                self.meter
+                    .add_events(Component::RegsReady, nsrc, em.regs_ready_read);
+                if e.srcs.iter().flatten().all(|&r| sink.is_ready(r)) {
+                    candidates.push((e.id.0, q, e));
+                }
+            }
+        }
+        candidates.sort_unstable_by_key(|c| c.0);
+        for (_, q, e) in candidates {
+            if sink.try_issue(e.id, e.op, Some((Side::Int, q))) {
+                self.int.pop_head(q);
+                let em = self.energy_model[Side::Int.index()];
+                self.meter.add(Component::Fifo, em.fifo_read);
+                let (mux, pj) = em.mux.event(e.op);
+                self.meter.add(mux, pj);
+            }
+        }
+
+        // FP side: one selection per queue per cycle.
+        let em_fp = self.energy_model[Side::Fp.index()];
+        let mut winners: Vec<(u64, usize, usize, BuffEntry)> = Vec::new();
+        for q in 0..self.fp.queues.len() {
+            let occupancy = self.fp.queues[q].len();
+            if occupancy == 0 {
+                // Empty queues power down their selection logic (the paper
+                // assumes this for MB_distr and the baseline alike).
+                continue;
+            }
+            // Chain table read+write and a selection pass happen every
+            // cycle the queue is live.
+            self.meter
+                .add(Component::Chains, self.mix_energy.chains_cycle);
+            self.meter.add(
+                Component::Select,
+                self.mix_energy
+                    .select
+                    .select_energy_pj(&TechParams::um100(), occupancy),
+            );
+            if let Some((i, e)) = self.fp.select(q, now) {
+                winners.push((e.id.0, q, i, e));
+            }
+        }
+        winners.sort_unstable_by_key(|w| w.0);
+        for (_, q, i, e) in winners {
+            // The selected instruction (one per queue) checks regs_ready.
+            let nsrc = e.srcs.iter().flatten().count() as u64;
+            self.meter
+                .add_events(Component::RegsReady, nsrc, em_fp.regs_ready_read);
+            if !e.srcs.iter().flatten().all(|&r| sink.is_ready(r)) {
+                continue; // delayed: retries with the 01 priority class
+            }
+            if sink.try_issue(e.id, e.op, Some((Side::Fp, q))) {
+                let lat = self.result_latency(e.op);
+                self.fp.issue_at(q, i, now, lat);
+                self.meter.add(Component::Buff, self.mix_energy.buff_read);
+                self.meter.add(Component::Reg, self.mix_energy.reg_write);
+                let (mux, pj) = em_fp.mux.event(e.op);
+                self.meter.add(mux, pj);
+            }
+        }
+    }
+
+    fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
+        let em = self.energy_model[dst.class().index()];
+        self.meter.add(Component::RegsReady, em.regs_ready_write);
+    }
+
+    fn on_mispredict(&mut self) {
+        self.int.clear_steering();
+        self.fp.clear_steering();
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        (self.int.len(), self.fp.len())
+    }
+
+    fn energy(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    fn fu_topology(&self) -> &FuTopology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{fp_di, BoundedSink};
+
+    fn mq() -> MixQueues {
+        MixQueues::new(2, 4, 3, true)
+    }
+
+    #[test]
+    fn chain_allocation_balances_queues() {
+        // Paper: "chain 0 from queue 0, chain 0 from queue 1, chain 1 from
+        // queue 0, chain 1 from queue 1, chain 2 from queue 0, chain 2 from
+        // queue 1".
+        let mut m = mq();
+        let mut placements = Vec::new();
+        for i in 0..6 {
+            // Independent instructions (no joinable producers).
+            let q = m
+                .try_dispatch(&fp_di(i, OpClass::FpAdd, Some(4 + i as u8), [None, None]), 0)
+                .unwrap();
+            placements.push(q);
+        }
+        assert_eq!(placements, [0, 1, 0, 1, 0, 1]);
+        // And the chains used were 0,0,1,1,2,2 in that order.
+        let chains: Vec<usize> = m
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|e| e.chain))
+            .collect();
+        assert_eq!(chains, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn dependent_joins_producer_chain() {
+        let mut m = mq();
+        let q1 = m
+            .try_dispatch(&fp_di(1, OpClass::FpMul, Some(4), [None, None]), 0)
+            .unwrap();
+        let q2 = m
+            .try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [Some(4), None]), 0)
+            .unwrap();
+        assert_eq!(q1, q2);
+        let e: Vec<_> = m.queues[q1].iter().map(|e| e.chain).collect();
+        assert_eq!(e, [0, 0], "both instructions share chain 0");
+    }
+
+    #[test]
+    fn join_requires_producer_to_be_chain_last() {
+        let mut m = mq();
+        m.try_dispatch(&fp_di(1, OpClass::FpMul, Some(4), [None, None]), 0)
+            .unwrap();
+        // Inst 2 extends the chain; r4's producer is no longer last.
+        m.try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [Some(4), None]), 0)
+            .unwrap();
+        // A second consumer of r4 cannot join; it gets a fresh chain.
+        m.try_dispatch(&fp_di(3, OpClass::FpAdd, Some(6), [Some(4), None]), 0)
+            .unwrap();
+        let chains: Vec<usize> = m
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|e| e.chain))
+            .collect();
+        // Two entries in chain 0 (queue 0) and one fresh chain 0 in queue 1.
+        assert_eq!(chains.iter().filter(|&&c| c == 0).count(), 3);
+        assert_eq!(m.queues[1].len(), 1);
+    }
+
+    #[test]
+    fn stalls_when_chains_exhausted() {
+        let mut m = MixQueues::new(1, 8, 2, true);
+        m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
+            .unwrap();
+        m.try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [None, None]), 0)
+            .unwrap();
+        let e = m
+            .try_dispatch(&fp_di(3, OpClass::FpAdd, Some(6), [None, None]), 0)
+            .unwrap_err();
+        assert_eq!(e, DispatchStall::NoFreeChain);
+    }
+
+    #[test]
+    fn chain_frees_after_drain_and_completion() {
+        let mut m = MixQueues::new(1, 8, 1, true);
+        m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
+            .unwrap();
+        let (i, e) = m.select(0, 0).expect("selectable");
+        assert_eq!(e.id, InstId(1));
+        m.issue_at(0, i, 0, 2); // result at cycle 2
+        assert!(!m.chain_free(0, 0, 1), "still in flight");
+        assert!(m.chain_free(0, 0, 2), "finished");
+    }
+
+    #[test]
+    fn selection_prefers_fresh_over_delayed() {
+        let mut m = MixQueues::new(1, 8, 2, true);
+        // Chain 0: old delayed instruction (chain ready long ago).
+        m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
+            .unwrap();
+        // Chain 1: young instruction whose chain finishes right now.
+        m.try_dispatch(&fp_di(9, OpClass::FpAdd, Some(5), [None, None]), 0)
+            .unwrap();
+        m.chains[0][0].ready = 0; // finished earlier (code 01 at now=5)
+        m.chains[0][1].ready = 5; // finishing now (code 00 at now=5)
+        let (_, e) = m.select(0, 5).expect("winner");
+        assert_eq!(e.id, InstId(9), "fresh (00) beats delayed (01)");
+    }
+
+    #[test]
+    fn blocked_chains_are_not_selected() {
+        let mut m = MixQueues::new(1, 8, 1, true);
+        m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
+            .unwrap();
+        m.chains[0][0].ready = 10;
+        assert!(m.select(0, 5).is_none(), "code 11 is never selected");
+        assert!(m.select(0, 10).is_some(), "selectable when finishing");
+    }
+
+    #[test]
+    fn full_scheduler_issues_one_per_fp_queue_per_cycle() {
+        let cfg = ProcessorConfig::hpca2004();
+        let mut s = crate::SchedulerConfig::mix_buff(4, 8, 2, 8, None).build(&cfg);
+        // Six independent FP instructions spread over 2 queues.
+        for i in 0..6 {
+            s.try_dispatch(
+                &fp_di(i, OpClass::FpAdd, Some(4 + i as u8), [None, None]),
+                0,
+            )
+            .unwrap();
+        }
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(0, &mut sink);
+        assert_eq!(
+            sink.issued.len(),
+            2,
+            "exactly one instruction per FP queue per cycle"
+        );
+    }
+
+    #[test]
+    fn not_ready_winner_blocks_its_queue_this_cycle() {
+        let cfg = ProcessorConfig::hpca2004();
+        let mut s = crate::SchedulerConfig::mix_buff(4, 8, 1, 8, None).build(&cfg);
+        // Winner (oldest) reads p40 which is not ready; the younger one is
+        // ready but loses selection — nothing issues this cycle.
+        s.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [Some(40), None]), 0)
+            .unwrap();
+        s.try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [None, None]), 0)
+            .unwrap();
+        let mut sink = BoundedSink::ready_only(&[]);
+        s.issue_cycle(0, &mut sink);
+        assert!(sink.issued.is_empty());
+        assert_eq!(s.occupancy().1, 2);
+    }
+}

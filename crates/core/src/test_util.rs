@@ -1,0 +1,94 @@
+//! Shared helpers for the scheme unit tests.
+
+use crate::{DispatchInst, IssueSink, Side};
+use diq_isa::{ArchReg, InstId, OpClass, PhysReg, RegClass};
+
+/// Builds an integer-side `DispatchInst` where architectural and physical
+/// register indices coincide (convenient for table-driven tests).
+pub(crate) fn di(id: u64, op: OpClass, dst: Option<u8>, srcs: [Option<u8>; 2]) -> DispatchInst {
+    make(RegClass::Int, id, op, dst, srcs)
+}
+
+/// Builds an FP-side `DispatchInst` (FP registers for sources/destination).
+pub(crate) fn fp_di(id: u64, op: OpClass, dst: Option<u8>, srcs: [Option<u8>; 2]) -> DispatchInst {
+    make(RegClass::Fp, id, op, dst, srcs)
+}
+
+fn make(
+    class: RegClass,
+    id: u64,
+    op: OpClass,
+    dst: Option<u8>,
+    srcs: [Option<u8>; 2],
+) -> DispatchInst {
+    let arch = |i: u8| ArchReg::new(class, i % 32);
+    let phys = |i: u8| PhysReg::new(class, u16::from(i));
+    DispatchInst {
+        id: InstId(id),
+        op,
+        dst: dst.map(phys),
+        srcs: [srcs[0].map(phys), srcs[1].map(phys)],
+        srcs_ready: [srcs[0].is_none(), srcs[1].is_none()],
+        src_arch: [srcs[0].map(arch), srcs[1].map(arch)],
+        dst_arch: dst.map(arch),
+    }
+}
+
+/// A test sink with configurable readiness and unlimited functional units.
+pub(crate) struct BoundedSink {
+    /// `None` = everything ready; otherwise the ready physical indices.
+    ready: Option<Vec<u16>>,
+    /// Accepted instructions, in acceptance order.
+    pub issued: Vec<InstId>,
+    /// Maximum acceptances per call sequence.
+    pub width: usize,
+    /// Queues the acceptances came from (side, queue).
+    pub from: Vec<Option<(Side, usize)>>,
+}
+
+impl BoundedSink {
+    pub(crate) fn all_ready() -> Self {
+        BoundedSink {
+            ready: None,
+            issued: Vec::new(),
+            width: usize::MAX,
+            from: Vec::new(),
+        }
+    }
+
+    pub(crate) fn ready_only(regs: &[u16]) -> Self {
+        BoundedSink {
+            ready: Some(regs.to_vec()),
+            issued: Vec::new(),
+            width: usize::MAX,
+            from: Vec::new(),
+        }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn with_width(width: usize) -> Self {
+        BoundedSink {
+            ready: None,
+            issued: Vec::new(),
+            width,
+            from: Vec::new(),
+        }
+    }
+}
+
+impl IssueSink for BoundedSink {
+    fn is_ready(&self, r: PhysReg) -> bool {
+        self.ready
+            .as_ref()
+            .is_none_or(|v| v.contains(&(r.index() as u16)))
+    }
+
+    fn try_issue(&mut self, inst: InstId, _op: OpClass, queue: Option<(Side, usize)>) -> bool {
+        if self.issued.len() >= self.width {
+            return false;
+        }
+        self.issued.push(inst);
+        self.from.push(queue);
+        true
+    }
+}

@@ -1,0 +1,388 @@
+//! Dynamic instructions.
+
+use crate::{ArchReg, OpClass, RegClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of one dynamic instruction within a trace (its sequence number).
+///
+/// `InstId` orders instructions in program order; the pipeline uses it for
+/// age comparisons (oldest-first selection) and as a stable key into
+/// side tables.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct InstId(pub u64);
+
+impl InstId {
+    /// The next sequence number.
+    #[must_use]
+    pub fn next(self) -> Self {
+        InstId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The memory access performed by a load or store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Effective (virtual = physical in this model) byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// What kind of control transfer a branch performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump.
+    Jump,
+    /// Subroutine call (pushes the return-address stack).
+    Call,
+    /// Subroutine return (pops the return-address stack).
+    Return,
+}
+
+/// Branch behaviour of a dynamic instruction, as recorded in the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Control-transfer kind.
+    pub kind: BranchKind,
+    /// Whether this dynamic instance was taken.
+    pub taken: bool,
+    /// The target address when taken.
+    pub target: u64,
+}
+
+/// One dynamic instruction of a trace.
+///
+/// A trace-driven simulator only needs the *timing-relevant* facts about an
+/// instruction: its operation class, register operands, memory address, and
+/// branch outcome. Values are never computed.
+///
+/// Use the typed constructors ([`Inst::int_alu`], [`Inst::load`], …) rather
+/// than building the struct by hand; they enforce the per-class field
+/// invariants (e.g. loads carry a [`MemAccess`], branches a [`BranchInfo`]).
+///
+/// # Example
+///
+/// ```
+/// use diq_isa::{ArchReg, Inst, OpClass};
+///
+/// let ld = Inst::load(ArchReg::fp(0), ArchReg::int(4), 0x1000, 8);
+/// assert_eq!(ld.op, OpClass::Load);
+/// assert_eq!(ld.mem.unwrap().addr, 0x1000);
+/// assert!(ld.validate().is_ok());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the instruction produces a value.
+    pub dst: Option<ArchReg>,
+    /// First (left) source operand.
+    pub src1: Option<ArchReg>,
+    /// Second (right) source operand.
+    pub src2: Option<ArchReg>,
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// Branch behaviour, for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Inst {
+    fn base(op: OpClass) -> Self {
+        Inst {
+            pc: 0,
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// An integer ALU operation `dst = src1 op src2`.
+    #[must_use]
+    pub fn int_alu(dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Self::base(OpClass::IntAlu)
+        }
+    }
+
+    /// An integer ALU operation with a single register source (e.g. an
+    /// immediate form).
+    #[must_use]
+    pub fn int_alu1(dst: ArchReg, src1: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            ..Self::base(OpClass::IntAlu)
+        }
+    }
+
+    /// An integer multiply `dst = src1 * src2`.
+    #[must_use]
+    pub fn int_mul(dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Self::base(OpClass::IntMul)
+        }
+    }
+
+    /// An integer divide `dst = src1 / src2` (unpipelined, 20 cycles).
+    #[must_use]
+    pub fn int_div(dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Self::base(OpClass::IntDiv)
+        }
+    }
+
+    /// A floating-point add `dst = src1 + src2`.
+    #[must_use]
+    pub fn fp_add(dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Self::base(OpClass::FpAdd)
+        }
+    }
+
+    /// A floating-point multiply `dst = src1 * src2`.
+    #[must_use]
+    pub fn fp_mul(dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Self::base(OpClass::FpMul)
+        }
+    }
+
+    /// A floating-point divide `dst = src1 / src2` (unpipelined, 12 cycles).
+    #[must_use]
+    pub fn fp_div(dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Self::base(OpClass::FpDiv)
+        }
+    }
+
+    /// A load `dst = mem[addr_reg]`, accessing byte address `addr`.
+    ///
+    /// `addr_reg` is the (integer) register consumed by address generation.
+    #[must_use]
+    pub fn load(dst: ArchReg, addr_reg: ArchReg, addr: u64, size: u8) -> Self {
+        Inst {
+            dst: Some(dst),
+            src1: Some(addr_reg),
+            mem: Some(MemAccess { addr, size }),
+            ..Self::base(OpClass::Load)
+        }
+    }
+
+    /// A store `mem[addr_reg] = data_reg`, accessing byte address `addr`.
+    #[must_use]
+    pub fn store(data_reg: ArchReg, addr_reg: ArchReg, addr: u64, size: u8) -> Self {
+        Inst {
+            src1: Some(addr_reg),
+            src2: Some(data_reg),
+            mem: Some(MemAccess { addr, size }),
+            ..Self::base(OpClass::Store)
+        }
+    }
+
+    /// A conditional branch testing `cond_reg`.
+    #[must_use]
+    pub fn branch(cond_reg: ArchReg, taken: bool, target: u64) -> Self {
+        Inst {
+            src1: Some(cond_reg),
+            branch: Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken,
+                target,
+            }),
+            ..Self::base(OpClass::Branch)
+        }
+    }
+
+    /// An unconditional control transfer of the given kind.
+    #[must_use]
+    pub fn jump(kind: BranchKind, target: u64) -> Self {
+        Inst {
+            branch: Some(BranchInfo {
+                kind,
+                taken: true,
+                target,
+            }),
+            ..Self::base(OpClass::Branch)
+        }
+    }
+
+    /// Returns `self` with the program counter set (builder-style).
+    #[must_use]
+    pub fn at(mut self, pc: u64) -> Self {
+        self.pc = pc;
+        self
+    }
+
+    /// Whether the instruction dispatches to the floating-point issue queues.
+    #[must_use]
+    pub fn is_fp_side(&self) -> bool {
+        self.op.is_fp_side()
+    }
+
+    /// Source operands that actually exist, in (left, right) order.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+
+    /// Checks the per-class field invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant:
+    /// memory ops must carry a memory access and loads a destination; branches
+    /// must carry branch info; FP arithmetic must write an FP register;
+    /// non-memory, non-branch value operations must have a destination.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.op {
+            OpClass::Load => {
+                if self.mem.is_none() {
+                    return Err("load without memory access".into());
+                }
+                if self.dst.is_none() {
+                    return Err("load without destination".into());
+                }
+            }
+            OpClass::Store => {
+                if self.mem.is_none() {
+                    return Err("store without memory access".into());
+                }
+                if self.dst.is_some() {
+                    return Err("store with destination".into());
+                }
+            }
+            OpClass::Branch => {
+                if self.branch.is_none() {
+                    return Err("branch without branch info".into());
+                }
+                if self.dst.is_some() {
+                    return Err("branch with destination".into());
+                }
+            }
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                match self.dst {
+                    Some(d) if d.class() == RegClass::Fp => {}
+                    Some(_) => return Err("fp arithmetic writing an integer register".into()),
+                    None => return Err("fp arithmetic without destination".into()),
+                }
+                if self.mem.is_some() || self.branch.is_some() {
+                    return Err("fp arithmetic with memory/branch info".into());
+                }
+            }
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv => {
+                if self.dst.is_none() {
+                    return Err("integer arithmetic without destination".into());
+                }
+                if self.mem.is_some() || self.branch.is_some() {
+                    return Err("integer arithmetic with memory/branch info".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}=")?;
+        } else {
+            write!(f, " ")?;
+        }
+        let srcs: Vec<String> = self.sources().map(|r| r.to_string()).collect();
+        write!(f, "{}", srcs.join(","))?;
+        if let Some(m) = self.mem {
+            write!(f, " @{:#x}", m.addr)?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " {}-> {:#x}", if b.taken { "T" } else { "N" }, b.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_valid_instructions() {
+        let r = ArchReg::int(1);
+        let g = ArchReg::fp(1);
+        let insts = [
+            Inst::int_alu(r, r, r),
+            Inst::int_alu1(r, r),
+            Inst::int_mul(r, r, r),
+            Inst::int_div(r, r, r),
+            Inst::fp_add(g, g, g),
+            Inst::fp_mul(g, g, g),
+            Inst::fp_div(g, g, g),
+            Inst::load(g, r, 64, 8),
+            Inst::store(g, r, 64, 8),
+            Inst::branch(r, true, 0x40),
+            Inst::jump(BranchKind::Call, 0x80),
+        ];
+        for inst in insts {
+            inst.validate().unwrap_or_else(|e| panic!("{inst}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        let g = ArchReg::fp(0);
+        let mut bad = Inst::fp_add(g, g, g);
+        bad.dst = Some(ArchReg::int(0));
+        assert!(bad.validate().is_err());
+
+        let mut no_mem = Inst::load(g, ArchReg::int(0), 0, 8);
+        no_mem.mem = None;
+        assert!(no_mem.validate().is_err());
+    }
+
+    #[test]
+    fn sources_iterates_in_order() {
+        let st = Inst::store(ArchReg::fp(2), ArchReg::int(3), 0, 8);
+        let v: Vec<_> = st.sources().collect();
+        assert_eq!(v, [ArchReg::int(3), ArchReg::fp(2)]);
+    }
+
+    #[test]
+    fn inst_id_ordering() {
+        assert!(InstId(3) < InstId(4));
+        assert_eq!(InstId(3).next(), InstId(4));
+    }
+}

@@ -1,0 +1,48 @@
+//! Instruction-set and machine-configuration model for the HPCA 2004
+//! *Low-Complexity Distributed Issue Queue* reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`OpClass`] — the operation classes of the simulated machine, with the
+//!   functional-unit kinds ([`FuKind`]) they execute on;
+//! * [`ArchReg`] / [`PhysReg`] — architectural and physical registers, split
+//!   into integer and floating-point classes ([`RegClass`]);
+//! * [`Inst`] — one dynamic instruction of a trace, with its register
+//!   operands, memory access, and branch behaviour;
+//! * [`ProcessorConfig`] — the processor parameters of the paper's Table 1,
+//!   available verbatim via [`ProcessorConfig::hpca2004`].
+//!
+//! # Example
+//!
+//! ```
+//! use diq_isa::{ArchReg, Inst, OpClass, ProcessorConfig, RegClass};
+//!
+//! let cfg = ProcessorConfig::hpca2004();
+//! assert_eq!(cfg.rob_entries, 256);
+//! assert_eq!(cfg.lat.for_op(OpClass::FpMul), 4);
+//!
+//! let r1 = ArchReg::int(1);
+//! let f2 = ArchReg::fp(2);
+//! let mul = Inst::fp_mul(f2, f2, f2);
+//! assert_eq!(mul.op, OpClass::FpMul);
+//! assert_eq!(r1.class(), RegClass::Int);
+//! ```
+
+#![deny(missing_docs)]
+
+mod config;
+mod inst;
+mod op;
+mod reg;
+
+pub use config::{TABLE1_REGISTERS, 
+    BranchConfig, CacheGeometry, FuPoolConfig, LatencyConfig, MainMemoryConfig, MemHierConfig,
+    ProcessorConfig,
+};
+pub use inst::{BranchInfo, BranchKind, Inst, InstId, MemAccess};
+pub use op::{FuKind, OpClass, ALL_FU_KINDS, ALL_OP_CLASSES};
+pub use reg::{ArchReg, PhysReg, RegClass, ARCH_REGS_PER_CLASS};
+
+/// Simulation time, measured in clock cycles since reset.
+pub type Cycle = u64;

@@ -1,0 +1,201 @@
+//! Operation classes and functional-unit kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation class of a dynamic instruction.
+///
+/// The simulated machine follows the paper's Table 1: integer ALU operations,
+/// integer multiply/divide, floating-point add (the paper's "FP ALU"),
+/// floating-point multiply/divide, loads, stores, and branches.
+///
+/// Loads and stores are *integer-side* instructions for issue purposes — the
+/// issue queue schedules their **address computation** (an integer ALU
+/// operation); the memory access itself happens after issue, as the paper's
+/// split of memory instructions into address-generation plus access describes.
+/// A load may nevertheless write a floating-point destination register.
+///
+/// # Example
+///
+/// ```
+/// use diq_isa::{FuKind, OpClass};
+///
+/// assert!(OpClass::FpMul.is_fp_side());
+/// assert!(!OpClass::Load.is_fp_side()); // loads issue from the integer side
+/// assert_eq!(OpClass::IntDiv.fu_kind(), FuKind::IntMulDiv);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (unpipelined).
+    IntDiv,
+    /// Floating-point add/subtract/compare (the paper's 2-cycle "FP ALU").
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide (unpipelined).
+    FpDiv,
+    /// Memory load; address generation on an integer ALU, then a D-cache
+    /// access.
+    Load,
+    /// Memory store; address generation on an integer ALU, data written at
+    /// commit.
+    Store,
+    /// Control transfer (conditional or unconditional).
+    Branch,
+}
+
+/// All operation classes, in a fixed order (useful for per-class statistics).
+pub const ALL_OP_CLASSES: [OpClass; 9] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::IntDiv,
+    OpClass::FpAdd,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::Branch,
+];
+
+impl OpClass {
+    /// Whether the instruction dispatches to the **floating-point** issue
+    /// queues.
+    ///
+    /// Everything else — including loads, stores and branches, whose
+    /// scheduled operation is integer address/condition computation — uses
+    /// the integer side, matching the paper's organization.
+    #[must_use]
+    pub fn is_fp_side(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// The functional-unit kind this operation executes on.
+    #[must_use]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::Load | OpClass::Store | OpClass::Branch => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+            OpClass::FpAdd => FuKind::FpAdd,
+            OpClass::FpMul | OpClass::FpDiv => FuKind::FpMulDiv,
+        }
+    }
+
+    /// Whether the operation occupies its functional unit for its whole
+    /// latency (divides are unpipelined in the simulated machine).
+    #[must_use]
+    pub fn is_unpipelined(self) -> bool {
+        matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+
+    /// Whether this is a memory operation (load or store).
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "ialu",
+            OpClass::IntMul => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "br",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of functional unit an operation executes on.
+///
+/// The paper's machine has 8 integer ALUs, 4 integer mul/div units, 4 FP
+/// adders and 4 FP mul/div units; the distributed schemes attach them to
+/// issue queues (one ALU per integer queue, one mul/div per queue pair, one
+/// FP adder + one FP mul/div per FP queue pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALU (also performs address generation and branch resolution).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMulDiv,
+    /// Floating-point adder.
+    FpAdd,
+    /// Floating-point multiplier/divider.
+    FpMulDiv,
+}
+
+/// All functional-unit kinds, in a fixed order.
+pub const ALL_FU_KINDS: [FuKind; 4] = [
+    FuKind::IntAlu,
+    FuKind::IntMulDiv,
+    FuKind::FpAdd,
+    FuKind::FpMulDiv,
+];
+
+impl FuKind {
+    /// Whether units of this kind live on the floating-point side of the
+    /// machine.
+    #[must_use]
+    pub fn is_fp_side(self) -> bool {
+        matches!(self, FuKind::FpAdd | FuKind::FpMulDiv)
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "IntALU",
+            FuKind::IntMulDiv => "IntMUL",
+            FuKind::FpAdd => "FPALU",
+            FuKind::FpMulDiv => "FPMUL",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_side_classification_matches_paper() {
+        // Only the three FP arithmetic classes use the FP queues; memory and
+        // control instructions schedule integer address/condition work.
+        let fp: Vec<_> = ALL_OP_CLASSES.iter().filter(|o| o.is_fp_side()).collect();
+        assert_eq!(fp, [&OpClass::FpAdd, &OpClass::FpMul, &OpClass::FpDiv]);
+    }
+
+    #[test]
+    fn fu_kind_mapping() {
+        assert_eq!(OpClass::Load.fu_kind(), FuKind::IntAlu);
+        assert_eq!(OpClass::Store.fu_kind(), FuKind::IntAlu);
+        assert_eq!(OpClass::Branch.fu_kind(), FuKind::IntAlu);
+        assert_eq!(OpClass::IntMul.fu_kind(), FuKind::IntMulDiv);
+        assert_eq!(OpClass::FpDiv.fu_kind(), FuKind::FpMulDiv);
+        assert_eq!(OpClass::FpAdd.fu_kind(), FuKind::FpAdd);
+    }
+
+    #[test]
+    fn only_divides_are_unpipelined() {
+        let unp: Vec<_> = ALL_OP_CLASSES
+            .iter()
+            .filter(|o| o.is_unpipelined())
+            .collect();
+        assert_eq!(unp, [&OpClass::IntDiv, &OpClass::FpDiv]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(OpClass::FpMul.to_string(), "fmul");
+        assert_eq!(FuKind::IntAlu.to_string(), "IntALU");
+    }
+}

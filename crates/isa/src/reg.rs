@@ -1,0 +1,200 @@
+//! Architectural and physical registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural registers in each class (integer and FP).
+///
+/// The machine follows the Alpha convention of 32 integer plus 32
+/// floating-point architectural registers.
+pub const ARCH_REGS_PER_CLASS: usize = 32;
+
+/// Register class: integer or floating-point.
+///
+/// The paper's machine keeps fully separate integer and FP register files,
+/// rename tables and issue queues; most structures in this workspace are
+/// therefore indexed per class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+impl RegClass {
+    /// Both classes, in a fixed order (useful for per-class tables).
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// A small dense index (0 for integer, 1 for FP) for array-of-two tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RegClass::Int => "int",
+            RegClass::Fp => "fp",
+        })
+    }
+}
+
+/// An architectural (logical) register.
+///
+/// # Example
+///
+/// ```
+/// use diq_isa::{ArchReg, RegClass};
+///
+/// let r = ArchReg::int(5);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!(ArchReg::fp(3).to_string(), "f3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    #[must_use]
+    pub fn int(index: u8) -> Self {
+        Self::new(RegClass::Int, index)
+    }
+
+    /// Creates a floating-point architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    #[must_use]
+    pub fn fp(index: u8) -> Self {
+        Self::new(RegClass::Fp, index)
+    }
+
+    /// Creates an architectural register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    #[must_use]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        assert!(
+            (index as usize) < ARCH_REGS_PER_CLASS,
+            "architectural register index {index} out of range"
+        );
+        Self { class, index }
+    }
+
+    /// The register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register number within its class (`0..ARCH_REGS_PER_CLASS`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// A dense index over *both* classes (`0..2*ARCH_REGS_PER_CLASS`),
+    /// integer registers first. Handy for flat lookup tables.
+    #[must_use]
+    pub fn flat_index(self) -> usize {
+        self.class.index() * ARCH_REGS_PER_CLASS + self.index as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+/// A physical (renamed) register.
+///
+/// Physical registers are allocated by the rename stage from per-class free
+/// lists; the paper's machine has 160 of each class. A `PhysReg` is just a
+/// typed index — the owning register file lives in `diq-pipeline`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysReg {
+    class: RegClass,
+    index: u16,
+}
+
+impl PhysReg {
+    /// Creates a physical-register handle.
+    #[must_use]
+    pub fn new(class: RegClass, index: u16) -> Self {
+        Self { class, index }
+    }
+
+    /// The register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register number within its class's physical file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "p{}", self.index),
+            RegClass::Fp => write!(f, "pf{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_is_dense_and_disjoint() {
+        let mut seen = [false; 2 * ARCH_REGS_PER_CLASS];
+        for class in RegClass::ALL {
+            for i in 0..ARCH_REGS_PER_CLASS {
+                let r = ArchReg::new(class, i as u8);
+                assert!(!seen[r.flat_index()], "duplicate flat index");
+                seen[r.flat_index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_bounds_checked() {
+        let _ = ArchReg::int(ARCH_REGS_PER_CLASS as u8);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(0).to_string(), "r0");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+        assert_eq!(PhysReg::new(RegClass::Int, 159).to_string(), "p159");
+    }
+}

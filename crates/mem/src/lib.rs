@@ -1,0 +1,190 @@
+//! The simulated memory hierarchy: L1 instruction cache, ported L1 data
+//! cache, unified L2, and main memory (Table 1 geometry).
+//!
+//! The hierarchy is a *timing* model: an access returns the number of cycles
+//! until the data is available and updates cache state (LRU fills on every
+//! miss, unlimited MSHRs — the paper's SimpleScalar configuration likewise
+//! lets independent misses overlap).
+//!
+//! # Example
+//!
+//! ```
+//! use diq_isa::MemHierConfig;
+//! use diq_mem::MemoryHierarchy;
+//!
+//! let mut mem = MemoryHierarchy::new(&MemHierConfig::default());
+//! let cold = mem.load_latency(0x8000);
+//! let warm = mem.load_latency(0x8000);
+//! assert!(cold > warm);       // first touch misses all the way to memory
+//! assert_eq!(warm, 2);        // then it is a 2-cycle D-cache hit
+//! ```
+
+#![deny(missing_docs)]
+
+mod cache;
+
+pub use cache::{Cache, CacheStats};
+
+use diq_isa::{CacheGeometry, Cycle, MemHierConfig};
+
+/// The full hierarchy of Table 1.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    il1: Cache,
+    dl1: Cache,
+    l2: Cache,
+    cfg: MemHierConfig,
+    /// D-cache port arbitration: (cycle, ports already taken that cycle).
+    dl1_port_cycle: Cycle,
+    dl1_ports_used: usize,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from its geometry.
+    #[must_use]
+    pub fn new(cfg: &MemHierConfig) -> Self {
+        MemoryHierarchy {
+            il1: Cache::new(cfg.il1),
+            dl1: Cache::new(cfg.dl1),
+            l2: Cache::new(cfg.l2),
+            cfg: *cfg,
+            dl1_port_cycle: 0,
+            dl1_ports_used: 0,
+        }
+    }
+
+    /// Latency, in cycles, of an instruction fetch at `addr`.
+    ///
+    /// A hit costs the IL1 latency; misses go through L2 and, if needed,
+    /// main memory, filling lines on the way back.
+    pub fn fetch_latency(&mut self, addr: u64) -> u64 {
+        let mut lat = self.cfg.il1.latency;
+        if !self.il1.access(addr) {
+            lat += self.level2_latency(addr);
+        }
+        lat
+    }
+
+    /// Latency, in cycles, of a data load at `addr`.
+    pub fn load_latency(&mut self, addr: u64) -> u64 {
+        let mut lat = self.cfg.dl1.latency;
+        if !self.dl1.access(addr) {
+            lat += self.level2_latency(addr);
+        }
+        lat
+    }
+
+    /// Performs a data store at `addr` (write-allocate, write-back modelled
+    /// only as a fill). Stores retire from the store buffer at commit, so no
+    /// latency is charged to the pipeline; cache state and statistics still
+    /// update.
+    pub fn store(&mut self, addr: u64) {
+        if !self.dl1.access(addr) {
+            let _ = self.level2_latency(addr);
+        }
+    }
+
+    fn level2_latency(&mut self, addr: u64) -> u64 {
+        let mut lat = self.cfg.l2.latency;
+        if !self.l2.access(addr) {
+            lat += self.cfg.main.latency_for(self.cfg.l2.line_bytes);
+        }
+        lat
+    }
+
+    /// Tries to reserve one D-cache port in `cycle`; returns `false` when
+    /// all ports (Table 1: four) are busy.
+    ///
+    /// Ports are granted in call order within a cycle, which the pipeline
+    /// invokes oldest-instruction-first.
+    pub fn try_reserve_dl1_port(&mut self, cycle: Cycle) -> bool {
+        if cycle != self.dl1_port_cycle {
+            self.dl1_port_cycle = cycle;
+            self.dl1_ports_used = 0;
+        }
+        let limit = self.cfg.dl1.ports;
+        if limit == 0 || self.dl1_ports_used < limit {
+            self.dl1_ports_used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Instruction-cache statistics.
+    #[must_use]
+    pub fn il1_stats(&self) -> CacheStats {
+        self.il1.stats()
+    }
+
+    /// Data-cache statistics.
+    #[must_use]
+    pub fn dl1_stats(&self) -> CacheStats {
+        self.dl1.stats()
+    }
+
+    /// Unified L2 statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Geometry this hierarchy was built from.
+    #[must_use]
+    pub fn config(&self) -> &MemHierConfig {
+        &self.cfg
+    }
+
+    /// The L1 data-cache geometry (used by issue-time estimation, which
+    /// assumes hit latency for loads).
+    #[must_use]
+    pub fn dl1_geometry(&self) -> CacheGeometry {
+        self.cfg.dl1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(&MemHierConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_warm_hit_latencies() {
+        let mut m = hier();
+        // Cold: 2 (dl1) + 10 (l2) + 100 (memory, one 64-byte line) = 112.
+        assert_eq!(m.load_latency(0x4000), 112);
+        assert_eq!(m.load_latency(0x4000), 2);
+        // Same L2 line (64 B) but different DL1 line (32 B): L2 hit.
+        assert_eq!(m.load_latency(0x4000 + 32), 2 + 10);
+    }
+
+    #[test]
+    fn fetch_uses_il1() {
+        let mut m = hier();
+        assert_eq!(m.fetch_latency(0x100), 1 + 10 + 100);
+        assert_eq!(m.fetch_latency(0x100), 1);
+        assert_eq!(m.il1_stats().accesses, 2);
+        assert_eq!(m.il1_stats().hits, 1);
+    }
+
+    #[test]
+    fn port_arbitration_limits_per_cycle() {
+        let mut m = hier();
+        for _ in 0..4 {
+            assert!(m.try_reserve_dl1_port(7));
+        }
+        assert!(!m.try_reserve_dl1_port(7), "fifth port grant must fail");
+        assert!(m.try_reserve_dl1_port(8), "new cycle resets ports");
+    }
+
+    #[test]
+    fn stores_update_cache_state() {
+        let mut m = hier();
+        m.store(0x9000);
+        assert_eq!(m.load_latency(0x9000), 2, "store should have filled DL1");
+        assert_eq!(m.dl1_stats().accesses, 2);
+    }
+}

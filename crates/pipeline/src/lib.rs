@@ -1,0 +1,746 @@
+//! The cycle-level out-of-order superscalar core (the SimpleScalar role).
+//!
+//! An 8-wide machine with the paper's Table 1 resources: hybrid branch
+//! prediction, a 64-entry fetch queue, register renaming over 160+160
+//! physical registers, a 256-entry reorder buffer, a load/store queue with
+//! conservative disambiguation and store-forwarding, the Table 1 functional
+//! units (shared or queue-distributed), and a two-level cache hierarchy.
+//! The issue stage is pluggable: any [`diq_core::Scheduler`] — the CAM
+//! baseline or any of the paper's schemes — runs on an otherwise identical
+//! substrate.
+//!
+//! Stages execute in reverse pipeline order each cycle (commit, writeback,
+//! memory, issue, dispatch/rename, fetch) so that a value produced with
+//! latency *L* by an instruction issued at cycle *T* can feed a dependent
+//! issuing at cycle *T + L* — a full bypass network.
+//!
+//! Mispredicted branches stall fetch until they resolve (the simulator does
+//! not execute wrong-path instructions; see DESIGN.md), then redirect after
+//! the configured penalty.
+//!
+//! # Example
+//!
+//! ```
+//! use diq_core::SchedulerConfig;
+//! use diq_isa::ProcessorConfig;
+//! use diq_pipeline::Simulator;
+//! use diq_workload::kernels;
+//!
+//! let cfg = ProcessorConfig::hpca2004();
+//! let spec = kernels::parallel_fp_chains(12, 4);
+//! let trace = spec.generate(2_000);
+//! let mut sim = Simulator::new(&cfg, &SchedulerConfig::mb_distr());
+//! let stats = sim.run(trace.into_iter(), 2_000);
+//! assert_eq!(stats.committed, 2_000);
+//! assert_eq!(stats.checker_violations, 0);
+//! assert!(stats.ipc() > 0.5);
+//! ```
+
+#![deny(missing_docs)]
+
+mod exec;
+mod lsq;
+mod rename;
+mod stats;
+
+pub use lsq::{LoadAction, Lsq};
+pub use rename::RenameState;
+pub use stats::SimStats;
+
+use diq_branch::{BranchUnit, Prediction};
+use diq_core::{DispatchInst, FuTopology, Scheduler, SchedulerConfig};
+use diq_isa::{BranchInfo, Cycle, Inst, InstId, MemAccess, OpClass, PhysReg, ProcessorConfig};
+use diq_mem::MemoryHierarchy;
+use exec::{CycleSink, EventKind, EventQueue, FuState};
+use std::collections::{HashMap, VecDeque};
+
+/// An instruction sitting in the fetch queue.
+#[derive(Clone, Copy, Debug)]
+struct Fetched {
+    id: InstId,
+    inst: Inst,
+    pred: Option<Prediction>,
+    mispredicted: bool,
+}
+
+/// Reorder-buffer entry.
+#[derive(Clone, Copy, Debug)]
+struct RobEntry {
+    id: InstId,
+    completed: bool,
+    prev_mapping: Option<PhysReg>,
+    is_mem: bool,
+    is_store: bool,
+    mem_addr: u64,
+    is_fp: bool,
+}
+
+/// Per-instruction execution context, dispatch through commit.
+#[derive(Clone, Copy, Debug)]
+struct Inflight {
+    op: OpClass,
+    dst: Option<PhysReg>,
+    srcs: [Option<PhysReg>; 2],
+    mem: Option<MemAccess>,
+    branch: Option<(BranchInfo, Prediction, bool)>,
+    /// Store data register: not an issue condition (stores issue once the
+    /// address operand is ready, as in SimpleScalar), but the store cannot
+    /// complete until the data exists.
+    store_data: Option<PhysReg>,
+    pc: u64,
+}
+
+/// Cycles without a commit after which the simulator declares deadlock
+/// (always indicates a scheme/pipeline bug; surfaced loudly for tests).
+const DEADLOCK_LIMIT: u64 = 100_000;
+
+/// The out-of-order core.
+pub struct Simulator {
+    cfg: ProcessorConfig,
+    sched: Box<dyn Scheduler>,
+    topology: FuTopology,
+    bp: BranchUnit,
+    mem: MemoryHierarchy,
+    rename: RenameState,
+    lsq: Lsq,
+    fu: FuState,
+    events: EventQueue,
+    rob: VecDeque<RobEntry>,
+    fetch_queue: VecDeque<Fetched>,
+    inflight: HashMap<u64, Inflight>,
+    /// Stores whose address generation finished but whose data register is
+    /// still pending.
+    stores_waiting_data: Vec<(InstId, PhysReg)>,
+    now: Cycle,
+    next_id: u64,
+    fetch_stalled_until: Cycle,
+    waiting_mispredict: bool,
+    last_fetch_line: u64,
+    /// Instruction whose I-cache line is still in flight.
+    pending_fetch: Option<Inst>,
+    last_commit_at: Cycle,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Builds a fresh machine with the given processor configuration and
+    /// issue scheme.
+    #[must_use]
+    pub fn new(cfg: &ProcessorConfig, sched_cfg: &SchedulerConfig) -> Self {
+        let sched = sched_cfg.build(cfg);
+        let topology = sched.fu_topology().clone();
+        let fu = FuState::new(&topology);
+        let stats = SimStats::new(sched.name(), "");
+        Simulator {
+            cfg: *cfg,
+            sched,
+            topology,
+            bp: BranchUnit::new(&cfg.branch),
+            mem: MemoryHierarchy::new(&cfg.mem),
+            rename: RenameState::new(cfg),
+            lsq: Lsq::new(),
+            fu,
+            events: EventQueue::new(),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
+            inflight: HashMap::new(),
+            stores_waiting_data: Vec::new(),
+            now: 0,
+            next_id: 0,
+            fetch_stalled_until: 0,
+            waiting_mispredict: false,
+            last_fetch_line: u64::MAX,
+            pending_fetch: None,
+            last_commit_at: 0,
+            stats,
+        }
+    }
+
+    /// Runs until `commit_target` instructions commit (or the trace drains,
+    /// whichever comes first) and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops committing for 100 000 cycles — a
+    /// scheduling deadlock, which is always a bug worth failing loudly on.
+    pub fn run<I>(&mut self, trace: I, commit_target: u64) -> SimStats
+    where
+        I: IntoIterator<Item = Inst>,
+    {
+        let mut trace = trace.into_iter();
+        let mut trace_done = false;
+        while self.stats.committed < commit_target {
+            self.cycle(&mut trace, &mut trace_done);
+            if trace_done
+                && self.rob.is_empty()
+                && self.fetch_queue.is_empty()
+                && self.pending_fetch.is_none()
+            {
+                break;
+            }
+            assert!(
+                self.now - self.last_commit_at < DEADLOCK_LIMIT,
+                "deadlock: no commit since cycle {} (now {}, scheme {}, rob {}, iq {:?}, next event {:?})",
+                self.last_commit_at,
+                self.now,
+                self.sched.name(),
+                self.rob.len(),
+                self.sched.occupancy(),
+                self.events.next_at(),
+            );
+        }
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    /// Names the workload in the produced statistics.
+    pub fn set_benchmark(&mut self, name: &str) {
+        self.stats.benchmark = name.to_string();
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.now;
+        self.stats.branch = self.bp.stats();
+        self.stats.il1 = self.mem.il1_stats();
+        self.stats.dl1 = self.mem.dl1_stats();
+        self.stats.l2 = self.mem.l2_stats();
+        self.stats.energy = self.sched.energy().clone();
+        self.stats.lsq_forwards = self.lsq.forwards;
+    }
+
+    fn rob_entry_mut(&mut self, id: InstId) -> &mut RobEntry {
+        let base = self.rob.front().expect("rob non-empty").id.0;
+        let idx = (id.0 - base) as usize;
+        &mut self.rob[idx]
+    }
+
+    fn cycle<I>(&mut self, trace: &mut I, trace_done: &mut bool)
+    where
+        I: Iterator<Item = Inst>,
+    {
+        self.commit_stage();
+        self.writeback_stage();
+        self.memory_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage(trace, trace_done);
+        let (oi, of) = self.sched.occupancy();
+        self.stats.occupancy_int.record(oi as u64);
+        self.stats.occupancy_fp.record(of as u64);
+        self.now += 1;
+    }
+
+    // ---- commit ------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed {
+                break;
+            }
+            let head = *head;
+            self.rob.pop_front();
+            if head.is_mem {
+                if head.is_store {
+                    self.mem.store(head.mem_addr);
+                }
+                self.lsq.pop(head.id);
+            }
+            if let Some(prev) = head.prev_mapping {
+                self.rename.release(prev);
+            }
+            self.inflight.remove(&head.id.0);
+            self.stats.committed += 1;
+            if head.is_fp {
+                self.stats.committed_fp += 1;
+            }
+            self.last_commit_at = self.now;
+        }
+    }
+
+    // ---- writeback ----------------------------------------------------
+
+    fn writeback_stage(&mut self) {
+        for (id, kind) in self.events.due(self.now) {
+            match kind {
+                EventKind::Complete => {
+                    let info = self.inflight[&id.0];
+                    if let Some(dst) = info.dst {
+                        self.rename.set_ready(dst, self.now);
+                        self.sched.on_result(dst, self.now);
+                    }
+                    if info.op == OpClass::Store {
+                        // Address generation done; completion additionally
+                        // needs the data value.
+                        self.lsq.store_addr_done(id);
+                        let data = info.store_data.expect("store has data source");
+                        if self.rename.is_ready(data, self.now) {
+                            self.lsq.store_data_ready(id);
+                            self.rob_entry_mut(id).completed = true;
+                        } else {
+                            self.stores_waiting_data.push((id, data));
+                        }
+                    } else {
+                        self.rob_entry_mut(id).completed = true;
+                    }
+                }
+                EventKind::BranchResolve => {
+                    let info = self.inflight[&id.0];
+                    let (actual, pred, mispredicted) =
+                        info.branch.expect("branch info present");
+                    self.bp.resolve(info.pc, &pred, &actual);
+                    if mispredicted {
+                        self.sched.on_mispredict();
+                        self.stats.mispredict_redirects += 1;
+                        self.fetch_stalled_until = self
+                            .fetch_stalled_until
+                            .max(self.now + 1 + self.cfg.mispredict_redirect);
+                        self.waiting_mispredict = false;
+                    }
+                    self.rob_entry_mut(id).completed = true;
+                }
+                EventKind::LoadAddrDone => {
+                    self.lsq.load_addr_done(id);
+                }
+            }
+        }
+        // Stores whose data arrived this cycle (or earlier) complete now.
+        if !self.stores_waiting_data.is_empty() {
+            let now = self.now;
+            let mut done: Vec<InstId> = Vec::new();
+            self.stores_waiting_data.retain(|&(id, data)| {
+                if self.rename.is_ready(data, now) {
+                    done.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            for id in done {
+                self.lsq.store_data_ready(id);
+                self.rob_entry_mut(id).completed = true;
+            }
+        }
+    }
+
+    // ---- memory -------------------------------------------------------
+
+    fn memory_stage(&mut self) {
+        for id in self.lsq.pending_loads() {
+            match self.lsq.load_action(id) {
+                LoadAction::Wait => {}
+                LoadAction::Forward => {
+                    self.lsq.load_started(id, true);
+                    self.events.schedule(self.now + 1, id, EventKind::Complete);
+                }
+                LoadAction::Access => {
+                    if self.mem.try_reserve_dl1_port(self.now) {
+                        let addr = self.inflight[&id.0].mem.expect("load has address").addr;
+                        let lat = self.mem.load_latency(addr);
+                        self.lsq.load_started(id, false);
+                        self.events
+                            .schedule(self.now + lat, id, EventKind::Complete);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- issue --------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let lat_cfg = self.cfg.lat;
+        let latency_of = move |op: OpClass| lat_cfg.for_op(op);
+        let accepted = {
+            let mut sink = CycleSink::new(
+                self.now,
+                &self.rename,
+                &self.topology,
+                &mut self.fu,
+                (self.cfg.issue_width_int, self.cfg.issue_width_fp),
+                &latency_of,
+            );
+            self.sched.issue_cycle(self.now, &mut sink);
+            sink.accepted
+        };
+        for issued in accepted {
+            let info = self.inflight[&issued.id.0];
+            // Dataflow checker: every source value must be available now.
+            for src in info.srcs.into_iter().flatten() {
+                if !self.rename.is_ready(src, self.now) {
+                    self.stats.checker_violations += 1;
+                }
+            }
+            self.stats.issued += 1;
+            let lat = self.cfg.lat.for_op(issued.op);
+            match issued.op {
+                OpClass::Branch => {
+                    self.events
+                        .schedule(self.now + lat, issued.id, EventKind::BranchResolve);
+                }
+                OpClass::Load => {
+                    self.events
+                        .schedule(self.now + lat, issued.id, EventKind::LoadAddrDone);
+                }
+                _ => {
+                    // Stores complete after address generation (data was
+                    // ready at issue); arithmetic completes after its unit
+                    // latency.
+                    self.events
+                        .schedule(self.now + lat, issued.id, EventKind::Complete);
+                }
+            }
+        }
+    }
+
+    // ---- dispatch / rename ---------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        let mut stalled = false;
+        for _ in 0..self.cfg.decode_width {
+            let Some(fetched) = self.fetch_queue.front().copied() else {
+                break;
+            };
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.stats.bump_stall("rob_full");
+                stalled = true;
+                break;
+            }
+            let inst = fetched.inst;
+            if let Some(dst) = inst.dst {
+                if self.rename.peek_allocate(dst.class()).is_none() {
+                    self.stats.bump_stall("no_phys_reg");
+                    stalled = true;
+                    break;
+                }
+            }
+            // Sources are renamed against the *current* map (before the
+            // destination is remapped — `r3 = r3 + 1` reads the old r3).
+            let renamed = [
+                inst.src1.map(|r| self.rename.lookup(r)),
+                inst.src2.map(|r| self.rename.lookup(r)),
+            ];
+            // Stores issue on their *address* operand alone (src1); the data
+            // value (src2) is only needed for completion. The scheduler
+            // therefore never sees a store's data source.
+            let is_store = inst.op == OpClass::Store;
+            let srcs = if is_store { [renamed[0], None] } else { renamed };
+            let src_arch = if is_store {
+                [inst.src1, None]
+            } else {
+                [inst.src1, inst.src2]
+            };
+            let srcs_ready = [
+                srcs[0].is_none_or(|r| self.rename.is_ready(r, self.now)),
+                srcs[1].is_none_or(|r| self.rename.is_ready(r, self.now)),
+            ];
+            let dst_peek = inst
+                .dst
+                .map(|d| self.rename.peek_allocate(d.class()).expect("checked"));
+            let di = DispatchInst {
+                id: fetched.id,
+                op: inst.op,
+                dst: dst_peek,
+                srcs,
+                srcs_ready,
+                src_arch,
+                dst_arch: inst.dst,
+            };
+            if let Err(reason) = self.sched.try_dispatch(&di, self.now) {
+                self.stats.bump_stall(match reason {
+                    diq_core::DispatchStall::QueueFull => "queue_full",
+                    diq_core::DispatchStall::NoEmptyQueue => "no_empty_queue",
+                    diq_core::DispatchStall::NoFreeChain => "no_free_chain",
+                    diq_core::DispatchStall::Full => "iq_full",
+                });
+                stalled = true;
+                break;
+            }
+            // Commit the dispatch.
+            self.fetch_queue.pop_front();
+            let prev_mapping = inst.dst.map(|d| {
+                let (new, prev) = self.rename.allocate(d);
+                debug_assert_eq!(Some(new), dst_peek);
+                prev
+            });
+            self.rob.push_back(RobEntry {
+                id: fetched.id,
+                completed: false,
+                prev_mapping,
+                is_mem: inst.op.is_mem(),
+                is_store: inst.op == OpClass::Store,
+                mem_addr: inst.mem.map_or(0, |m| m.addr),
+                is_fp: inst.op.is_fp_side(),
+            });
+            if inst.op.is_mem() {
+                self.lsq
+                    .push(fetched.id, inst.op == OpClass::Store, inst.mem.unwrap().addr);
+            }
+            self.inflight.insert(
+                fetched.id.0,
+                Inflight {
+                    op: inst.op,
+                    dst: dst_peek,
+                    srcs,
+                    mem: inst.mem,
+                    branch: inst
+                        .branch
+                        .map(|b| (b, fetched.pred.expect("branch predicted"), fetched.mispredicted)),
+                    store_data: if is_store { renamed[1] } else { None },
+                    pc: inst.pc,
+                },
+            );
+        }
+        if stalled {
+            self.stats.dispatch_stall_cycles += 1;
+        }
+    }
+
+    // ---- fetch ----------------------------------------------------------
+
+    fn fetch_stage<I>(&mut self, trace: &mut I, trace_done: &mut bool)
+    where
+        I: Iterator<Item = Inst>,
+    {
+        if self.waiting_mispredict || self.now < self.fetch_stalled_until {
+            return;
+        }
+        let line_shift = self.cfg.mem.il1.line_bytes.trailing_zeros();
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() >= self.cfg.fetch_queue {
+                break;
+            }
+            let inst = match self.pending_fetch.take() {
+                Some(i) => i,
+                None => {
+                    let Some(i) = trace.next() else {
+                        *trace_done = true;
+                        break;
+                    };
+                    i
+                }
+            };
+            // Instruction cache: one probe per new line touched.
+            let line = inst.pc >> line_shift;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                let lat = self.mem.fetch_latency(inst.pc);
+                if lat > self.cfg.mem.il1.latency {
+                    // Miss: the instruction arrives when its line does.
+                    self.fetch_stalled_until = self.now + lat;
+                    self.pending_fetch = Some(inst);
+                    break;
+                }
+            }
+            let id = InstId(self.next_id);
+            self.next_id += 1;
+            let mut fetched = Fetched {
+                id,
+                inst,
+                pred: None,
+                mispredicted: false,
+            };
+            let mut taken = false;
+            if let Some(actual) = inst.branch {
+                let pred = self.bp.predict(inst.pc, actual.kind);
+                let correct = pred.taken == actual.taken
+                    && (!actual.taken || pred.target == Some(actual.target));
+                fetched.pred = Some(pred);
+                fetched.mispredicted = !correct;
+                taken = actual.taken;
+            }
+            let mispredicted = fetched.mispredicted;
+            self.fetch_queue.push_back(fetched);
+            if mispredicted {
+                // Fetch has no correct-path instructions until resolution.
+                self.waiting_mispredict = true;
+                break;
+            }
+            if taken || self.now < self.fetch_stalled_until {
+                // Cannot fetch past a taken branch in the same cycle, and an
+                // I-cache miss ends the fetch group.
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diq_isa::ArchReg;
+
+    fn cfg() -> ProcessorConfig {
+        ProcessorConfig::hpca2004()
+    }
+
+    fn run_insts(sched: &SchedulerConfig, insts: Vec<Inst>) -> SimStats {
+        let n = insts.len() as u64;
+        let mut sim = Simulator::new(&cfg(), sched);
+        sim.set_benchmark("unit");
+        sim.run(insts, n)
+    }
+
+    /// Loop-like PCs so the I-cache warms up after one block (the synthetic
+    /// workloads loop the same way; linear never-repeating PCs would make
+    /// every test I-cache-bound).
+    fn loop_pc(i: u64) -> u64 {
+        0x400_000 + (i % 16) * 4
+    }
+
+    /// A serial chain of N dependent adds takes ~N cycles on any scheme.
+    #[test]
+    fn serial_chain_is_latency_bound() {
+        let r = ArchReg::int(8);
+        for sc in [
+            SchedulerConfig::unbounded_baseline(),
+            SchedulerConfig::iq_64_64(),
+            SchedulerConfig::issue_fifo(8, 8, 8, 16),
+            SchedulerConfig::mb_distr(),
+        ] {
+            let insts: Vec<Inst> = (0..200)
+                .map(|i| Inst::int_alu(r, r, r).at(loop_pc(i)))
+                .collect();
+            let stats = run_insts(&sc, insts);
+            assert_eq!(stats.committed, 200, "{}", sc.label());
+            assert_eq!(stats.checker_violations, 0);
+            assert!(
+                stats.cycles >= 200,
+                "{}: serial chain finished impossibly fast ({} cycles)",
+                sc.label(),
+                stats.cycles
+            );
+            // ~200 chain cycles + one cold I-cache line + pipeline fill.
+            assert!(
+                stats.cycles < 200 + 160,
+                "{}: serial chain should sustain ~1 IPC, took {}",
+                sc.label(),
+                stats.cycles
+            );
+        }
+    }
+
+    /// Independent instructions reach the issue width on the wide baseline.
+    #[test]
+    fn independent_instructions_run_wide() {
+        let insts: Vec<Inst> = (0..4000)
+            .map(|i| {
+                let r = ArchReg::int(8 + (i % 8) as u8);
+                Inst::int_alu(r, ArchReg::int(0), ArchReg::int(7)).at(loop_pc(i))
+            })
+            .collect();
+        let stats = run_insts(&SchedulerConfig::unbounded_baseline(), insts);
+        assert_eq!(stats.committed, 4000);
+        assert!(
+            stats.ipc() > 5.0,
+            "independent ALU ops should flow near fetch width, got {}",
+            stats.ipc()
+        );
+    }
+
+    /// FP dependent pairs issue back-to-back: a chain of fp_mul (latency 4)
+    /// runs at one instruction per 4 cycles.
+    #[test]
+    fn fp_chain_runs_at_unit_latency() {
+        let f = ArchReg::fp(4);
+        let insts: Vec<Inst> = (0..100)
+            .map(|i| Inst::fp_mul(f, f, f).at(loop_pc(i)))
+            .collect();
+        let stats = run_insts(&SchedulerConfig::unbounded_baseline(), insts);
+        assert_eq!(stats.committed, 100);
+        let expected = 4 * 100;
+        let slack = 160; // cold I-line + pipeline fill
+        assert!(
+            stats.cycles >= expected as u64 && stats.cycles < expected as u64 + slack,
+            "100 chained multiplies should take ~{expected} cycles, took {}",
+            stats.cycles
+        );
+    }
+
+    /// Loads see the cache: a second pass over a small array is faster.
+    #[test]
+    fn warm_loads_outrun_cold_loads() {
+        let make = |rounds: usize| -> Vec<Inst> {
+            let mut v = Vec::new();
+            for r in 0..rounds {
+                for i in 0..64u64 {
+                    v.push(
+                        Inst::load(ArchReg::fp(4 + (i % 8) as u8), ArchReg::int(1), i * 32, 8)
+                            .at(loop_pc(r as u64 * 64 + i)),
+                    );
+                }
+            }
+            v
+        };
+        let cold = run_insts(&SchedulerConfig::unbounded_baseline(), make(1));
+        let warm = run_insts(&SchedulerConfig::unbounded_baseline(), make(4));
+        // Per-load cost should drop sharply once lines are resident.
+        let cold_per = cold.cycles as f64 / 64.0;
+        let warm_per = warm.cycles as f64 / (4.0 * 64.0);
+        assert!(
+            warm_per < cold_per / 1.5,
+            "warm {warm_per} vs cold {cold_per} cycles/load"
+        );
+    }
+
+    /// Store→load forwarding works and beats a cache miss.
+    #[test]
+    fn store_load_forwarding() {
+        // store f4 -> [A]; load f5 <- [A] (same dword)
+        let insts = vec![
+            Inst::store(ArchReg::fp(4), ArchReg::int(1), 0x5000, 8).at(loop_pc(0)),
+            Inst::load(ArchReg::fp(5), ArchReg::int(2), 0x5000, 8).at(loop_pc(1)),
+        ];
+        let stats = run_insts(&SchedulerConfig::unbounded_baseline(), insts);
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.lsq_forwards, 1);
+    }
+
+    /// Unpredictable branches cost cycles.
+    #[test]
+    fn mispredicts_redirect_fetch() {
+        // Alternate taken/not-taken from one site with random noise — some
+        // mispredictions must occur and be charged.
+        let mut insts = Vec::new();
+        for i in 0..500u64 {
+            insts.push(
+                Inst::branch(ArchReg::int(5), i % 3 == 0, 0x400_100).at(0x400_000 + (i % 7) * 4),
+            );
+        }
+        let stats = run_insts(&SchedulerConfig::unbounded_baseline(), insts);
+        assert_eq!(stats.committed, 500);
+        assert!(stats.mispredict_redirects > 0);
+        assert!(stats.branch.lookups == 500);
+    }
+
+    /// The machine drains cleanly when the trace is shorter than the target.
+    #[test]
+    fn drains_short_trace() {
+        let r = ArchReg::int(8);
+        let insts = vec![Inst::int_alu(r, r, r).at(0x400_000); 10];
+        let mut sim = Simulator::new(&cfg(), &SchedulerConfig::mb_distr());
+        let stats = sim.run(insts, 1_000_000);
+        assert_eq!(stats.committed, 10);
+    }
+
+    /// All schemes agree on committed-instruction dataflow (checker clean)
+    /// across a mixed workload.
+    #[test]
+    fn all_schemes_pass_dataflow_checker_on_mixed_workload() {
+        let spec = diq_workload::suite::by_name("equake").unwrap();
+        let trace = spec.generate(4_000);
+        for sc in [
+            SchedulerConfig::unbounded_baseline(),
+            SchedulerConfig::iq_64_64(),
+            SchedulerConfig::issue_fifo(8, 8, 8, 16),
+            SchedulerConfig::lat_fifo(8, 8, 8, 16),
+            SchedulerConfig::mb_distr(),
+            SchedulerConfig::if_distr(),
+        ] {
+            let mut sim = Simulator::new(&cfg(), &sc);
+            let stats = sim.run(trace.clone(), 4_000);
+            assert_eq!(stats.committed, 4_000, "{}", sc.label());
+            assert_eq!(stats.checker_violations, 0, "{}", sc.label());
+        }
+    }
+}

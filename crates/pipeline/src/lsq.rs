@@ -1,0 +1,267 @@
+//! Load/store queue: program-order memory disambiguation with
+//! store-to-load forwarding.
+//!
+//! Loads are split into address generation (issued by the scheduler onto an
+//! integer ALU) and the memory access, which may start only once every
+//! older store's address is known — the conservative policy the paper's
+//! `AllStoreAddr` estimation mirrors. A load whose address matches an older
+//! store forwards the store's data instead of accessing the cache.
+
+use diq_isa::InstId;
+use std::collections::VecDeque;
+
+/// Word granularity used for matching (8-byte aligned, as the synthetic
+/// traces issue 8-byte accesses).
+fn dword(addr: u64) -> u64 {
+    addr >> 3
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemState {
+    /// Waiting for issue / address generation.
+    WaitAddr,
+    /// (Loads) address known; waiting for disambiguation, a port, or data.
+    WaitMem,
+    /// Access in flight or complete.
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LsqEntry {
+    id: InstId,
+    is_store: bool,
+    addr: u64,
+    state: MemState,
+    /// Store address generation finished (younger loads may disambiguate).
+    addr_known: bool,
+    /// Store data value available (younger loads may forward).
+    data_ready: bool,
+}
+
+/// The load/store queue.
+#[derive(Clone, Debug, Default)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    /// Forwarding statistics.
+    pub forwards: u64,
+}
+
+/// What a load in the memory phase should do this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadAction {
+    /// Blocked: an older store's address is unknown, or a matching older
+    /// store's data is not complete yet.
+    Wait,
+    /// Forward from a completed matching store: result next cycle, no cache
+    /// access.
+    Forward,
+    /// Access the data cache.
+    Access,
+}
+
+impl Lsq {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an entry at dispatch (program order).
+    pub fn push(&mut self, id: InstId, is_store: bool, addr: u64) {
+        self.entries.push_back(LsqEntry {
+            id,
+            is_store,
+            addr,
+            state: MemState::WaitAddr,
+            addr_known: false,
+            data_ready: false,
+        });
+    }
+
+    fn entry_mut(&mut self, id: InstId) -> &mut LsqEntry {
+        self.entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .expect("LSQ entry exists")
+    }
+
+    /// A store finished address generation: younger loads can disambiguate
+    /// against it.
+    pub fn store_addr_done(&mut self, id: InstId) {
+        let e = self.entry_mut(id);
+        debug_assert!(e.is_store);
+        e.addr_known = true;
+        if e.data_ready {
+            e.state = MemState::Done;
+        }
+    }
+
+    /// A store's data value became available: younger matching loads can
+    /// forward from it.
+    pub fn store_data_ready(&mut self, id: InstId) {
+        let e = self.entry_mut(id);
+        debug_assert!(e.is_store);
+        e.data_ready = true;
+        if e.addr_known {
+            e.state = MemState::Done;
+        }
+    }
+
+    /// A load finished address generation: it enters the memory phase.
+    pub fn load_addr_done(&mut self, id: InstId) {
+        let e = self.entry_mut(id);
+        debug_assert!(!e.is_store);
+        e.state = MemState::WaitMem;
+    }
+
+    /// Loads currently in the memory phase, oldest first.
+    #[must_use]
+    pub fn pending_loads(&self) -> Vec<InstId> {
+        self.entries
+            .iter()
+            .filter(|e| !e.is_store && e.state == MemState::WaitMem)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Decides what load `id` may do this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a load in the memory phase.
+    #[must_use]
+    pub fn load_action(&self, id: InstId) -> LoadAction {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.id == id)
+            .expect("load in LSQ");
+        let load = &self.entries[pos];
+        assert!(!load.is_store && load.state == MemState::WaitMem);
+        let mut forward = false;
+        for e in self.entries.iter().take(pos) {
+            if !e.is_store {
+                continue;
+            }
+            if !e.addr_known {
+                // Unknown older store address: conservative wait.
+                return LoadAction::Wait;
+            }
+            if dword(e.addr) == dword(load.addr) {
+                if !e.data_ready {
+                    // The matching store's value does not exist yet.
+                    return LoadAction::Wait;
+                }
+                forward = true; // youngest older match wins; keep scanning
+            }
+        }
+        if forward {
+            LoadAction::Forward
+        } else {
+            LoadAction::Access
+        }
+    }
+
+    /// Marks a load's access as started (it will complete via the event
+    /// queue) and counts forwarding.
+    pub fn load_started(&mut self, id: InstId, forwarded: bool) {
+        if forwarded {
+            self.forwards += 1;
+        }
+        self.entry_mut(id).state = MemState::Done;
+    }
+
+    /// Removes the (oldest) entry at commit.
+    pub fn pop(&mut self, id: InstId) {
+        debug_assert_eq!(self.entries.front().map(|e| e.id), Some(id));
+        self.entries.pop_front();
+    }
+
+    /// Live entries (diagnostics).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_waits_for_older_store_address() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), true, 0x100);
+        lsq.push(InstId(2), false, 0x200);
+        lsq.load_addr_done(InstId(2));
+        assert_eq!(lsq.load_action(InstId(2)), LoadAction::Wait);
+        lsq.store_addr_done(InstId(1));
+        assert_eq!(lsq.load_action(InstId(2)), LoadAction::Access);
+    }
+
+    #[test]
+    fn matching_store_forwards() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), true, 0x100);
+        lsq.push(InstId(2), false, 0x100);
+        lsq.store_addr_done(InstId(1));
+        lsq.load_addr_done(InstId(2));
+        // Address known but data still pending: the load must wait…
+        assert_eq!(lsq.load_action(InstId(2)), LoadAction::Wait);
+        lsq.store_data_ready(InstId(1));
+        // …then forward once the value exists.
+        assert_eq!(lsq.load_action(InstId(2)), LoadAction::Forward);
+        lsq.load_started(InstId(2), true);
+        assert_eq!(lsq.forwards, 1);
+    }
+
+    #[test]
+    fn younger_stores_do_not_affect_loads() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), false, 0x100);
+        lsq.push(InstId(2), true, 0x100); // younger store
+        lsq.load_addr_done(InstId(1));
+        assert_eq!(lsq.load_action(InstId(1)), LoadAction::Access);
+    }
+
+    #[test]
+    fn word_granularity_matching() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), true, 0x100);
+        lsq.push(InstId(2), false, 0x104); // same 8-byte word
+        lsq.push(InstId(3), false, 0x108); // next word
+        lsq.store_addr_done(InstId(1));
+        lsq.store_data_ready(InstId(1));
+        lsq.load_addr_done(InstId(2));
+        lsq.load_addr_done(InstId(3));
+        assert_eq!(lsq.load_action(InstId(2)), LoadAction::Forward);
+        assert_eq!(lsq.load_action(InstId(3)), LoadAction::Access);
+    }
+
+    #[test]
+    fn commit_pops_in_order() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), true, 0x100);
+        lsq.push(InstId(2), false, 0x200);
+        lsq.store_addr_done(InstId(1));
+        lsq.store_data_ready(InstId(1));
+        lsq.pop(InstId(1));
+        assert_eq!(lsq.len(), 1);
+    }
+
+    #[test]
+    fn pending_loads_in_program_order() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(3), false, 0x1);
+        lsq.push(InstId(5), false, 0x2);
+        lsq.load_addr_done(InstId(5));
+        lsq.load_addr_done(InstId(3));
+        assert_eq!(lsq.pending_loads(), vec![InstId(3), InstId(5)]);
+    }
+}

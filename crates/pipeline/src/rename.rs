@@ -1,0 +1,173 @@
+//! Register renaming: per-class map tables, free lists, and the physical
+//! register scoreboard.
+
+use diq_isa::{ArchReg, Cycle, PhysReg, ProcessorConfig, RegClass, ARCH_REGS_PER_CLASS};
+use std::collections::VecDeque;
+
+/// Sentinel for "value still being produced".
+const PENDING: Cycle = Cycle::MAX;
+
+/// Rename state for both register classes.
+///
+/// At reset, architectural register *i* maps to physical register *i* and
+/// all mapped registers hold ready values; the remaining physical registers
+/// populate the free lists.
+#[derive(Clone, Debug)]
+pub struct RenameState {
+    map: [Vec<u16>; 2],
+    free: [VecDeque<u16>; 2],
+    /// Cycle at which each physical register's value is (or becomes)
+    /// available; `Cycle::MAX` while in flight.
+    ready: [Vec<Cycle>; 2],
+}
+
+impl RenameState {
+    /// Builds the rename state for the configured physical register files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a physical file is not larger than the architectural one.
+    #[must_use]
+    pub fn new(cfg: &ProcessorConfig) -> Self {
+        let build = |n: usize| {
+            assert!(
+                n > ARCH_REGS_PER_CLASS,
+                "need more physical than architectural registers"
+            );
+            let map: Vec<u16> = (0..ARCH_REGS_PER_CLASS as u16).collect();
+            let free: VecDeque<u16> = (ARCH_REGS_PER_CLASS as u16..n as u16).collect();
+            let ready = vec![0; n];
+            (map, free, ready)
+        };
+        let (mi, fi, ri) = build(cfg.phys_int_regs);
+        let (mf, ff, rf) = build(cfg.phys_fp_regs);
+        RenameState {
+            map: [mi, mf],
+            free: [fi, ff],
+            ready: [ri, rf],
+        }
+    }
+
+    /// Current mapping of an architectural register.
+    #[must_use]
+    pub fn lookup(&self, r: ArchReg) -> PhysReg {
+        PhysReg::new(r.class(), self.map[r.class().index()][r.index()])
+    }
+
+    /// Whether a free physical register exists for `class`.
+    #[must_use]
+    pub fn can_allocate(&self, class: RegClass) -> bool {
+        !self.free[class.index()].is_empty()
+    }
+
+    /// The register the next allocation for `class` would return, without
+    /// allocating (dispatch peeks before the scheduler accepts).
+    #[must_use]
+    pub fn peek_allocate(&self, class: RegClass) -> Option<PhysReg> {
+        self.free[class.index()]
+            .front()
+            .map(|&i| PhysReg::new(class, i))
+    }
+
+    /// Commits an allocation: remaps `dst` to a fresh physical register and
+    /// returns `(new, previous)`. The previous mapping is freed when the
+    /// instruction commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the free list is empty (callers check
+    /// [`can_allocate`](Self::can_allocate) first).
+    pub fn allocate(&mut self, dst: ArchReg) -> (PhysReg, PhysReg) {
+        let ci = dst.class().index();
+        let new = self.free[ci].pop_front().expect("free list empty");
+        let old = self.map[ci][dst.index()];
+        self.map[ci][dst.index()] = new;
+        self.ready[ci][new as usize] = PENDING;
+        (
+            PhysReg::new(dst.class(), new),
+            PhysReg::new(dst.class(), old),
+        )
+    }
+
+    /// Returns a committed instruction's previous mapping to the free list.
+    pub fn release(&mut self, prev: PhysReg) {
+        self.free[prev.class().index()].push_back(prev.index() as u16);
+    }
+
+    /// Marks a physical register's value available from `cycle` on.
+    pub fn set_ready(&mut self, r: PhysReg, cycle: Cycle) {
+        self.ready[r.class().index()][r.index()] = cycle;
+    }
+
+    /// Whether `r`'s value is available at `now`.
+    #[must_use]
+    pub fn is_ready(&self, r: PhysReg, now: Cycle) -> bool {
+        self.ready[r.class().index()][r.index()] <= now
+    }
+
+    /// Number of free registers (diagnostics).
+    #[must_use]
+    pub fn free_count(&self, class: RegClass) -> usize {
+        self.free[class.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> RenameState {
+        RenameState::new(&ProcessorConfig::hpca2004())
+    }
+
+    #[test]
+    fn initial_mappings_are_identity_and_ready() {
+        let s = state();
+        let r5 = ArchReg::int(5);
+        assert_eq!(s.lookup(r5).index(), 5);
+        assert!(s.is_ready(s.lookup(r5), 0));
+        let cfg = ProcessorConfig::hpca2004();
+        assert_eq!(s.free_count(RegClass::Int), cfg.phys_int_regs - 32);
+    }
+
+    #[test]
+    fn allocate_remaps_and_marks_pending() {
+        let mut s = state();
+        let r5 = ArchReg::int(5);
+        let (new, old) = s.allocate(r5);
+        assert_eq!(old.index(), 5);
+        assert_eq!(s.lookup(r5), new);
+        assert!(!s.is_ready(new, 1_000_000));
+        s.set_ready(new, 7);
+        assert!(!s.is_ready(new, 6));
+        assert!(s.is_ready(new, 7));
+    }
+
+    #[test]
+    fn release_recycles_registers() {
+        let mut s = state();
+        let before = s.free_count(RegClass::Fp);
+        let (_, old) = s.allocate(ArchReg::fp(3));
+        assert_eq!(s.free_count(RegClass::Fp), before - 1);
+        s.release(old);
+        assert_eq!(s.free_count(RegClass::Fp), before);
+    }
+
+    #[test]
+    fn peek_matches_allocate() {
+        let mut s = state();
+        let peeked = s.peek_allocate(RegClass::Int).unwrap();
+        let (alloc, _) = s.allocate(ArchReg::int(9));
+        assert_eq!(peeked, alloc);
+    }
+
+    #[test]
+    fn exhaustion_reports_no_allocation() {
+        let mut s = state();
+        while s.can_allocate(RegClass::Int) {
+            let _ = s.allocate(ArchReg::int(0));
+        }
+        assert_eq!(s.peek_allocate(RegClass::Int), None);
+        assert_eq!(s.free_count(RegClass::Int), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! End-of-run statistics.
+
+use diq_branch::BranchStats;
+use diq_mem::CacheStats;
+use diq_power::EnergyMeter;
+use diq_stats::Histogram;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Everything a simulation run reports.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Scheme label (e.g. `MB_distr`).
+    pub scheme: String,
+    /// Workload name.
+    pub benchmark: String,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Committed FP-side (FP arithmetic) instructions.
+    pub committed_fp: u64,
+    /// Issued instructions (equals committed at the end of a drained run).
+    pub issued: u64,
+    /// Cycles in which dispatch presented an instruction the scheduler
+    /// refused.
+    pub dispatch_stall_cycles: u64,
+    /// Stall cycles by cause (scheduler reasons plus `rob_full`,
+    /// `no_phys_reg`).
+    pub stall_reasons: BTreeMap<String, u64>,
+    /// Branch-direction/target mispredictions that redirected fetch.
+    pub mispredict_redirects: u64,
+    /// Predictor statistics.
+    pub branch: BranchStats,
+    /// Instruction-cache statistics.
+    pub il1: CacheStats,
+    /// Data-cache statistics.
+    pub dl1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Issue-queue energy, by component.
+    pub energy: EnergyMeter,
+    /// Integer-side issue-queue occupancy per cycle.
+    pub occupancy_int: Histogram,
+    /// FP-side issue-queue occupancy per cycle.
+    pub occupancy_fp: Histogram,
+    /// Store-to-load forwards.
+    pub lsq_forwards: u64,
+    /// Dataflow-checker violations (an instruction issued before a source
+    /// was ready). Must be zero; exposed so tests can assert it.
+    pub checker_violations: u64,
+}
+
+impl SimStats {
+    pub(crate) fn new(scheme: &str, benchmark: &str) -> Self {
+        SimStats {
+            scheme: scheme.to_string(),
+            benchmark: benchmark.to_string(),
+            cycles: 0,
+            committed: 0,
+            committed_fp: 0,
+            issued: 0,
+            dispatch_stall_cycles: 0,
+            stall_reasons: BTreeMap::new(),
+            mispredict_redirects: 0,
+            branch: BranchStats::default(),
+            il1: CacheStats::default(),
+            dl1: CacheStats::default(),
+            l2: CacheStats::default(),
+            energy: EnergyMeter::new(),
+            occupancy_int: Histogram::new(257),
+            occupancy_fp: Histogram::new(257),
+            lsq_forwards: 0,
+            checker_violations: 0,
+        }
+    }
+
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total issue-queue energy (pJ).
+    #[must_use]
+    pub fn energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+
+    /// Mean issue-queue power (pJ per cycle — proportional to watts at a
+    /// fixed clock).
+    #[must_use]
+    pub fn power_pj_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.energy_pj() / self.cycles as f64
+        }
+    }
+
+    pub(crate) fn bump_stall(&mut self, reason: &'static str) {
+        *self.stall_reasons.entry(reason.to_string()).or_insert(0) += 1;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: IPC {:.3} ({} instrs / {} cycles)",
+            self.scheme,
+            self.benchmark,
+            self.ipc(),
+            self.committed,
+            self.cycles
+        )?;
+        writeln!(
+            f,
+            "  issue-queue energy {:.1} nJ, power {:.2} pJ/cycle",
+            self.energy_pj() / 1000.0,
+            self.power_pj_per_cycle()
+        )?;
+        writeln!(
+            f,
+            "  branch accuracy {:.2}%, DL1 miss {:.2}%, dispatch stalls {} cycles",
+            100.0 * self.branch.accuracy(),
+            100.0 * self.dl1.miss_rate(),
+            self.dispatch_stall_cycles
+        )
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-access energy models of the hardware structures (the CACTI role).
+//!
+//! Each `*Spec` describes a structure's geometry; the `*_energy_pj`
+//! methods evaluate the energy of one access under a [`TechParams`]
+//! technology point. The formulas follow CACTI's decomposition —
+//! decoder + wordline + bitlines + sense amplifiers for RAM, tag broadcast +
+//! match lines for CAM — with capacitances linear in the geometry.
+
+use crate::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// A RAM array (issue-queue payload, FIFO buffer, rename/queue tables,
+/// scoreboards, chain latency tables …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RamSpec {
+    /// Number of rows (entries).
+    pub entries: usize,
+    /// Row width in bits.
+    pub bits: usize,
+    /// Total read+write ports; capacitance per cell grows linearly with
+    /// ports (each port replicates word/bit lines).
+    pub ports: usize,
+}
+
+impl RamSpec {
+    /// Extra ports grow each cell (one more word/bit-line pair per port),
+    /// but the energy of *one* access grows sub-linearly — CACTI-style
+    /// models put the marginal cost of a port at roughly a quarter of a
+    /// full array replica.
+    fn port_factor(&self) -> f64 {
+        1.0 + 0.25 * (self.ports.max(1) - 1) as f64
+    }
+
+    fn decoder_pj(&self, t: &TechParams) -> f64 {
+        let addr_bits = (self.entries.max(2) as f64).log2();
+        t.decoder_energy_pj_per_bit * addr_bits
+    }
+
+    /// Sense amplifiers are sized to their bitline load: short arrays read
+    /// near-full-swing with small senses, tall arrays need the full
+    /// differential amplifier. Modelled as a linear height scale around a
+    /// 64-row reference with a floor.
+    fn sense_scale(&self) -> f64 {
+        (0.25 + 0.75 * self.entries as f64 / 64.0).min(1.5)
+    }
+
+    /// Energy of one read access (pJ).
+    #[must_use]
+    pub fn read_energy_pj(&self, t: &TechParams) -> f64 {
+        let wordline_ff = self.bits as f64 * t.wordline_cap_per_cell_ff;
+        let bitline_ff = self.entries as f64 * t.bitline_cap_per_cell_ff;
+        self.decoder_pj(t)
+            + t.switch_energy_pj(wordline_ff, 1.0)
+            + self.bits as f64 * t.switch_energy_pj(bitline_ff, t.read_swing)
+            + self.bits as f64 * t.sense_energy_pj * self.sense_scale()
+    }
+
+    /// Energy of one write access (pJ) — full-swing bitlines, no sensing.
+    #[must_use]
+    pub fn write_energy_pj(&self, t: &TechParams) -> f64 {
+        let wordline_ff = self.bits as f64 * t.wordline_cap_per_cell_ff;
+        let bitline_ff = self.entries as f64 * t.bitline_cap_per_cell_ff;
+        self.decoder_pj(t)
+            + t.switch_energy_pj(wordline_ff, 1.0)
+            + self.bits as f64 * t.switch_energy_pj(bitline_ff, 1.0)
+    }
+
+    /// Port-scaled read energy: use when the array is physically built with
+    /// `ports` ports (the per-cell capacitances are multiplied accordingly).
+    #[must_use]
+    pub fn ported_read_energy_pj(&self, t: &TechParams) -> f64 {
+        self.read_energy_pj(t) * self.port_factor()
+    }
+
+    /// Port-scaled write energy.
+    #[must_use]
+    pub fn ported_write_energy_pj(&self, t: &TechParams) -> f64 {
+        self.write_energy_pj(t) * self.port_factor()
+    }
+}
+
+/// The CAM half of a conventional issue-queue entry: one wakeup port's worth
+/// of tag comparison logic (Figure 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamSpec {
+    /// Entries sharing the broadcast bus (one bank for a banked queue).
+    pub entries: usize,
+    /// Tag width in bits (physical-register number).
+    pub tag_bits: usize,
+}
+
+impl CamSpec {
+    /// Energy (pJ) of broadcasting one result tag across the bank and
+    /// evaluating `comparing` match lines.
+    ///
+    /// With the Folegnani–González optimization the baseline only enables
+    /// comparators of *unready* operands, so `comparing` counts those.
+    #[must_use]
+    pub fn broadcast_energy_pj(&self, t: &TechParams, comparing: usize) -> f64 {
+        let tagline_ff =
+            self.tag_bits as f64 * self.entries as f64 * t.tagline_cap_per_cell_ff;
+        t.switch_energy_pj(tagline_ff, 1.0) + comparing as f64 * t.matchline_energy_pj
+    }
+}
+
+/// A selection arbiter choosing among `candidates` requesters.
+///
+/// The baseline's pick-N-oldest-of-64 tree is large; the distributed schemes
+/// instantiate one tiny pick-one arbiter per queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectSpec {
+    /// Number of requesting positions the arbiter spans.
+    pub candidates: usize,
+}
+
+impl SelectSpec {
+    /// Energy (pJ) of one selection pass over `active` requesting entries.
+    ///
+    /// A radix-4 arbitration tree over `candidates` positions switches its
+    /// internal nodes proportionally to the active requesters plus a small
+    /// leakage-like floor for the tree itself.
+    #[must_use]
+    pub fn select_energy_pj(&self, t: &TechParams, active: usize) -> f64 {
+        let tree_nodes = (self.candidates.max(1) as f64) / 3.0; // radix-4 tree node count
+        t.arbiter_cell_energy_pj * (active as f64 + 0.25 * tree_nodes)
+    }
+}
+
+/// The crossbar/mux wiring that carries issued instructions to a set of
+/// functional units.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MuxSpec {
+    /// Number of functional units reachable from the queue.
+    pub reachable_units: usize,
+    /// Technology-level wire length per reachable unit (mm); use
+    /// [`TechParams::mux_wire_mm_per_source`] for shared pools and a much
+    /// smaller figure for queue-adjacent distributed units.
+    pub wire_mm_per_unit: f64,
+}
+
+impl MuxSpec {
+    /// A mux for a shared (centralized) pool of `units` functional units.
+    #[must_use]
+    pub fn shared(units: usize, t: &TechParams) -> Self {
+        MuxSpec {
+            reachable_units: units,
+            wire_mm_per_unit: t.mux_wire_mm_per_source,
+        }
+    }
+
+    /// A mux for functional units placed next to their issue queue — the
+    /// distributed organization. The wire run collapses to a tenth.
+    #[must_use]
+    pub fn distributed(units: usize, t: &TechParams) -> Self {
+        MuxSpec {
+            reachable_units: units,
+            wire_mm_per_unit: t.mux_wire_mm_per_source / 10.0,
+        }
+    }
+
+    /// Energy (pJ) of driving one issued instruction to a unit.
+    #[must_use]
+    pub fn drive_energy_pj(&self, t: &TechParams) -> f64 {
+        let wire_mm = self.reachable_units as f64 * self.wire_mm_per_unit;
+        t.switch_energy_pj(t.wire_cap_ff_per_mm * wire_mm, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechParams {
+        TechParams::um100()
+    }
+
+    #[test]
+    fn ram_write_costs_more_than_read_per_bitline_swing() {
+        let spec = RamSpec {
+            entries: 64,
+            bits: 64,
+            ports: 1,
+        };
+        // Writes swing bitlines fully; reads are sense-limited but add sense
+        // energy — writes should still dominate for wide arrays.
+        assert!(spec.write_energy_pj(&t()) > spec.read_energy_pj(&t()) * 0.8);
+    }
+
+    #[test]
+    fn ram_energy_monotone_in_geometry() {
+        let small = RamSpec {
+            entries: 16,
+            bits: 32,
+            ports: 1,
+        };
+        let tall = RamSpec {
+            entries: 64,
+            bits: 32,
+            ports: 1,
+        };
+        let wide = RamSpec {
+            entries: 16,
+            bits: 128,
+            ports: 1,
+        };
+        assert!(tall.read_energy_pj(&t()) > small.read_energy_pj(&t()));
+        assert!(wide.read_energy_pj(&t()) > small.read_energy_pj(&t()));
+    }
+
+    #[test]
+    fn ports_scale_energy() {
+        let one = RamSpec {
+            entries: 64,
+            bits: 64,
+            ports: 1,
+        };
+        let eight = RamSpec {
+            entries: 64,
+            bits: 64,
+            ports: 8,
+        };
+        let ratio = eight.ported_read_energy_pj(&t()) / one.ported_read_energy_pj(&t());
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "8-ported array should cost a few times more, got {ratio}x"
+        );
+    }
+
+    #[test]
+    fn cam_broadcast_dwarfs_scoreboard_read() {
+        // The core premise of the paper: waking up a 64-entry CAM costs far
+        // more than checking a ready bit in a small RAM.
+        let cam = CamSpec {
+            entries: 64, // a full 64-entry queue's broadcast bus
+            tag_bits: 8,
+        };
+        let ready_bits = RamSpec {
+            entries: 160,
+            bits: 1,
+            ports: 1,
+        };
+        let wakeup = cam.broadcast_energy_pj(&t(), 16);
+        let ready = ready_bits.read_energy_pj(&t());
+        assert!(
+            wakeup > 2.0 * ready,
+            "wakeup {wakeup} pJ should exceed ready-bit read {ready} pJ"
+        );
+    }
+
+    #[test]
+    fn distributed_mux_is_cheap() {
+        let tech = t();
+        let shared = MuxSpec::shared(8, &tech);
+        let distr = MuxSpec::distributed(1, &tech);
+        assert!(shared.drive_energy_pj(&tech) > 50.0 * distr.drive_energy_pj(&tech));
+    }
+
+    #[test]
+    fn bigger_selection_tree_costs_more() {
+        let tech = t();
+        let big = SelectSpec { candidates: 64 };
+        let small = SelectSpec { candidates: 16 };
+        assert!(big.select_energy_pj(&tech, 10) > small.select_energy_pj(&tech, 10));
+    }
+}

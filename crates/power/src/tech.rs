@@ -1,0 +1,93 @@
+//! Technology parameters (0.10 µm point).
+
+use serde::{Deserialize, Serialize};
+
+/// Process/circuit constants used by the array energy models.
+///
+/// The defaults approximate a 0.10 µm process (the paper's Table 1
+/// technology) with full-swing writes, reduced-swing reads and conventional
+/// dynamic CAM match lines. They are deliberately kept in one place: every
+/// figure-level result depends only on *ratios* of the derived per-access
+/// energies, so recalibration means editing these constants, nothing else.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Bitline capacitance contributed by one cell (fF). Each additional
+    /// port replicates the bitline pair.
+    pub bitline_cap_per_cell_ff: f64,
+    /// Wordline capacitance contributed by one cell (fF).
+    pub wordline_cap_per_cell_ff: f64,
+    /// Tag-line capacitance contributed by one CAM cell (fF).
+    pub tagline_cap_per_cell_ff: f64,
+    /// Energy of evaluating one CAM entry's match line (pJ).
+    pub matchline_energy_pj: f64,
+    /// Sense-amplifier energy per bit read (pJ).
+    pub sense_energy_pj: f64,
+    /// Decoder energy per address bit (pJ).
+    pub decoder_energy_pj_per_bit: f64,
+    /// Energy per candidate position in a selection tree (pJ). The paper's
+    /// baseline selects the N oldest ready instructions out of the whole
+    /// queue; the distributed schemes select one instruction per small queue.
+    pub arbiter_cell_energy_pj: f64,
+    /// Interconnect capacitance per millimetre of wire (fF/mm).
+    pub wire_cap_ff_per_mm: f64,
+    /// Estimated wire track length per crossbar source (mm). More/farther
+    /// functional units mean longer issue wires; distributing the units next
+    /// to their queues collapses this term.
+    pub mux_wire_mm_per_source: f64,
+    /// Fraction of full swing used on read bitlines (sense-limited).
+    pub read_swing: f64,
+}
+
+impl TechParams {
+    /// The 0.10 µm technology point used throughout the reproduction.
+    #[must_use]
+    pub fn um100() -> Self {
+        TechParams {
+            vdd: 1.1,
+            bitline_cap_per_cell_ff: 1.2,
+            wordline_cap_per_cell_ff: 1.8,
+            // CAM cells carry comparator transistors: their tag lines are
+            // several times heavier than RAM bitlines, and every enabled
+            // comparison swings a match line. These two constants are what
+            // make conventional wakeup the dominant term of Figure 9.
+            tagline_cap_per_cell_ff: 5.0,
+            matchline_energy_pj: 0.90,
+            sense_energy_pj: 0.018,
+            decoder_energy_pj_per_bit: 0.015,
+            arbiter_cell_energy_pj: 0.05,
+            wire_cap_ff_per_mm: 220.0,
+            mux_wire_mm_per_source: 0.35,
+            read_swing: 0.25,
+        }
+    }
+
+    /// Energy (pJ) of charging `cap_ff` femtofarads through `swing` × Vdd.
+    #[must_use]
+    pub fn switch_energy_pj(&self, cap_ff: f64, swing: f64) -> f64 {
+        // E = C · Vdd · ΔV; with C in fF and V in volts this is femtojoules,
+        // so divide by 1000 for pJ.
+        cap_ff * self.vdd * (self.vdd * swing) / 1000.0
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::um100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_energy_scales_linearly() {
+        let t = TechParams::um100();
+        let e1 = t.switch_energy_pj(100.0, 1.0);
+        let e2 = t.switch_energy_pj(200.0, 1.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+        assert!(t.switch_energy_pj(100.0, 0.25) < e1);
+    }
+}

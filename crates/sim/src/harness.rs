@@ -1,0 +1,164 @@
+//! Parallel, cached simulation runner.
+
+use diq_core::SchedulerConfig;
+use diq_isa::ProcessorConfig;
+use diq_pipeline::{SimStats, Simulator};
+use diq_workload::WorkloadSpec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runs (scheme × benchmark) simulations, in parallel, caching results so
+/// every figure that needs the same run pays for it once.
+///
+/// # Example
+///
+/// ```no_run
+/// use diq_core::SchedulerConfig;
+/// use diq_sim::Harness;
+/// use diq_workload::suite;
+///
+/// let h = Harness::new();
+/// let stats = h.run(&SchedulerConfig::mb_distr(), &suite::by_name("swim").unwrap());
+/// println!("swim under MB_distr: IPC {:.2}", stats.ipc());
+/// ```
+pub struct Harness {
+    cfg: ProcessorConfig,
+    instructions: u64,
+    cache: Mutex<HashMap<(String, String), Arc<SimStats>>>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness over the paper's Table 1 machine, simulating
+    /// [`DEFAULT_INSTRUCTIONS`](crate::DEFAULT_INSTRUCTIONS) per benchmark
+    /// (override with the `DIQ_INSTRS` environment variable).
+    #[must_use]
+    pub fn new() -> Self {
+        let instructions = std::env::var("DIQ_INSTRS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(crate::DEFAULT_INSTRUCTIONS);
+        Self::with_instructions(instructions)
+    }
+
+    /// A harness simulating `instructions` per benchmark (tests use small
+    /// counts).
+    #[must_use]
+    pub fn with_instructions(instructions: u64) -> Self {
+        Harness {
+            cfg: ProcessorConfig::hpca2004(),
+            instructions,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The machine configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.cfg
+    }
+
+    /// Instructions simulated per benchmark.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Runs (or returns the cached result of) one scheme on one benchmark.
+    pub fn run(&self, sched: &SchedulerConfig, bench: &WorkloadSpec) -> Arc<SimStats> {
+        let key = (sched.label(), bench.name.clone());
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        let mut sim = Simulator::new(&self.cfg, sched);
+        sim.set_benchmark(&bench.name);
+        let trace = diq_workload::TraceGenerator::new(bench).take(self.instructions as usize);
+        let stats = Arc::new(sim.run(trace, self.instructions));
+        self.cache.lock().insert(key, Arc::clone(&stats));
+        stats
+    }
+
+    /// Runs one scheme over a whole suite, in parallel; results are in
+    /// benchmark order.
+    pub fn run_suite(
+        &self,
+        sched: &SchedulerConfig,
+        suite: &[WorkloadSpec],
+    ) -> Vec<Arc<SimStats>> {
+        self.run_matrix(std::slice::from_ref(sched), suite)
+            .pop()
+            .expect("one scheme requested")
+    }
+
+    /// Runs a scheme × benchmark matrix in parallel. Output is
+    /// `result[scheme][benchmark]`.
+    pub fn run_matrix(
+        &self,
+        scheds: &[SchedulerConfig],
+        suite: &[WorkloadSpec],
+    ) -> Vec<Vec<Arc<SimStats>>> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(4);
+        let jobs: Vec<(usize, usize)> = (0..scheds.len())
+            .flat_map(|s| (0..suite.len()).map(move |b| (s, b)))
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(jobs.len()) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(s, b)) = jobs.get(i) else { break };
+                    let _ = self.run(&scheds[s], &suite[b]);
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        scheds
+            .iter()
+            .map(|s| suite.iter().map(|b| self.run(s, b)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diq_workload::suite;
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let h = Harness::with_instructions(500);
+        let b = suite::by_name("gzip").unwrap();
+        let a1 = h.run(&SchedulerConfig::mb_distr(), &b);
+        let a2 = h.run(&SchedulerConfig::mb_distr(), &b);
+        assert!(Arc::ptr_eq(&a1, &a2));
+    }
+
+    #[test]
+    fn matrix_is_scheme_major() {
+        let h = Harness::with_instructions(300);
+        let suite: Vec<_> = ["gzip", "swim"]
+            .iter()
+            .map(|n| suite::by_name(n).unwrap())
+            .collect();
+        let m = h.run_matrix(
+            &[
+                SchedulerConfig::iq_64_64(),
+                SchedulerConfig::if_distr(),
+            ],
+            &suite,
+        );
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[0][0].scheme, "IQ_64_64");
+        assert_eq!(m[0][1].benchmark, "swim");
+        assert_eq!(m[1][0].scheme, "IF_distr");
+    }
+}

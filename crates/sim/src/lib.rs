@@ -1,0 +1,39 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! * [`Harness`] runs (scheme × benchmark) simulations in parallel with a
+//!   shared result cache, so figures that share runs (7–15) pay once;
+//! * [`figures`] contains one constructor per paper artifact
+//!   ([`figures::fig2`] … [`figures::fig15`], plus the Section 3 numeric
+//!   claims and the abstract's headline numbers);
+//! * [`Figure`] is a rendered artifact: a title, a text table shaped like
+//!   the paper's figure, and notes (including paper-reported reference
+//!   values where the paper states them).
+//!
+//! The default run length is 100 000 instructions per benchmark (the paper
+//! simulates 100 M; see DESIGN.md for the scaling argument). Set
+//! `DIQ_INSTRS` to override.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use diq_sim::{figures, Harness};
+//!
+//! let harness = Harness::new();
+//! let fig8 = figures::fig8(&harness);
+//! println!("{fig8}");
+//! ```
+
+#![deny(missing_docs)]
+
+mod energy;
+pub mod figures;
+mod harness;
+mod report;
+
+pub use energy::ChipEnergy;
+pub use harness::Harness;
+pub use report::Figure;
+
+/// Default instructions simulated per benchmark.
+pub const DEFAULT_INSTRUCTIONS: u64 = 100_000;

@@ -1,0 +1,137 @@
+//! Rendered experiment artifacts.
+
+use diq_stats::Table;
+use serde::Serialize;
+use std::fmt;
+
+/// One reproduced paper artifact: a figure- or table-shaped result.
+///
+/// `Display` renders the title, the data table, and any notes (typically
+/// the paper-reported values the rows should be compared against).
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Paper artifact id (e.g. `"fig8"`).
+    pub id: String,
+    /// Human title, as in the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (all cells pre-rendered).
+    pub rows: Vec<Vec<String>>,
+    /// Commentary: paper-reported reference points, measurement notes.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates a figure with the given id/title and column headers.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: Vec<String>) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// The figure's table, for programmatic inspection.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(self.headers.iter().map(String::as_str));
+        for r in &self.rows {
+            t.row(r.iter().map(String::as_str));
+        }
+        t
+    }
+
+    /// Looks up a cell by row label (first column) and column header.
+    #[must_use]
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_label)
+            .map(|r| r[col].as_str())
+    }
+
+    /// Parses a cell as `f64` (stripping a trailing `%` if present).
+    #[must_use]
+    pub fn value(&self, row_label: &str, column: &str) -> Option<f64> {
+        self.cell(row_label, column)?
+            .trim_end_matches('%')
+            .parse()
+            .ok()
+    }
+
+    /// Serializes to JSON (for machine-readable archives next to the text
+    /// tables).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        write!(f, "{}", self.table())?;
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("figX", "test", vec!["bench".into(), "loss".into()]);
+        f.row(vec!["swim".into(), "12.5%".into()]);
+        f.note("paper: 13.0%");
+        f
+    }
+
+    #[test]
+    fn cell_lookup_and_parse() {
+        let f = fig();
+        assert_eq!(f.cell("swim", "loss"), Some("12.5%"));
+        assert_eq!(f.value("swim", "loss"), Some(12.5));
+        assert_eq!(f.cell("art", "loss"), None);
+    }
+
+    #[test]
+    fn renders_with_notes() {
+        let s = fig().to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("paper: 13.0%"));
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let j = fig().to_json();
+        assert!(j.contains("\"id\": \"figX\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut f = Figure::new("f", "t", vec!["a".into()]);
+        f.row(vec!["1".into(), "2".into()]);
+    }
+}

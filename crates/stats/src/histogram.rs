@@ -1,0 +1,146 @@
+//! A small integer histogram for occupancy/latency distributions.
+
+use std::fmt;
+
+/// Histogram over `u64` samples with unit-width buckets up to a cap.
+///
+/// Samples at or above the cap land in the final overflow bucket. Used for
+/// issue-queue occupancy and chain-count distributions in the evaluation.
+///
+/// # Example
+///
+/// ```
+/// use diq_stats::Histogram;
+///
+/// let mut h = Histogram::new(4);
+/// h.record(0);
+/// h.record(2);
+/// h.record(99); // overflow bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket(2), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert!((h.mean() - (0.0 + 2.0 + 99.0) / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with unit buckets `0..cap` plus an overflow
+    /// bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; cap + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count in bucket `i` (`i < cap`).
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i.min(self.buckets.len() - 1)]
+    }
+
+    /// Count of samples that hit the overflow bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        *self.buckets.last().expect("non-empty")
+    }
+
+    /// Mean of all recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of samples with value ≥ `threshold` (0.0 when empty).
+    ///
+    /// Values beyond the cap are counted via the overflow bucket, so the
+    /// result is exact only for `threshold < cap`.
+    #[must_use]
+    pub fn frac_at_least(&self, threshold: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self.buckets[threshold.min(self.buckets.len() - 1)..]
+            .iter()
+            .sum();
+        tail as f64 / self.count as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.2} max={}", self.count, self.mean(), self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_overflows() {
+        let mut h = Histogram::new(2);
+        for v in [0, 1, 1, 2, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.overflow(), 2); // 2 and 5 both land at/after cap
+        assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn frac_at_least() {
+        let mut h = Histogram::new(8);
+        for v in 0..10u64 {
+            h.record(v);
+        }
+        assert!((h.frac_at_least(5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.frac_at_least(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_cap_panics() {
+        let _ = Histogram::new(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Mean and ratio helpers used when aggregating per-benchmark results.
+
+/// Arithmetic mean. Returns `None` for an empty input.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(diq_stats::arithmetic_mean([1.0, 3.0]), Some(2.0));
+/// assert_eq!(diq_stats::arithmetic_mean([]), None);
+/// ```
+pub fn arithmetic_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Harmonic mean — the aggregation the paper uses for IPC ("HARMEAN" in
+/// Figures 7 and 8). Returns `None` for an empty input or any non-positive
+/// element.
+///
+/// # Example
+///
+/// ```
+/// let hm = diq_stats::harmonic_mean([2.0, 4.0]).unwrap();
+/// assert!((hm - 8.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
+    let mut inv_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        if x <= 0.0 {
+            return None;
+        }
+        inv_sum += 1.0 / x;
+        n += 1;
+    }
+    (n > 0).then(|| n as f64 / inv_sum)
+}
+
+/// Geometric mean. Returns `None` for an empty input or any non-positive
+/// element.
+///
+/// # Example
+///
+/// ```
+/// let gm = diq_stats::geometric_mean([1.0, 4.0]).unwrap();
+/// assert!((gm - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        if x <= 0.0 {
+            return None;
+        }
+        log_sum += x.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+/// Percentage *loss* of `value` relative to `baseline`, i.e.
+/// `100 * (baseline - value) / baseline` — the quantity plotted in the
+/// paper's Figures 2–4 and 6 ("% IPC loss w.r.t. baseline").
+///
+/// # Example
+///
+/// ```
+/// assert!((diq_stats::pct_loss(2.0, 1.9) - 5.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pct_loss(baseline: f64, value: f64) -> f64 {
+    100.0 * (baseline - value) / baseline
+}
+
+/// Percentage *change* of `value` relative to `baseline`
+/// (`100 * (value - baseline) / baseline`; negative means a reduction).
+///
+/// # Example
+///
+/// ```
+/// assert!((diq_stats::pct_change(2.0, 1.3) + 35.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pct_change(baseline: f64, value: f64) -> f64 {
+    100.0 * (value - baseline) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_dominated_by_small_values() {
+        let hm = harmonic_mean([1.0, 100.0]).unwrap();
+        assert!(hm < 2.0, "harmonic mean should hug the minimum, got {hm}");
+    }
+
+    #[test]
+    fn harmonic_mean_rejects_nonpositive() {
+        assert_eq!(harmonic_mean([1.0, 0.0]), None);
+        assert_eq!(harmonic_mean([1.0, -1.0]), None);
+        assert_eq!(harmonic_mean([]), None);
+    }
+
+    #[test]
+    fn means_agree_on_constant_input() {
+        let fns: [fn([f64; 3]) -> Option<f64>; 3] = [
+            arithmetic_mean::<[f64; 3]>,
+            harmonic_mean::<[f64; 3]>,
+            geometric_mean::<[f64; 3]>,
+        ];
+        for f in fns {
+            let m = f([3.0, 3.0, 3.0]).unwrap();
+            assert!((m - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pct_helpers_are_inverses_in_sign() {
+        assert_eq!(pct_loss(2.0, 2.0), 0.0);
+        assert!(pct_loss(2.0, 1.0) > 0.0);
+        assert!(pct_change(2.0, 1.0) < 0.0);
+    }
+}

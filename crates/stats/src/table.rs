@@ -1,0 +1,158 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// The first column is left-aligned (benchmark names); all other columns are
+/// right-aligned (numbers), matching how the paper's figures read as tables.
+///
+/// # Example
+///
+/// ```
+/// use diq_stats::Table;
+///
+/// let mut t = Table::new(["bench", "IQ_64_64", "MB_distr"]);
+/// t.row(["ammp", "1.52", "1.41"]);
+/// t.row(["HARMEAN", "2.10", "1.94"]);
+/// let s = t.render();
+/// assert!(s.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience: appends a row of a label plus `f64` values rendered with
+    /// `prec` decimal places.
+    pub fn row_f64(&mut self, label: &str, values: &[f64], prec: usize) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.prec$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a `String` (also available via `Display`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["long-benchmark-name", "1"]);
+        t.row(["x", "123"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines equally wide
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        // numbers right-aligned
+        assert!(lines[3].ends_with("123"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn row_f64_formats() {
+        let mut t = Table::new(["b", "x", "y"]);
+        t.row_f64("m", &[1.0, 2.345], 2);
+        assert!(t.render().contains("2.35"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Generic stress kernels for tests, examples and ablations.
+//!
+//! Unlike the [`suite`](crate::suite) models, these isolate one behaviour at
+//! a time: pure dependence-chain parallelism, a single serial chain,
+//! streaming memory, pointer chasing, or branch-mispredict pressure.
+
+use crate::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};
+
+/// `width` independent FP dependence chains of `len` operations each —
+/// the minimal workload exhibiting the paper's "wide DDG" effect.
+///
+/// With `width` > number of FIFO queues, `IssueFifo` dispatch stalls; the
+/// MixBUFF scheme keeps flowing.
+#[must_use]
+pub fn parallel_fp_chains(width: usize, len: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("chains{width}x{len}"),
+        class: BenchClass::Fp,
+        live_chains: width.clamp(1, 24),
+        chain_len: (len.max(1), len.max(1)),
+        chain_starts_with_load: 0.0,
+        chain_ends_with_store: 0.0,
+        cross_dep_prob: 0.0,
+        mix: OpMix {
+            int_alu: 0.0,
+            int_mul: 0.0,
+            int_div: 0.0,
+            fp_add: 1.0,
+            fp_mul: 0.8,
+            fp_div: 0.0,
+        },
+        mem: MemPattern {
+            load_frac: 0.0,
+            store_frac: 0.0,
+            footprint_bytes: 1 << 16,
+            stride: 8,
+            random_frac: 0.0,
+            pointer_chase_frac: 0.0,
+        },
+        branch: BranchPattern {
+            branch_frac: 0.02,
+            taken_bias: 0.95,
+            noise: 0.0,
+            sites: 4,
+            code_bytes: 4096,
+            call_frac: 0.0,
+        },
+        seed: 0x5eed + width as u64,
+    }
+}
+
+/// A single long serial integer chain: the ILP lower bound.
+#[must_use]
+pub fn serial_int_chain() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "serial".into(),
+        class: BenchClass::Int,
+        live_chains: 1,
+        chain_len: (64, 64),
+        chain_starts_with_load: 0.0,
+        chain_ends_with_store: 0.0,
+        cross_dep_prob: 0.0,
+        mix: OpMix::int_typical(),
+        mem: MemPattern {
+            load_frac: 0.0,
+            store_frac: 0.0,
+            footprint_bytes: 1 << 16,
+            stride: 8,
+            random_frac: 0.0,
+            pointer_chase_frac: 0.0,
+        },
+        branch: BranchPattern {
+            branch_frac: 0.02,
+            taken_bias: 0.95,
+            noise: 0.0,
+            sites: 4,
+            code_bytes: 4096,
+            call_frac: 0.0,
+        },
+        seed: 0x5e71a1,
+    }
+}
+
+/// A streaming load/compute/store kernel over `footprint_bytes` of data —
+/// the memory behaviour of `swim`/`mgrid` in isolation.
+#[must_use]
+pub fn streaming(footprint_bytes: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "stream".into(),
+        class: BenchClass::Fp,
+        live_chains: 12,
+        chain_len: (2, 4),
+        chain_starts_with_load: 0.9,
+        chain_ends_with_store: 0.8,
+        cross_dep_prob: 0.0,
+        mix: OpMix::fp_typical(),
+        mem: MemPattern {
+            load_frac: 0.33,
+            store_frac: 0.15,
+            footprint_bytes,
+            stride: 8,
+            random_frac: 0.0,
+            pointer_chase_frac: 0.0,
+        },
+        branch: BranchPattern {
+            branch_frac: 0.04,
+            taken_bias: 0.97,
+            noise: 0.005,
+            sites: 8,
+            code_bytes: 8192,
+            call_frac: 0.0,
+        },
+        seed: 0x57ea,
+    }
+}
+
+/// Serial pointer chasing through `footprint_bytes` — the mcf-like
+/// latency-bound extreme.
+#[must_use]
+pub fn pointer_chase(footprint_bytes: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "chase".into(),
+        class: BenchClass::Int,
+        live_chains: 2,
+        chain_len: (1, 2),
+        chain_starts_with_load: 0.5,
+        chain_ends_with_store: 0.1,
+        cross_dep_prob: 0.0,
+        mix: OpMix::int_typical(),
+        mem: MemPattern {
+            load_frac: 0.40,
+            store_frac: 0.05,
+            footprint_bytes,
+            stride: 8,
+            random_frac: 0.8,
+            pointer_chase_frac: 0.9,
+        },
+        branch: BranchPattern {
+            branch_frac: 0.10,
+            taken_bias: 0.80,
+            noise: 0.05,
+            sites: 32,
+            code_bytes: 16 * 1024,
+            call_frac: 0.0,
+        },
+        seed: 0xc4a5e,
+    }
+}
+
+/// Branch-heavy code with tunable unpredictability (`noise` in `[0, 0.5]`).
+#[must_use]
+pub fn branch_torture(noise: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("branchy{:02}", (noise * 100.0) as u32),
+        class: BenchClass::Int,
+        live_chains: 4,
+        chain_len: (1, 3),
+        chain_starts_with_load: 0.2,
+        chain_ends_with_store: 0.1,
+        cross_dep_prob: 0.05,
+        mix: OpMix::int_typical(),
+        mem: MemPattern {
+            load_frac: 0.10,
+            store_frac: 0.05,
+            footprint_bytes: 1 << 18,
+            stride: 8,
+            random_frac: 0.2,
+            pointer_chase_frac: 0.0,
+        },
+        branch: BranchPattern {
+            branch_frac: 0.25,
+            taken_bias: 0.6,
+            noise: noise.clamp(0.0, 0.5),
+            sites: 512,
+            code_bytes: 64 * 1024,
+            call_frac: 0.05,
+        },
+        seed: 0xb4a2c4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_validate() {
+        for k in [
+            parallel_fp_chains(16, 6),
+            serial_int_chain(),
+            streaming(1 << 22),
+            pointer_chase(1 << 24),
+            branch_torture(0.2),
+        ] {
+            k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn parallel_chains_width_clamped() {
+        assert_eq!(parallel_fp_chains(100, 4).live_chains, 24);
+        assert_eq!(parallel_fp_chains(0, 4).live_chains, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic workloads standing in for SPEC2000.
+//!
+//! The paper evaluates on the full SPEC2000 suite compiled for Alpha — which
+//! is not available here. What its *arguments* actually depend on is a small
+//! set of trace properties:
+//!
+//! * integer programs have **narrow** data-dependence graphs (few live
+//!   chains), short operations and frequent, partly unpredictable branches;
+//! * FP programs have **wide** DDGs (many concurrent dependence chains of
+//!   long-latency operations), few highly predictable branches, and
+//!   streaming memory behaviour.
+//!
+//! This crate generates deterministic instruction traces with exactly those
+//! properties, parameterized per benchmark ([`WorkloadSpec`]); the 26 SPEC
+//! program models live in [`suite`] and generic kernels for tests and
+//! examples in [`kernels`].
+//!
+//! # Example
+//!
+//! ```
+//! use diq_workload::suite;
+//!
+//! let swim = suite::by_name("swim").unwrap();
+//! let trace = swim.generate(1_000);
+//! assert_eq!(trace.len(), 1_000);
+//! // FP suite models are dominated by wide FP dependence chains.
+//! let fp_ops = trace.iter().filter(|i| i.is_fp_side()).count();
+//! assert!(fp_ops * 2 > trace.len() / 2);
+//! ```
+
+#![deny(missing_docs)]
+
+mod gen;
+pub mod kernels;
+mod profile;
+mod spec;
+pub mod suite;
+
+pub use gen::TraceGenerator;
+pub use profile::TraceProfile;
+pub use spec::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};

@@ -1,0 +1,188 @@
+//! Trace profiling: measure the properties a generated (or hand-built)
+//! trace actually has — operation mix, dependence-graph width, memory and
+//! control behaviour.
+//!
+//! The suite models are *parameterized* by these properties; the profiler
+//! closes the loop by measuring them on the emitted instruction stream
+//! (used by the calibration tests, and handy when building custom
+//! workloads).
+
+use diq_isa::{Inst, OpClass};
+use std::collections::HashMap;
+
+/// Measured properties of an instruction stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceProfile {
+    /// Instructions profiled.
+    pub instructions: usize,
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of branches.
+    pub branch_frac: f64,
+    /// Fraction of FP-side (FP arithmetic) instructions.
+    pub fp_frac: f64,
+    /// Fraction of taken branches among branches.
+    pub taken_frac: f64,
+    /// Mean data-dependence-graph width: the average number of *live*
+    /// values (registers written, not yet overwritten, still to be read).
+    pub mean_ddg_width: f64,
+    /// Distinct static branch sites observed.
+    pub branch_sites: usize,
+    /// Distinct 64-byte data lines touched (working-set proxy).
+    pub data_lines: usize,
+}
+
+impl TraceProfile {
+    /// Profiles a trace.
+    ///
+    /// DDG width is measured by replaying register definitions and uses:
+    /// a register is *live* from its definition until its last use before
+    /// redefinition. The mean across instructions approximates the number
+    /// of concurrently live dependence chains — the property the paper's
+    /// IssueFIFO analysis hinges on.
+    #[must_use]
+    pub fn measure(trace: &[Inst]) -> Self {
+        let n = trace.len().max(1);
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut branches = 0usize;
+        let mut taken = 0usize;
+        let mut fp = 0usize;
+        let mut sites = HashMap::new();
+        let mut lines = HashMap::new();
+
+        // Liveness: for each register, the index interval [def, last_use].
+        let mut last_def: HashMap<u64, usize> = HashMap::new();
+        let mut live_intervals: Vec<(usize, usize)> = Vec::new();
+        let key = |r: diq_isa::ArchReg| r.flat_index() as u64;
+
+        for (i, inst) in trace.iter().enumerate() {
+            match inst.op {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                OpClass::Branch => {
+                    branches += 1;
+                    *sites.entry(inst.pc).or_insert(0u32) += 1;
+                    if inst.branch.is_some_and(|b| b.taken) {
+                        taken += 1;
+                    }
+                }
+                _ => {}
+            }
+            if inst.op.is_fp_side() {
+                fp += 1;
+            }
+            if let Some(m) = inst.mem {
+                *lines.entry(m.addr >> 6).or_insert(0u32) += 1;
+            }
+            for src in inst.sources() {
+                if let Some(&def) = last_def.get(&key(src)) {
+                    // Extend the defining interval to this use.
+                    if let Some(iv) = live_intervals.iter_mut().rev().find(|iv| iv.0 == def) {
+                        iv.1 = iv.1.max(i);
+                    }
+                }
+            }
+            if let Some(dst) = inst.dst {
+                last_def.insert(key(dst), i);
+                live_intervals.push((i, i));
+            }
+        }
+
+        // Mean width = total live length / instructions.
+        let total_live: usize = live_intervals
+            .iter()
+            .map(|&(a, b)| b.saturating_sub(a))
+            .sum();
+        TraceProfile {
+            instructions: trace.len(),
+            load_frac: loads as f64 / n as f64,
+            store_frac: stores as f64 / n as f64,
+            branch_frac: branches as f64 / n as f64,
+            fp_frac: fp as f64 / n as f64,
+            taken_frac: if branches == 0 {
+                0.0
+            } else {
+                taken as f64 / branches as f64
+            },
+            mean_ddg_width: total_live as f64 / n as f64,
+            branch_sites: sites.len(),
+            data_lines: lines.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} instrs: {:.0}% load, {:.0}% store, {:.0}% branch ({:.0}% taken), {:.0}% FP",
+            self.instructions,
+            100.0 * self.load_frac,
+            100.0 * self.store_frac,
+            100.0 * self.branch_frac,
+            100.0 * self.taken_frac,
+            100.0 * self.fp_frac,
+        )?;
+        write!(
+            f,
+            "mean DDG width {:.1}, {} branch sites, {} distinct 64B data lines",
+            self.mean_ddg_width, self.branch_sites, self.data_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kernels, suite};
+    use diq_isa::ArchReg;
+
+    #[test]
+    fn fractions_match_generator_parameters() {
+        let spec = suite::by_name("equake").unwrap();
+        let trace = spec.generate(30_000);
+        let p = TraceProfile::measure(&trace);
+        assert!((p.load_frac - spec.mem.load_frac).abs() < 0.06);
+        assert!((p.store_frac - spec.mem.store_frac).abs() < 0.04);
+        assert!((p.branch_frac - spec.branch.branch_frac).abs() < 0.04);
+        assert!(p.fp_frac > 0.35, "FP model must be FP-dominated");
+    }
+
+    #[test]
+    fn fp_suite_is_wider_than_int_suite() {
+        let fp = TraceProfile::measure(&suite::by_name("swim").unwrap().generate(20_000));
+        let int = TraceProfile::measure(&suite::by_name("gzip").unwrap().generate(20_000));
+        assert!(
+            fp.mean_ddg_width > 1.5 * int.mean_ddg_width,
+            "swim width {:.1} vs gzip width {:.1}",
+            fp.mean_ddg_width,
+            int.mean_ddg_width
+        );
+    }
+
+    #[test]
+    fn kernel_width_tracks_parameter() {
+        let narrow = TraceProfile::measure(&kernels::parallel_fp_chains(4, 4).generate(10_000));
+        let wide = TraceProfile::measure(&kernels::parallel_fp_chains(20, 4).generate(10_000));
+        assert!(wide.mean_ddg_width > 2.0 * narrow.mean_ddg_width);
+    }
+
+    #[test]
+    fn serial_chain_has_width_one() {
+        let r = ArchReg::int(8);
+        let trace: Vec<_> = (0..100).map(|_| diq_isa::Inst::int_alu(r, r, r)).collect();
+        let p = TraceProfile::measure(&trace);
+        assert!((p.mean_ddg_width - 1.0).abs() < 0.1, "{}", p.mean_ddg_width);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = TraceProfile::measure(&suite::by_name("mgrid").unwrap().generate(5_000));
+        let s = p.to_string();
+        assert!(s.contains("DDG width"));
+        assert!(s.contains("branch sites"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Workload parameterization.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a benchmark models a SPECint or SPECfp program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchClass {
+    /// Integer program: narrow DDG, short latencies, branchy.
+    Int,
+    /// Floating-point program: wide DDG, long latencies, loopy.
+    Fp,
+}
+
+/// Relative frequencies of arithmetic operation classes inside dependence
+/// chains. Weights need not sum to one; they are normalized at generation
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Integer ALU weight.
+    pub int_alu: f64,
+    /// Integer multiply weight.
+    pub int_mul: f64,
+    /// Integer divide weight.
+    pub int_div: f64,
+    /// FP add weight.
+    pub fp_add: f64,
+    /// FP multiply weight.
+    pub fp_mul: f64,
+    /// FP divide weight.
+    pub fp_div: f64,
+}
+
+impl OpMix {
+    /// A purely integer mix (typical SPECint body).
+    #[must_use]
+    pub fn int_typical() -> Self {
+        OpMix {
+            int_alu: 1.0,
+            int_mul: 0.04,
+            int_div: 0.002,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// A typical FP mix: adds and multiplies in balance, occasional divides,
+    /// with integer address/index arithmetic around them.
+    #[must_use]
+    pub fn fp_typical() -> Self {
+        OpMix {
+            int_alu: 0.13,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_add: 1.0,
+            fp_mul: 0.85,
+            fp_div: 0.015,
+        }
+    }
+
+    pub(crate) fn weights(&self) -> [f64; 6] {
+        [
+            self.int_alu,
+            self.int_mul,
+            self.int_div,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+        ]
+    }
+}
+
+/// Memory behaviour of the benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemPattern {
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Data footprint in bytes (addresses wrap inside it).
+    pub footprint_bytes: u64,
+    /// Stride of the sequential streams in bytes.
+    pub stride: u64,
+    /// Fraction of accesses that go to a random location in the footprint
+    /// instead of the next stream element.
+    pub random_frac: f64,
+    /// Fraction of loads whose *result* feeds the next load's address
+    /// (pointer chasing, à la mcf/parser).
+    pub pointer_chase_frac: f64,
+}
+
+impl MemPattern {
+    /// Streaming pattern typical of FP array codes.
+    #[must_use]
+    pub fn streaming(footprint_bytes: u64) -> Self {
+        MemPattern {
+            load_frac: 0.26,
+            store_frac: 0.09,
+            footprint_bytes,
+            stride: 8,
+            random_frac: 0.05,
+            pointer_chase_frac: 0.0,
+        }
+    }
+
+    /// Irregular pattern typical of integer codes.
+    #[must_use]
+    pub fn irregular(footprint_bytes: u64) -> Self {
+        MemPattern {
+            load_frac: 0.24,
+            store_frac: 0.10,
+            footprint_bytes,
+            stride: 8,
+            random_frac: 0.45,
+            pointer_chase_frac: 0.05,
+        }
+    }
+}
+
+/// Control-flow behaviour of the benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BranchPattern {
+    /// Fraction of instructions that are conditional branches.
+    pub branch_frac: f64,
+    /// Mean probability a branch is taken.
+    pub taken_bias: f64,
+    /// Probability that a branch outcome deviates from its site's bias
+    /// (the unpredictable, data-dependent part).
+    pub noise: f64,
+    /// Number of static branch sites (code-footprint diversity).
+    pub sites: usize,
+    /// Static code footprint in bytes (drives I-cache behaviour).
+    pub code_bytes: u64,
+    /// Fraction of taken branches that are call/return pairs.
+    pub call_frac: f64,
+}
+
+impl BranchPattern {
+    /// Loop-dominated FP control flow: rare, highly biased branches.
+    #[must_use]
+    pub fn loopy() -> Self {
+        BranchPattern {
+            branch_frac: 0.05,
+            taken_bias: 0.93,
+            noise: 0.02,
+            sites: 32,
+            code_bytes: 24 * 1024,
+            call_frac: 0.02,
+        }
+    }
+
+    /// Branchy integer control flow.
+    #[must_use]
+    pub fn branchy() -> Self {
+        BranchPattern {
+            branch_frac: 0.16,
+            taken_bias: 0.72,
+            noise: 0.08,
+            sites: 256,
+            code_bytes: 48 * 1024,
+            call_frac: 0.05,
+        }
+    }
+}
+
+/// Full parameterization of one synthetic benchmark.
+///
+/// See the [`suite`](crate::suite) module for the 26 SPEC2000 models and
+/// [`kernels`](crate::kernels) for generic stress kernels.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (e.g. `"swim"`).
+    pub name: String,
+    /// Integer or FP suite membership.
+    pub class: BenchClass,
+    /// Number of dependence chains concurrently alive — the DDG width, the
+    /// single most important knob in the paper's story.
+    pub live_chains: usize,
+    /// Dependence-chain length range (operations per chain, inclusive).
+    pub chain_len: (usize, usize),
+    /// Probability that a fresh chain begins with a load.
+    pub chain_starts_with_load: f64,
+    /// Probability that a dying chain ends with a store.
+    pub chain_ends_with_store: f64,
+    /// Probability that a chain operation also reads a neighbouring chain's
+    /// register (reduction/cross dependences).
+    pub cross_dep_prob: f64,
+    /// Arithmetic operation mix.
+    pub mix: OpMix,
+    /// Memory behaviour.
+    pub mem: MemPattern,
+    /// Control-flow behaviour.
+    pub branch: BranchPattern,
+    /// RNG seed; generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Generates the first `n` instructions of this workload's trace.
+    ///
+    /// Convenience wrapper over [`TraceGenerator`](crate::TraceGenerator);
+    /// the result is deterministic for a given spec.
+    #[must_use]
+    pub fn generate(&self, n: usize) -> Vec<diq_isa::Inst> {
+        crate::TraceGenerator::new(self).take(n).collect()
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.live_chains == 0 || self.live_chains > 24 {
+            return Err(format!(
+                "live_chains {} outside 1..=24 (architectural registers bound)",
+                self.live_chains
+            ));
+        }
+        if self.chain_len.0 == 0 || self.chain_len.0 > self.chain_len.1 {
+            return Err(format!("bad chain_len range {:?}", self.chain_len));
+        }
+        for (name, p) in [
+            ("chain_starts_with_load", self.chain_starts_with_load),
+            ("chain_ends_with_store", self.chain_ends_with_store),
+            ("cross_dep_prob", self.cross_dep_prob),
+            ("load_frac", self.mem.load_frac),
+            ("store_frac", self.mem.store_frac),
+            ("random_frac", self.mem.random_frac),
+            ("pointer_chase_frac", self.mem.pointer_chase_frac),
+            ("branch_frac", self.branch.branch_frac),
+            ("taken_bias", self.branch.taken_bias),
+            ("noise", self.branch.noise),
+            ("call_frac", self.branch.call_frac),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+        }
+        if self.mem.load_frac + self.mem.store_frac + self.branch.branch_frac >= 0.9 {
+            return Err("loads+stores+branches leave no room for arithmetic".into());
+        }
+        if self.branch.sites == 0 {
+            return Err("need at least one branch site".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "t".into(),
+            class: BenchClass::Int,
+            live_chains: 4,
+            chain_len: (2, 5),
+            chain_starts_with_load: 0.5,
+            chain_ends_with_store: 0.3,
+            cross_dep_prob: 0.1,
+            mix: OpMix::int_typical(),
+            mem: MemPattern::irregular(1 << 20),
+            branch: BranchPattern::branchy(),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn valid_base() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_wide_ddg_beyond_registers() {
+        let mut s = base();
+        s.live_chains = 25;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_overfull_mix() {
+        let mut s = base();
+        s.mem.load_frac = 0.5;
+        s.mem.store_frac = 0.3;
+        s.branch.branch_frac = 0.2;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = base();
+        assert_eq!(s.generate(500), s.generate(500));
+    }
+}

@@ -1,0 +1,264 @@
+//! The 26 SPEC2000 benchmark models (12 integer + 14 floating-point).
+//!
+//! Each model is a [`WorkloadSpec`] whose parameters encode the published
+//! qualitative behaviour of the corresponding SPEC2000 program — DDG width,
+//! memory footprint and regularity, branch behaviour — which is what the
+//! paper's evaluation depends on. The absolute IPCs are not calibrated to
+//! the original binaries (those require Alpha executables and ref inputs);
+//! the *contrast* between suites is:
+//! integer models have 4–7 live chains of short operations, FP models have
+//! 10–22 live chains of long-latency operations.
+
+use crate::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Compact description of one integer benchmark model.
+#[allow(clippy::too_many_arguments)]
+fn int_bench(
+    name: &str,
+    live_chains: usize,
+    chain_len: (usize, usize),
+    load_frac: f64,
+    store_frac: f64,
+    branch_frac: f64,
+    taken_bias: f64,
+    noise: f64,
+    footprint: u64,
+    random_frac: f64,
+    pointer_chase_frac: f64,
+    code_bytes: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        class: BenchClass::Int,
+        live_chains,
+        chain_len,
+        chain_starts_with_load: 0.55,
+        chain_ends_with_store: 0.35,
+        cross_dep_prob: 0.12,
+        mix: OpMix::int_typical(),
+        mem: MemPattern {
+            load_frac,
+            store_frac,
+            footprint_bytes: footprint,
+            stride: 8,
+            random_frac,
+            pointer_chase_frac,
+        },
+        branch: BranchPattern {
+            branch_frac,
+            taken_bias,
+            noise,
+            sites: ((code_bytes / 64).clamp(64, 4096)) as usize,
+            code_bytes,
+            call_frac: 0.05,
+        },
+        seed: seed_for(name),
+    }
+}
+
+/// Compact description of one floating-point benchmark model.
+#[allow(clippy::too_many_arguments)]
+fn fp_bench(
+    name: &str,
+    live_chains: usize,
+    chain_len: (usize, usize),
+    load_frac: f64,
+    store_frac: f64,
+    branch_frac: f64,
+    footprint: u64,
+    random_frac: f64,
+    mix: OpMix,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        class: BenchClass::Fp,
+        live_chains,
+        chain_len,
+        chain_starts_with_load: 0.7,
+        chain_ends_with_store: 0.45,
+        cross_dep_prob: 0.08,
+        mix,
+        mem: MemPattern {
+            load_frac,
+            store_frac,
+            footprint_bytes: footprint,
+            stride: 8,
+            random_frac,
+            pointer_chase_frac: 0.0,
+        },
+        branch: BranchPattern {
+            branch_frac: branch_frac.max(0.02),
+            taken_bias: 0.96,
+            noise: 0.01,
+            sites: 64,
+            code_bytes: 32 * KB,
+            call_frac: 0.02,
+        },
+        seed: seed_for(name),
+    }
+}
+
+/// A stable per-benchmark seed derived from the name.
+fn seed_for(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// The 12 SPECint2000 models.
+#[must_use]
+pub fn spec_int() -> Vec<WorkloadSpec> {
+    vec![
+        int_bench("bzip2", 6, (2, 5), 0.22, 0.08, 0.13, 0.93, 0.02, 12 * KB, 0.15, 0.02, 16 * KB),
+        int_bench("crafty", 7, (2, 4), 0.24, 0.08, 0.14, 0.91, 0.03, 16 * KB, 0.20, 0.03, 32 * KB),
+        // eon is the one SPECint program with a visible FP component
+        // (the paper points this out under Figure 7).
+        WorkloadSpec {
+            mix: OpMix {
+                int_alu: 1.0,
+                int_mul: 0.03,
+                int_div: 0.001,
+                fp_add: 0.30,
+                fp_mul: 0.25,
+                fp_div: 0.01,
+            },
+            ..int_bench("eon", 7, (2, 5), 0.26, 0.12, 0.10, 0.94, 0.015, 12 * KB, 0.15, 0.0, 32 * KB)
+        },
+        int_bench("gap", 6, (2, 5), 0.24, 0.10, 0.12, 0.92, 0.02, 16 * KB, 0.20, 0.05, 32 * KB),
+        int_bench("gcc", 5, (2, 4), 0.25, 0.11, 0.19, 0.88, 0.04, 48 * KB, 0.25, 0.05, 64 * KB),
+        int_bench("gzip", 5, (2, 5), 0.20, 0.08, 0.12, 0.93, 0.02, 8 * KB, 0.10, 0.02, 16 * KB),
+        int_bench("mcf", 4, (2, 4), 0.30, 0.08, 0.16, 0.90, 0.04, 64 * MB, 0.60, 0.30, 16 * KB),
+        int_bench("parser", 5, (2, 4), 0.24, 0.10, 0.17, 0.90, 0.035, 32 * KB, 0.30, 0.08, 32 * KB),
+        int_bench("perlbmk", 6, (2, 4), 0.24, 0.11, 0.18, 0.91, 0.03, 24 * KB, 0.25, 0.05, 48 * KB),
+        int_bench("twolf", 5, (2, 5), 0.23, 0.09, 0.14, 0.89, 0.04, 16 * KB, 0.25, 0.05, 24 * KB),
+        int_bench("vortex", 6, (2, 5), 0.26, 0.13, 0.14, 0.93, 0.015, 96 * KB, 0.25, 0.08, 64 * KB),
+        int_bench("vpr", 5, (2, 5), 0.24, 0.09, 0.14, 0.90, 0.035, 24 * KB, 0.25, 0.05, 24 * KB),
+    ]
+}
+
+/// The 14 SPECfp2000 models.
+#[must_use]
+pub fn spec_fp() -> Vec<WorkloadSpec> {
+    let m = OpMix::fp_typical;
+    vec![
+        fp_bench("ammp", 14, (2, 5), 0.20, 0.07, 0.05, 16 * KB, 0.10, m()),
+        fp_bench("applu", 16, (3, 6), 0.20, 0.07, 0.03, 12 * KB, 0.03, m()),
+        fp_bench("apsi", 12, (2, 5), 0.20, 0.07, 0.05, 12 * KB, 0.06, m()),
+        fp_bench("art", 10, (2, 5), 0.26, 0.07, 0.06, 2 * MB, 0.45, m()),
+        fp_bench("equake", 12, (2, 5), 0.23, 0.08, 0.05, 24 * KB, 0.10, m()),
+        fp_bench("facerec", 14, (2, 5), 0.19, 0.06, 0.04, 8 * KB, 0.05, m()),
+        fp_bench("fma3d", 14, (2, 5), 0.20, 0.07, 0.05, 16 * KB, 0.08, m()),
+        fp_bench("galgel", 18, (2, 5), 0.18, 0.06, 0.03, 8 * KB, 0.03, m()),
+        fp_bench("lucas", 16, (3, 6), 0.19, 0.07, 0.03, MB, 0.04, m()),
+        // mesa is the most "integer-like" of the FP suite.
+        fp_bench(
+            "mesa",
+            8,
+            (2, 5),
+            0.24,
+            0.10,
+            0.10,
+            8 * KB,
+            0.08,
+            OpMix {
+                int_alu: 0.8,
+                ..OpMix::fp_typical()
+            },
+        ),
+        fp_bench("mgrid", 20, (3, 6), 0.20, 0.06, 0.02, 8 * KB, 0.02, m()),
+        fp_bench("sixtrack", 16, (2, 5), 0.18, 0.06, 0.04, 8 * KB, 0.03, m()),
+        fp_bench("swim", 22, (3, 6), 0.24, 0.08, 0.02, 2 * MB, 0.02, m()),
+        // wupwise is multiply-dominated (complex arithmetic).
+        fp_bench(
+            "wupwise",
+            14,
+            (2, 5),
+            0.25,
+            0.09,
+            0.03,
+            8 * KB,
+            0.04,
+            OpMix {
+                fp_mul: 1.3,
+                ..OpMix::fp_typical()
+            },
+        ),
+    ]
+}
+
+/// All 26 models, integer suite first.
+#[must_use]
+pub fn all() -> Vec<WorkloadSpec> {
+    let mut v = spec_int();
+    v.extend(spec_fp());
+    v
+}
+
+/// Looks a model up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_spec2000() {
+        assert_eq!(spec_int().len(), 12);
+        assert_eq!(spec_fp().len(), 14);
+        assert_eq!(all().len(), 26);
+    }
+
+    #[test]
+    fn all_models_validate() {
+        for s in all() {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let mut names: Vec<_> = all().into_iter().map(|s| s.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        assert!(by_name("swim").is_some());
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn fp_models_are_wider_than_int_models() {
+        let max_int = spec_int().iter().map(|s| s.live_chains).max().unwrap();
+        let min_fp_wide = spec_fp()
+            .iter()
+            .filter(|s| s.name != "mesa") // the deliberate outlier
+            .map(|s| s.live_chains)
+            .min()
+            .unwrap();
+        assert!(
+            min_fp_wide > max_int,
+            "FP DDGs ({min_fp_wide}) must be wider than INT ({max_int})"
+        );
+    }
+
+    #[test]
+    fn seeds_differ_across_benchmarks() {
+        let a = seed_for("swim");
+        let b = seed_for("mgrid");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eon_has_fp_work() {
+        let eon = by_name("eon").unwrap();
+        let trace = eon.generate(20_000);
+        let fp = trace.iter().filter(|i| i.is_fp_side()).count();
+        assert!(fp > 1000, "eon should execute FP operations, saw {fp}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Compare all four issue-queue schemes (plus distributed variants) on any
+//! benchmark of the synthetic SPEC2000 suite.
+//!
+//! Run with: `cargo run --release --example compare_schemes [benchmark]`
+//! (default: `swim`; try `mgrid`, `art`, `gcc`, `bzip2`, …)
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::Simulator;
+use diq::sched::SchedulerConfig;
+use diq::stats::Table;
+use diq::workload::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".into());
+    let Some(bench) = suite::by_name(&name) else {
+        eprintln!("unknown benchmark `{name}`; known:");
+        for s in suite::all() {
+            eprint!(" {}", s.name);
+        }
+        eprintln!();
+        std::process::exit(1);
+    };
+
+    let cfg = ProcessorConfig::hpca2004();
+    let n = 50_000u64;
+    let schemes = [
+        SchedulerConfig::unbounded_baseline(),
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::issue_fifo(16, 16, 8, 16),
+        SchedulerConfig::lat_fifo(16, 16, 8, 16),
+        SchedulerConfig::mix_buff(16, 16, 8, 16, None),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+    ];
+
+    let mut table = Table::new(["scheme", "IPC", "IQ pJ/instr", "IQ power", "dispatch stalls"]);
+    for sched in &schemes {
+        let mut sim = Simulator::new(&cfg, sched);
+        sim.set_benchmark(&bench.name);
+        let st = sim.run(bench.generate(n as usize), n);
+        table.row([
+            st.scheme.clone(),
+            format!("{:.2}", st.ipc()),
+            format!("{:.1}", st.energy_pj() / st.committed as f64),
+            format!("{:.1}", st.power_pj_per_cycle()),
+            format!("{}", st.dispatch_stall_cycles),
+        ]);
+    }
+    println!("benchmark: {name} ({n} instructions)\n{table}");
+}

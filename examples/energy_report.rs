@@ -1,0 +1,55 @@
+//! Per-component issue-queue energy breakdown for each scheme on one
+//! benchmark — the per-benchmark version of the paper's Figures 9–11.
+//!
+//! Run with: `cargo run --release --example energy_report [benchmark]`
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::Simulator;
+use diq::power::ALL_COMPONENTS;
+use diq::sched::SchedulerConfig;
+use diq::stats::Table;
+use diq::workload::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "applu".into());
+    let bench = suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(1);
+    });
+    let cfg = ProcessorConfig::hpca2004();
+    let n = 50_000u64;
+
+    let schemes = [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+    ];
+    let runs: Vec<_> = schemes
+        .iter()
+        .map(|sched| {
+            let mut sim = Simulator::new(&cfg, sched);
+            sim.set_benchmark(&bench.name);
+            sim.run(bench.generate(n as usize), n)
+        })
+        .collect();
+
+    let mut headers = vec!["component".to_string()];
+    headers.extend(runs.iter().map(|r| r.scheme.clone()));
+    let mut table = Table::new(headers);
+    for c in ALL_COMPONENTS {
+        if runs.iter().all(|r| r.energy.get(c) == 0.0) {
+            continue;
+        }
+        let mut cells = vec![c.paper_label().to_string()];
+        for r in &runs {
+            cells.push(format!("{:5.1}%", 100.0 * r.energy.fraction(c)));
+        }
+        table.row(cells);
+    }
+    let mut totals = vec!["TOTAL (pJ/instr)".to_string()];
+    for r in &runs {
+        totals.push(format!("{:.1}", r.energy_pj() / r.committed as f64));
+    }
+    table.row(totals);
+    println!("issue-queue energy breakdown on {name}:\n{table}");
+}

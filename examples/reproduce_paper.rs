@@ -1,0 +1,33 @@
+//! Full reproduction run: regenerates every table and figure of the paper
+//! in sequence and (optionally) archives them as JSON.
+//!
+//! Run with: `cargo run --release --example reproduce_paper [json-dir]`
+//!
+//! `DIQ_INSTRS` controls the instructions simulated per benchmark
+//! (default 100 000; the paper used 100 M).
+
+use diq::sim::{figures, Harness};
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    let json_dir = std::env::args().nth(1);
+    let harness = Harness::new();
+    println!(
+        "reproducing all paper artifacts ({} instructions per benchmark)\n",
+        harness.instructions()
+    );
+    let start = Instant::now();
+    for fig in figures::all(&harness) {
+        println!("{fig}");
+        if let Some(dir) = &json_dir {
+            fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{}.json", fig.id);
+            fs::write(&path, fig.to_json()).expect("write json");
+        }
+    }
+    println!("total: {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(dir) = &json_dir {
+        println!("JSON archives in {dir}/");
+    }
+}

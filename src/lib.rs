@@ -1,0 +1,74 @@
+//! # diq — the HPCA 2004 *Low-Complexity Distributed Issue Queue*, in Rust
+//!
+//! This is the façade crate of the workspace: it re-exports every component
+//! crate under a friendly module name so applications need a single
+//! dependency.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`isa`] | `diq-isa` | instructions, registers, Table 1 configuration |
+//! | [`sched`] | `diq-core` | the issue-queue schemes (the paper's contribution) |
+//! | [`pipeline`] | `diq-pipeline` | the 8-wide out-of-order core |
+//! | [`workload`] | `diq-workload` | synthetic SPEC2000-like workload models |
+//! | [`branch`] | `diq-branch` | hybrid branch predictor + BTB |
+//! | [`mem`] | `diq-mem` | cache hierarchy |
+//! | [`power`] | `diq-power` | CACTI-lite energy model + activity meter |
+//! | [`stats`] | `diq-stats` | counters, means, text tables |
+//! | [`sim`] | `diq-sim` | the experiment harness for every paper figure |
+//!
+//! # Quickstart
+//!
+//! Run one synthetic benchmark under the paper's distributed MixBUFF scheme
+//! (`MB_distr`) and under the conventional CAM baseline (`IQ_64_64`), then
+//! compare IPC and issue-queue energy — see `examples/quickstart.rs` for the
+//! full program.
+
+#![deny(missing_docs)]
+
+/// Instructions, registers and machine configuration (re-export of `diq-isa`).
+pub mod isa {
+    pub use diq_isa::*;
+}
+
+/// Issue-queue schemes: CAM baseline, IssueFIFO, LatFIFO, MixBUFF
+/// (re-export of `diq-core`).
+pub mod sched {
+    pub use diq_core::*;
+}
+
+/// The out-of-order superscalar core (re-export of `diq-pipeline`).
+pub mod pipeline {
+    pub use diq_pipeline::*;
+}
+
+/// Synthetic workload models and trace generation (re-export of
+/// `diq-workload`).
+pub mod workload {
+    pub use diq_workload::*;
+}
+
+/// Branch prediction (re-export of `diq-branch`).
+pub mod branch {
+    pub use diq_branch::*;
+}
+
+/// Cache hierarchy (re-export of `diq-mem`).
+pub mod mem {
+    pub use diq_mem::*;
+}
+
+/// Energy modelling (re-export of `diq-power`).
+pub mod power {
+    pub use diq_power::*;
+}
+
+/// Statistics utilities (re-export of `diq-stats`).
+pub mod stats {
+    pub use diq_stats::*;
+}
+
+/// Experiment harness for the paper's tables and figures (re-export of
+/// `diq-sim`).
+pub mod sim {
+    pub use diq_sim::*;
+}

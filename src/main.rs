@@ -1,0 +1,135 @@
+//! `diq` — command-line front end for the HPCA 2004 distributed issue
+//! queue reproduction.
+//!
+//! ```text
+//! diq list                          benchmarks and schemes
+//! diq run <scheme> <benchmark> [n]  one simulation, full statistics
+//! diq figure <id>                   regenerate one paper artifact (fig2..fig15,
+//!                                   tab1, sec3, headline)
+//! diq figures                       regenerate everything
+//! ```
+
+use diq::pipeline::Simulator;
+use diq::sched::SchedulerConfig;
+use diq::sim::{figures, Figure, Harness};
+use diq::workload::suite;
+
+fn scheme_by_name(name: &str) -> Option<SchedulerConfig> {
+    let known = [
+        SchedulerConfig::unbounded_baseline(),
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::issue_fifo(16, 16, 8, 16),
+        SchedulerConfig::lat_fifo(16, 16, 8, 16),
+        SchedulerConfig::mix_buff(16, 16, 8, 16, None),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+        SchedulerConfig::mb_distr_age_only(),
+    ];
+    known.into_iter().find(|s| s.label() == name)
+}
+
+fn figure_by_id(id: &str, h: &Harness) -> Option<Figure> {
+    Some(match id {
+        "tab1" => figures::table1(h),
+        "fig2" => figures::fig2(h),
+        "fig3" => figures::fig3(h),
+        "fig4" => figures::fig4(h),
+        "fig6" => figures::fig6(h),
+        "sec3" => figures::section3_claims(h),
+        "fig7" => figures::fig7(h),
+        "fig8" => figures::fig8(h),
+        "fig9" => figures::fig9(h),
+        "fig10" => figures::fig10(h),
+        "fig11" => figures::fig11(h),
+        "fig12" => figures::fig12(h),
+        "fig13" => figures::fig13(h),
+        "fig14" => figures::fig14(h),
+        "fig15" => figures::fig15(h),
+        "headline" => figures::headline(h),
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  diq list\n  diq run <scheme> <benchmark> [instructions]\n  diq figure <id>\n  diq figures\n\nDIQ_INSTRS sets the per-benchmark instruction count for figures."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("benchmarks (synthetic SPEC2000 models):");
+            for s in suite::all() {
+                println!(
+                    "  {:10} ({:?}, {} live chains)",
+                    s.name, s.class, s.live_chains
+                );
+            }
+            println!("\nschemes:");
+            for label in [
+                "IQ_unbounded",
+                "IQ_64_64",
+                "IssueFIFO_16x16_8x16",
+                "LatFIFO_16x16_8x16",
+                "MixBUFF_16x16_8x16",
+                "IF_distr",
+                "MB_distr",
+                "MB_distr_agesel",
+            ] {
+                println!("  {label}");
+            }
+        }
+        Some("run") => {
+            let (Some(scheme_name), Some(bench_name)) = (args.get(1), args.get(2)) else {
+                usage();
+            };
+            let Some(scheme) = scheme_by_name(scheme_name) else {
+                eprintln!("unknown scheme `{scheme_name}` (see `diq list`)");
+                std::process::exit(1);
+            };
+            let Some(bench) = suite::by_name(bench_name) else {
+                eprintln!("unknown benchmark `{bench_name}` (see `diq list`)");
+                std::process::exit(1);
+            };
+            let n: u64 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(100_000);
+            let cfg = diq::isa::ProcessorConfig::hpca2004();
+            let mut sim = Simulator::new(&cfg, &scheme);
+            sim.set_benchmark(&bench.name);
+            let stats = sim.run(bench.generate(n as usize), n);
+            println!("{stats}");
+            println!("energy breakdown:");
+            for (c, pj) in stats.energy.breakdown() {
+                println!(
+                    "  {:12} {:8.1} nJ ({:4.1}%)",
+                    c.paper_label(),
+                    pj / 1e3,
+                    100.0 * stats.energy.fraction(c)
+                );
+            }
+        }
+        Some("figure") => {
+            let Some(id) = args.get(1) else { usage() };
+            let h = Harness::new();
+            match figure_by_id(id, &h) {
+                Some(fig) => println!("{fig}"),
+                None => {
+                    eprintln!("unknown figure `{id}` (tab1, fig2-fig4, fig6-fig15, sec3, headline)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("figures") => {
+            let h = Harness::new();
+            for fig in figures::all(&h) {
+                println!("{fig}");
+            }
+        }
+        _ => usage(),
+    }
+}

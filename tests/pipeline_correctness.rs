@@ -1,0 +1,101 @@
+//! End-to-end correctness: every scheme must run every kind of workload to
+//! completion with a clean dataflow checker.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::Simulator;
+use diq::sched::SchedulerConfig;
+use diq::workload::{kernels, suite};
+
+fn all_schemes() -> Vec<SchedulerConfig> {
+    vec![
+        SchedulerConfig::unbounded_baseline(),
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::issue_fifo(8, 8, 8, 16),
+        SchedulerConfig::lat_fifo(8, 8, 8, 16),
+        SchedulerConfig::mix_buff(8, 8, 8, 16, Some(8)),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+    ]
+}
+
+#[test]
+fn every_scheme_commits_exactly_the_trace_on_mixed_workloads() {
+    let cfg = ProcessorConfig::hpca2004();
+    let n = 3_000u64;
+    for bench in ["swim", "gcc", "eon", "art"] {
+        let spec = suite::by_name(bench).unwrap();
+        let trace = spec.generate(n as usize);
+        for sched in all_schemes() {
+            let mut sim = Simulator::new(&cfg, &sched);
+            sim.set_benchmark(bench);
+            let stats = sim.run(trace.clone(), n);
+            assert_eq!(stats.committed, n, "{bench} under {}", sched.label());
+            assert_eq!(
+                stats.checker_violations,
+                0,
+                "{bench} under {}: issued before ready",
+                sched.label()
+            );
+            assert_eq!(
+                stats.issued, stats.committed,
+                "{bench} under {}: drained runs issue each instruction once",
+                sched.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheme_survives_stress_kernels() {
+    let cfg = ProcessorConfig::hpca2004();
+    let n = 2_000u64;
+    for spec in [
+        kernels::parallel_fp_chains(24, 8),
+        kernels::serial_int_chain(),
+        kernels::streaming(1 << 22),
+        kernels::pointer_chase(1 << 24),
+        kernels::branch_torture(0.3),
+    ] {
+        for sched in all_schemes() {
+            let mut sim = Simulator::new(&cfg, &sched);
+            sim.set_benchmark(&spec.name);
+            let stats = sim.run(spec.generate(n as usize), n);
+            assert_eq!(stats.committed, n, "{} under {}", spec.name, sched.label());
+            assert_eq!(stats.checker_violations, 0);
+        }
+    }
+}
+
+#[test]
+fn identical_trace_identical_schemes_identical_results() {
+    // Determinism end to end: same spec, same scheme => same cycle count.
+    let cfg = ProcessorConfig::hpca2004();
+    let spec = suite::by_name("fma3d").unwrap();
+    let run = || {
+        let mut sim = Simulator::new(&cfg, &SchedulerConfig::mb_distr());
+        sim.run(spec.generate(2_000), 2_000).cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn serial_dependences_bound_every_scheme_equally() {
+    // A fully serial FP-multiply chain must take >= 4 cycles per
+    // instruction on every scheme — no scheme may break true dependences.
+    use diq::isa::{ArchReg, Inst};
+    let cfg = ProcessorConfig::hpca2004();
+    let f = ArchReg::fp(4);
+    let insts: Vec<Inst> = (0..300)
+        .map(|i| Inst::fp_mul(f, f, f).at(0x40_0000 + (i % 8) * 4))
+        .collect();
+    for sched in all_schemes() {
+        let mut sim = Simulator::new(&cfg, &sched);
+        let stats = sim.run(insts.clone(), 300);
+        assert!(
+            stats.cycles >= 4 * 300,
+            "{}: serial fp_mul chain finished in {} cycles (< 4/instr)",
+            sched.label(),
+            stats.cycles
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: randomized workloads through every scheduler must never
+//! deadlock, never issue an instruction before its operands exist, and must
+//! conserve instructions (everything fetched commits exactly once).
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::Simulator;
+use diq::sched::SchedulerConfig;
+use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A random but always-valid workload spec.
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1usize..=24,              // live chains
+        1usize..=6,               // min chain len
+        0usize..=6,               // extra chain len
+        0.0f64..0.35,             // load frac
+        0.0f64..0.15,             // store frac
+        0.0f64..0.25,             // branch frac
+        0.5f64..0.98,             // taken bias
+        0.0f64..0.3,              // noise
+        0.0f64..1.0,              // fp-ness of the mix
+        any::<u64>(),             // seed
+    )
+        .prop_map(
+            |(chains, len_lo, len_extra, loads, stores, branches, bias, noise, fpness, seed)| {
+                WorkloadSpec {
+                    name: "prop".into(),
+                    class: if fpness > 0.5 {
+                        BenchClass::Fp
+                    } else {
+                        BenchClass::Int
+                    },
+                    live_chains: chains,
+                    chain_len: (len_lo, len_lo + len_extra),
+                    chain_starts_with_load: 0.5,
+                    chain_ends_with_store: 0.3,
+                    cross_dep_prob: 0.1,
+                    mix: OpMix {
+                        int_alu: 1.0 - fpness,
+                        int_mul: 0.02,
+                        int_div: 0.002,
+                        fp_add: fpness,
+                        fp_mul: fpness * 0.8,
+                        fp_div: fpness * 0.02,
+                    },
+                    mem: MemPattern {
+                        load_frac: loads,
+                        store_frac: stores,
+                        footprint_bytes: 1 << 18,
+                        stride: 8,
+                        random_frac: 0.2,
+                        pointer_chase_frac: 0.05,
+                    },
+                    branch: BranchPattern {
+                        branch_frac: branches,
+                        taken_bias: bias,
+                        noise,
+                        sites: 64,
+                        code_bytes: 4096,
+                        call_frac: 0.03,
+                    },
+                    seed,
+                }
+            },
+        )
+        .prop_filter("fractions must leave room for arithmetic", |s| {
+            s.validate().is_ok()
+        })
+}
+
+fn schemes() -> Vec<SchedulerConfig> {
+    vec![
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::issue_fifo(4, 4, 4, 8),
+        SchedulerConfig::lat_fifo(4, 4, 4, 8),
+        SchedulerConfig::mix_buff(4, 4, 4, 8, Some(4)),
+        SchedulerConfig::mb_distr(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// No deadlock, no dataflow violation, exact conservation — under every
+    /// scheme, for arbitrary workload shapes.
+    #[test]
+    fn schedulers_are_sound_on_arbitrary_workloads(spec in arb_workload()) {
+        let cfg = ProcessorConfig::hpca2004();
+        let n = 600u64;
+        let trace = spec.generate(n as usize);
+        for inst in &trace {
+            prop_assert!(inst.validate().is_ok(), "invalid instruction {inst}");
+        }
+        for sched in schemes() {
+            let mut sim = Simulator::new(&cfg, &sched);
+            sim.set_benchmark(&spec.name);
+            // `run` panics internally on deadlock after 100k idle cycles.
+            let stats = sim.run(trace.clone(), n);
+            prop_assert_eq!(stats.committed, n, "{}", sched.label());
+            prop_assert_eq!(stats.checker_violations, 0, "{}", sched.label());
+            prop_assert_eq!(stats.issued, n, "{}", sched.label());
+            prop_assert!(stats.cycles > 0);
+        }
+    }
+
+    /// The same trace under a bigger CAM queue can only get faster (a
+    /// monotonicity property of window sizes).
+    #[test]
+    fn bigger_cam_queue_never_hurts(seed in any::<u64>()) {
+        let cfg = ProcessorConfig::hpca2004();
+        let mut spec = diq::workload::kernels::parallel_fp_chains(12, 4);
+        spec.seed = seed;
+        let n = 800u64;
+        let trace = spec.generate(n as usize);
+        let small = {
+            let mut sim = Simulator::new(&cfg, &SchedulerConfig::cam(16, 16, 2));
+            sim.run(trace.clone(), n).cycles
+        };
+        let large = {
+            let mut sim = Simulator::new(&cfg, &SchedulerConfig::cam(64, 64, 8));
+            sim.run(trace.clone(), n).cycles
+        };
+        // Small tolerance: selection order can shift by a cycle or two.
+        prop_assert!(large <= small + 4, "64-entry {large} vs 16-entry {small}");
+    }
+}

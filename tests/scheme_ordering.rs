@@ -1,0 +1,160 @@
+//! The paper's qualitative results, asserted as invariants: performance
+//! ordering of the schemes on wide-DDG FP work, and energy ordering of the
+//! structures.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::{SimStats, Simulator};
+use diq::sched::SchedulerConfig;
+use diq::workload::{kernels, suite};
+
+fn run(sched: &SchedulerConfig, spec: &diq::workload::WorkloadSpec, n: u64) -> SimStats {
+    let cfg = ProcessorConfig::hpca2004();
+    let mut sim = Simulator::new(&cfg, sched);
+    sim.set_benchmark(&spec.name);
+    sim.run(spec.generate(n as usize), n)
+}
+
+/// On a chain-churn kernel wider than the queue count, the paper's ordering
+/// must hold: baseline ≥ MixBUFF ≥ LatFIFO ≥ IssueFIFO.
+#[test]
+fn fp_scheme_ordering_on_wide_ddg() {
+    let spec = kernels::parallel_fp_chains(16, 2);
+    let n = 8_000;
+    let base = run(&SchedulerConfig::unbounded_baseline(), &spec, n).ipc();
+    let mixb = run(&SchedulerConfig::mix_buff(16, 16, 8, 16, None), &spec, n).ipc();
+    let lat = run(&SchedulerConfig::lat_fifo(16, 16, 8, 16), &spec, n).ipc();
+    let fifo = run(&SchedulerConfig::issue_fifo(16, 16, 8, 16), &spec, n).ipc();
+    let tol = 1.02; // 2% tolerance for simulation noise
+    assert!(base * tol >= mixb, "baseline {base} vs MixBUFF {mixb}");
+    assert!(mixb * tol >= lat, "MixBUFF {mixb} vs LatFIFO {lat}");
+    assert!(lat * tol >= fifo, "LatFIFO {lat} vs IssueFIFO {fifo}");
+    // And the gap between the extremes must be substantial: this kernel is
+    // built to defeat FIFO dispatch.
+    assert!(
+        fifo < 0.85 * base,
+        "IssueFIFO ({fifo}) should lose >15% to the baseline ({base}) here"
+    );
+    assert!(
+        mixb > 0.80 * base,
+        "MixBUFF ({mixb}) should stay within ~20% of the baseline ({base}) \
+         even on this adversarial churn kernel"
+    );
+}
+
+/// FIFO queues are fine for integer codes — the observation that motivates
+/// the whole paper.
+#[test]
+fn issue_fifo_is_cheap_on_int_and_costly_on_fp() {
+    let n = 6_000;
+    let int_spec = suite::by_name("gzip").unwrap();
+    let fp_spec = suite::by_name("applu").unwrap();
+
+    let int_loss = {
+        let b = run(&SchedulerConfig::unbounded_baseline(), &int_spec, n).ipc();
+        let f = run(&SchedulerConfig::issue_fifo(16, 16, 8, 16), &int_spec, n).ipc();
+        (b - f) / b
+    };
+    let fp_loss = {
+        let b = run(&SchedulerConfig::unbounded_baseline(), &fp_spec, n).ipc();
+        let f = run(&SchedulerConfig::issue_fifo(16, 16, 8, 16), &fp_spec, n).ipc();
+        (b - f) / b
+    };
+    assert!(
+        int_loss < 0.05,
+        "IssueFIFO should barely hurt integer code, lost {:.1}%",
+        100.0 * int_loss
+    );
+    assert!(
+        fp_loss > 0.08,
+        "IssueFIFO should visibly hurt FP code, lost only {:.1}%",
+        100.0 * fp_loss
+    );
+    assert!(fp_loss > 2.0 * int_loss, "the INT/FP contrast is the point");
+}
+
+/// Energy ordering: the CAM baseline burns much more issue-queue energy per
+/// instruction than either distributed scheme; MB_distr sits between
+/// IF_distr and the baseline (it pays for buffers/selection/chains).
+#[test]
+fn energy_ordering_matches_paper() {
+    let spec = suite::by_name("applu").unwrap();
+    let n = 10_000;
+    let base = run(&SchedulerConfig::iq_64_64(), &spec, n);
+    let ifd = run(&SchedulerConfig::if_distr(), &spec, n);
+    let mbd = run(&SchedulerConfig::mb_distr(), &spec, n);
+    let per_instr = |s: &SimStats| s.energy_pj() / s.committed as f64;
+    assert!(
+        per_instr(&base) > 2.0 * per_instr(&ifd),
+        "baseline {:.1} pJ/instr should dwarf IF_distr {:.1}",
+        per_instr(&base),
+        per_instr(&ifd)
+    );
+    assert!(
+        per_instr(&base) > 1.5 * per_instr(&mbd),
+        "baseline {:.1} pJ/instr should dwarf MB_distr {:.1}",
+        per_instr(&base),
+        per_instr(&mbd)
+    );
+    assert!(
+        per_instr(&mbd) > per_instr(&ifd),
+        "MB_distr pays a little more than IF_distr for its flexibility"
+    );
+}
+
+/// The baseline's wakeup must dominate its own energy (Figure 9), and the
+/// distributed schemes must have no wakeup at all.
+#[test]
+fn wakeup_dominates_cam_and_vanishes_when_distributed() {
+    use diq::power::Component;
+    let spec = suite::by_name("equake").unwrap();
+    let n = 10_000;
+    let base = run(&SchedulerConfig::iq_64_64(), &spec, n);
+    assert!(
+        base.energy.fraction(Component::Wakeup) > 0.4,
+        "wakeup is only {:.0}% of the CAM baseline",
+        100.0 * base.energy.fraction(Component::Wakeup)
+    );
+    let mbd = run(&SchedulerConfig::mb_distr(), &spec, n);
+    assert_eq!(mbd.energy.get(Component::Wakeup), 0.0);
+    assert!(mbd.energy.get(Component::Chains) > 0.0);
+    assert!(mbd.energy.get(Component::RegsReady) > 0.0);
+}
+
+/// Distributing the functional units collapses the mux/crossbar energy.
+#[test]
+fn distributed_mux_energy_is_negligible() {
+    use diq::power::Component;
+    let spec = suite::by_name("gzip").unwrap();
+    let n = 10_000;
+    let shared = run(&SchedulerConfig::issue_fifo(8, 8, 8, 16), &spec, n);
+    let distr = run(&SchedulerConfig::if_distr(), &spec, n);
+    let mux = |s: &SimStats| {
+        s.energy.get(Component::MuxIntAlu)
+            + s.energy.get(Component::MuxIntMul)
+            + s.energy.get(Component::MuxFpAlu)
+            + s.energy.get(Component::MuxFpMul)
+    };
+    assert!(
+        mux(&shared) > 10.0 * mux(&distr),
+        "shared-pool mux {:.1} pJ vs distributed {:.1} pJ",
+        mux(&shared),
+        mux(&distr)
+    );
+}
+
+/// The distributed variants pay an IPC price for their private units —
+/// but a bounded one.
+#[test]
+fn distribution_costs_bounded_ipc() {
+    let spec = suite::by_name("facerec").unwrap();
+    let n = 8_000;
+    let pooled = run(&SchedulerConfig::mix_buff(8, 8, 8, 16, Some(8)), &spec, n).ipc();
+    let distr = run(&SchedulerConfig::mb_distr(), &spec, n).ipc();
+    assert!(distr <= pooled * 1.02, "distribution cannot help");
+    assert!(
+        distr > 0.85 * pooled,
+        "distribution should cost well under 15% here, got {:.2} vs {:.2}",
+        distr,
+        pooled
+    );
+}
