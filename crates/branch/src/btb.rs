@@ -31,7 +31,10 @@ impl Btb {
     pub fn new(entries: usize, assoc: usize) -> Self {
         assert!(assoc > 0 && entries > 0 && entries.is_multiple_of(assoc));
         let nsets = entries / assoc;
-        assert!(nsets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            nsets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         Btb {
             sets: vec![Vec::with_capacity(assoc); nsets],
             assoc,
@@ -77,7 +80,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_a_set() {
         let mut btb = Btb::new(8, 2); // 4 sets, 2 ways
-        // Three branches mapping to the same set (stride = 4 * nsets = 16).
+                                      // Three branches mapping to the same set (stride = 4 * nsets = 16).
         let (a, b, c) = (0x10u64, 0x10 + 16, 0x10 + 32);
         btb.update(a, 1);
         btb.update(b, 2);

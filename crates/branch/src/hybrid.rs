@@ -52,7 +52,10 @@ impl HybridPredictor {
             ("bimodal", cfg.bimodal_entries),
             ("selector", cfg.selector_entries),
         ] {
-            assert!(n > 0 && n.is_power_of_two(), "{name} size must be a power of two");
+            assert!(
+                n > 0 && n.is_power_of_two(),
+                "{name} size must be a power of two"
+            );
         }
         HybridPredictor {
             // Initialize to weakly taken: loops warm up fast, matching
@@ -92,7 +95,11 @@ impl HybridPredictor {
         let bimodal_taken = counter_taken(self.bimodal[self.bimodal_idx(pc)]);
         let gshare_taken = counter_taken(self.gshare[self.gshare_idx(pc, snapshot)]);
         let use_gshare = counter_taken(self.selector[self.selector_idx(pc)]);
-        let taken = if use_gshare { gshare_taken } else { bimodal_taken };
+        let taken = if use_gshare {
+            gshare_taken
+        } else {
+            bimodal_taken
+        };
         self.ghr = (self.ghr << 1) | u64::from(taken);
         (
             taken,

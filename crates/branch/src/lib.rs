@@ -161,8 +161,7 @@ impl BranchUnit {
     /// prediction token.
     pub fn resolve(&mut self, pc: u64, pred: &Prediction, actual: &BranchInfo) -> bool {
         let dir_correct = pred.taken == actual.taken;
-        let target_correct =
-            !actual.taken || pred.target == Some(actual.target);
+        let target_correct = !actual.taken || pred.target == Some(actual.target);
 
         if actual.kind == BranchKind::Conditional {
             self.hybrid.update(pc, pred, actual.taken);
@@ -228,7 +227,10 @@ mod tests {
                 correct_late += 1;
             }
         }
-        assert!(correct_late >= 190, "gshare failed to learn: {correct_late}/200");
+        assert!(
+            correct_late >= 190,
+            "gshare failed to learn: {correct_late}/200"
+        );
     }
 
     #[test]

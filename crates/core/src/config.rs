@@ -249,8 +249,9 @@ impl SchedulerConfig {
                 // differs from the canonical configurations (the paper's
                 // MB_distr fixes 8; Figure 6 assumes unbounded).
                 let chains = match chains_per_queue {
-                    Some(c) if (*distributed_fus && *c != 8)
-                        || (!*distributed_fus && *c != fp.entries) =>
+                    Some(c)
+                        if (*distributed_fus && *c != 8)
+                            || (!*distributed_fus && *c != fp.entries) =>
                     {
                         format!("_c{c}")
                     }
@@ -366,7 +367,10 @@ mod tests {
     #[test]
     fn labels_follow_paper_naming() {
         assert_eq!(SchedulerConfig::iq_64_64().label(), "IQ_64_64");
-        assert_eq!(SchedulerConfig::unbounded_baseline().label(), "IQ_unbounded");
+        assert_eq!(
+            SchedulerConfig::unbounded_baseline().label(),
+            "IQ_unbounded"
+        );
         assert_eq!(
             SchedulerConfig::issue_fifo(8, 16, 16, 16).label(),
             "IssueFIFO_8x16_16x16"
@@ -386,9 +390,15 @@ mod tests {
     #[test]
     fn distr_configs_use_distributed_topology() {
         let cfg = ProcessorConfig::hpca2004();
-        assert!(SchedulerConfig::mb_distr().fu_topology(&cfg).is_distributed());
-        assert!(SchedulerConfig::if_distr().fu_topology(&cfg).is_distributed());
-        assert!(!SchedulerConfig::iq_64_64().fu_topology(&cfg).is_distributed());
+        assert!(SchedulerConfig::mb_distr()
+            .fu_topology(&cfg)
+            .is_distributed());
+        assert!(SchedulerConfig::if_distr()
+            .fu_topology(&cfg)
+            .is_distributed());
+        assert!(!SchedulerConfig::iq_64_64()
+            .fu_topology(&cfg)
+            .is_distributed());
     }
 
     #[test]

@@ -48,12 +48,7 @@ impl IssueTimeEstimator {
     /// Runs the recurrence for one dispatched instruction, returning its
     /// estimated issue cycle and updating the destination estimate.
     pub fn estimate(&mut self, inst: &Inst, now: Cycle) -> Cycle {
-        self.estimate_parts(
-            inst.op,
-            [inst.src1, inst.src2],
-            inst.dst,
-            now,
-        )
+        self.estimate_parts(inst.op, [inst.src1, inst.src2], inst.dst, now)
     }
 
     /// The recurrence on raw operand fields (what the dispatch stage sees).

@@ -196,10 +196,7 @@ mod tests {
     fn shared_units_match_table1() {
         let units = shared().units();
         assert_eq!(units.len(), 8 + 4 + 4 + 4);
-        assert_eq!(
-            units.iter().filter(|u| u.kind == FuKind::IntAlu).count(),
-            8
-        );
+        assert_eq!(units.iter().filter(|u| u.kind == FuKind::IntAlu).count(), 8);
     }
 
     #[test]

@@ -47,10 +47,7 @@ impl LatQueues {
             .queues
             .iter()
             .enumerate()
-            .filter(|(i, q)| {
-                q.len() < self.capacity
-                    && self.tail_est[*i].is_some_and(|t| t < est)
-            })
+            .filter(|(i, q)| q.len() < self.capacity && self.tail_est[*i].is_some_and(|t| t < est))
             .max_by_key(|(i, _)| self.tail_est[*i])
             .map(|(i, _)| i)
             .or_else(|| self.queues.iter().position(VecDeque::is_empty));
@@ -275,8 +272,8 @@ mod tests {
         let mut q = LatQueues::new(3, 4);
         q.try_dispatch(&entry(1), 3).unwrap(); // queue 0 tail est 3
         q.try_dispatch(&entry(2), 7).unwrap(); // queue 1 tail est 7 (3+1<=7 — wait, goes to q0!)
-        // est 7 is eligible behind est 3, so it lands in queue 0; redo with
-        // a fresh structure for a clean scenario.
+                                               // est 7 is eligible behind est 3, so it lands in queue 0; redo with
+                                               // a fresh structure for a clean scenario.
         let mut q = LatQueues::new(3, 4);
         q.queues[0].push_back(Entry {
             id: InstId(1),
@@ -318,8 +315,11 @@ mod tests {
         // Four independent multiplies fill the four queues (they all want to
         // issue in the same cycle, so none can sit behind another)…
         for i in 0..4 {
-            s.try_dispatch(&fp_di(i, OpClass::FpMul, Some(4 + i as u8), [None, None]), 0)
-                .unwrap();
+            s.try_dispatch(
+                &fp_di(i, OpClass::FpMul, Some(4 + i as u8), [None, None]),
+                0,
+            )
+            .unwrap();
         }
         // …a fifth independent one must stall (estimated issue cycle equals
         // every tail's — an in-order queue could not issue both on time)…

@@ -385,7 +385,10 @@ mod tests {
         for i in 0..6 {
             // Independent instructions (no joinable producers).
             let q = m
-                .try_dispatch(&fp_di(i, OpClass::FpAdd, Some(4 + i as u8), [None, None]), 0)
+                .try_dispatch(
+                    &fp_di(i, OpClass::FpAdd, Some(4 + i as u8), [None, None]),
+                    0,
+                )
                 .unwrap();
             placements.push(q);
         }

@@ -36,9 +36,9 @@ mod inst;
 mod op;
 mod reg;
 
-pub use config::{TABLE1_REGISTERS, 
+pub use config::{
     BranchConfig, CacheGeometry, FuPoolConfig, LatencyConfig, MainMemoryConfig, MemHierConfig,
-    ProcessorConfig,
+    ProcessorConfig, TABLE1_REGISTERS,
 };
 pub use inst::{BranchInfo, BranchKind, Inst, InstId, MemAccess};
 pub use op::{FuKind, OpClass, ALL_FU_KINDS, ALL_OP_CLASSES};

@@ -68,7 +68,10 @@ impl Cache {
         assert!(geom.line_bytes.is_power_of_two() && geom.line_bytes > 0);
         assert!(geom.assoc > 0);
         let sets = geom.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             geom,
             sets: vec![Vec::with_capacity(geom.assoc); sets],

@@ -286,8 +286,7 @@ impl Simulator {
                 }
                 EventKind::BranchResolve => {
                     let info = self.inflight[&id.0];
-                    let (actual, pred, mispredicted) =
-                        info.branch.expect("branch info present");
+                    let (actual, pred, mispredicted) = info.branch.expect("branch info present");
                     self.bp.resolve(info.pc, &pred, &actual);
                     if mispredicted {
                         self.sched.on_mispredict();
@@ -424,7 +423,11 @@ impl Simulator {
             // value (src2) is only needed for completion. The scheduler
             // therefore never sees a store's data source.
             let is_store = inst.op == OpClass::Store;
-            let srcs = if is_store { [renamed[0], None] } else { renamed };
+            let srcs = if is_store {
+                [renamed[0], None]
+            } else {
+                renamed
+            };
             let src_arch = if is_store {
                 [inst.src1, None]
             } else {
@@ -473,8 +476,11 @@ impl Simulator {
                 is_fp: inst.op.is_fp_side(),
             });
             if inst.op.is_mem() {
-                self.lsq
-                    .push(fetched.id, inst.op == OpClass::Store, inst.mem.unwrap().addr);
+                self.lsq.push(
+                    fetched.id,
+                    inst.op == OpClass::Store,
+                    inst.mem.unwrap().addr,
+                );
             }
             self.inflight.insert(
                 fetched.id.0,
@@ -483,9 +489,13 @@ impl Simulator {
                     dst: dst_peek,
                     srcs,
                     mem: inst.mem,
-                    branch: inst
-                        .branch
-                        .map(|b| (b, fetched.pred.expect("branch predicted"), fetched.mispredicted)),
+                    branch: inst.branch.map(|b| {
+                        (
+                            b,
+                            fetched.pred.expect("branch predicted"),
+                            fetched.mispredicted,
+                        )
+                    }),
                     store_data: if is_store { renamed[1] } else { None },
                     pc: inst.pc,
                 },

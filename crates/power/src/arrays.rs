@@ -97,8 +97,7 @@ impl CamSpec {
     /// comparators of *unready* operands, so `comparing` counts those.
     #[must_use]
     pub fn broadcast_energy_pj(&self, t: &TechParams, comparing: usize) -> f64 {
-        let tagline_ff =
-            self.tag_bits as f64 * self.entries as f64 * t.tagline_cap_per_cell_ff;
+        let tagline_ff = self.tag_bits as f64 * self.entries as f64 * t.tagline_cap_per_cell_ff;
         t.switch_energy_pj(tagline_ff, 1.0) + comparing as f64 * t.matchline_energy_pj
     }
 }

@@ -66,36 +66,93 @@ pub fn table1(harness: &Harness) -> Figure {
         vec!["parameter".into(), "configuration".into()],
     );
     let rows: Vec<(String, String)> = vec![
-        ("fetch/decode/commit width".into(), format!("{} instructions", c.fetch_width)),
-        ("issue width".into(), format!("{} integer + {} FP", c.issue_width_int, c.issue_width_fp)),
-        ("branch predictor".into(), format!(
-            "hybrid: {}-entry gshare, {}-entry bimodal, {}-entry selector",
-            c.branch.gshare_entries, c.branch.bimodal_entries, c.branch.selector_entries)),
-        ("BTB".into(), format!("{} entries, {}-way", c.branch.btb_entries, c.branch.btb_assoc)),
-        ("L1 I-cache".into(), format!(
-            "{}K, {}-way, {} B/line, {} cycle",
-            c.mem.il1.size_bytes / 1024, c.mem.il1.assoc, c.mem.il1.line_bytes, c.mem.il1.latency)),
-        ("L1 D-cache".into(), format!(
-            "{}K, {}-way, {} B/line, {} cycles, {} R/W ports",
-            c.mem.dl1.size_bytes / 1024, c.mem.dl1.assoc, c.mem.dl1.line_bytes,
-            c.mem.dl1.latency, c.mem.dl1.ports)),
-        ("L2 unified".into(), format!(
-            "{}K, {}-way, {} B/line, {} cycles",
-            c.mem.l2.size_bytes / 1024, c.mem.l2.assoc, c.mem.l2.line_bytes, c.mem.l2.latency)),
-        ("main memory".into(), format!(
-            "{} B bandwidth, {} cycles first chunk, {} inter-chunk",
-            c.mem.main.chunk_bytes, c.mem.main.first_chunk, c.mem.main.inter_chunk)),
+        (
+            "fetch/decode/commit width".into(),
+            format!("{} instructions", c.fetch_width),
+        ),
+        (
+            "issue width".into(),
+            format!("{} integer + {} FP", c.issue_width_int, c.issue_width_fp),
+        ),
+        (
+            "branch predictor".into(),
+            format!(
+                "hybrid: {}-entry gshare, {}-entry bimodal, {}-entry selector",
+                c.branch.gshare_entries, c.branch.bimodal_entries, c.branch.selector_entries
+            ),
+        ),
+        (
+            "BTB".into(),
+            format!(
+                "{} entries, {}-way",
+                c.branch.btb_entries, c.branch.btb_assoc
+            ),
+        ),
+        (
+            "L1 I-cache".into(),
+            format!(
+                "{}K, {}-way, {} B/line, {} cycle",
+                c.mem.il1.size_bytes / 1024,
+                c.mem.il1.assoc,
+                c.mem.il1.line_bytes,
+                c.mem.il1.latency
+            ),
+        ),
+        (
+            "L1 D-cache".into(),
+            format!(
+                "{}K, {}-way, {} B/line, {} cycles, {} R/W ports",
+                c.mem.dl1.size_bytes / 1024,
+                c.mem.dl1.assoc,
+                c.mem.dl1.line_bytes,
+                c.mem.dl1.latency,
+                c.mem.dl1.ports
+            ),
+        ),
+        (
+            "L2 unified".into(),
+            format!(
+                "{}K, {}-way, {} B/line, {} cycles",
+                c.mem.l2.size_bytes / 1024,
+                c.mem.l2.assoc,
+                c.mem.l2.line_bytes,
+                c.mem.l2.latency
+            ),
+        ),
+        (
+            "main memory".into(),
+            format!(
+                "{} B bandwidth, {} cycles first chunk, {} inter-chunk",
+                c.mem.main.chunk_bytes, c.mem.main.first_chunk, c.mem.main.inter_chunk
+            ),
+        ),
         ("fetch queue".into(), format!("{} entries", c.fetch_queue)),
-        ("reorder buffer".into(), format!("{} entries", c.rob_entries)),
-        ("registers".into(), format!(
-            "{} INT + {} FP (energy model; window is RUU-style)",
-            diq_isa::TABLE1_REGISTERS, diq_isa::TABLE1_REGISTERS)),
-        ("INT functional units".into(), format!(
-            "{} ALU ({} cycle), {} mult/div ({}-cycle mult, {}-cycle div)",
-            c.fus.int_alu, c.lat.int_alu, c.fus.int_mul_div, c.lat.int_mul, c.lat.int_div)),
-        ("FP functional units".into(), format!(
-            "{} ALU ({} cycles), {} mult/div ({}-cycle mult, {}-cycle div)",
-            c.fus.fp_add, c.lat.fp_add, c.fus.fp_mul_div, c.lat.fp_mul, c.lat.fp_div)),
+        (
+            "reorder buffer".into(),
+            format!("{} entries", c.rob_entries),
+        ),
+        (
+            "registers".into(),
+            format!(
+                "{} INT + {} FP (energy model; window is RUU-style)",
+                diq_isa::TABLE1_REGISTERS,
+                diq_isa::TABLE1_REGISTERS
+            ),
+        ),
+        (
+            "INT functional units".into(),
+            format!(
+                "{} ALU ({} cycle), {} mult/div ({}-cycle mult, {}-cycle div)",
+                c.fus.int_alu, c.lat.int_alu, c.fus.int_mul_div, c.lat.int_mul, c.lat.int_div
+            ),
+        ),
+        (
+            "FP functional units".into(),
+            format!(
+                "{} ALU ({} cycles), {} mult/div ({}-cycle mult, {}-cycle div)",
+                c.fus.fp_add, c.lat.fp_add, c.fus.fp_mul_div, c.lat.fp_mul, c.lat.fp_div
+            ),
+        ),
         ("technology".into(), "0.10 um".into()),
     ];
     for (k, v) in rows {
@@ -218,15 +275,30 @@ pub fn section3_claims(harness: &Harness) -> Figure {
     fig.row(vec![
         "LatFIFO IPC vs IssueFIFO (SPECfp, sweep average)".into(),
         "~ +10%".into(),
-        format!("{:+.1}%", arithmetic_mean(gains.iter().copied()).expect("gains")),
+        format!(
+            "{:+.1}%",
+            arithmetic_mean(gains.iter().copied()).expect("gains")
+        ),
     ]);
 
     // (c) With 8 FP queues of 16 entries: MixBUFF 5.2%, IssueFIFO 24.8%,
     //     LatFIFO 15.2% loss.
     for (label, sc, paper) in [
-        ("MixBUFF_16x16_8x16 FP loss", SchedulerConfig::mix_buff(16, 16, 8, 16, None), "5.2%"),
-        ("IssueFIFO_16x16_8x16 FP loss", SchedulerConfig::issue_fifo(16, 16, 8, 16), "24.8%"),
-        ("LatFIFO_16x16_8x16 FP loss", SchedulerConfig::lat_fifo(16, 16, 8, 16), "15.2%"),
+        (
+            "MixBUFF_16x16_8x16 FP loss",
+            SchedulerConfig::mix_buff(16, 16, 8, 16, None),
+            "5.2%",
+        ),
+        (
+            "IssueFIFO_16x16_8x16 FP loss",
+            SchedulerConfig::issue_fifo(16, 16, 8, 16),
+            "24.8%",
+        ),
+        (
+            "LatFIFO_16x16_8x16 FP loss",
+            SchedulerConfig::lat_fifo(16, 16, 8, 16),
+            "15.2%",
+        ),
     ] {
         let v = hm(&sc, &fp_suite);
         fig.row(vec![
@@ -363,7 +435,9 @@ pub fn fig11(harness: &Harness) -> Figure {
         harness,
         &SchedulerConfig::mb_distr(),
     );
-    fig.note("paper: like IF_distr on SPECint; on SPECfp adds buff/select/chains terms, reg negligible");
+    fig.note(
+        "paper: like IF_distr on SPECint; on SPECfp adds buff/select/chains terms, reg negligible",
+    );
     fig
 }
 
@@ -427,7 +501,9 @@ pub fn fig13(harness: &Harness) -> Figure {
         harness,
         |r, b| r.energy_pj() / b.energy_pj(),
     );
-    fig.note("paper: MB_distr spends slightly more than IF_distr on SPECfp, both far below IQ_64_64");
+    fig.note(
+        "paper: MB_distr spends slightly more than IF_distr on SPECfp, both far below IQ_64_64",
+    );
     fig
 }
 
@@ -551,7 +627,10 @@ mod tests {
     fn table1_lists_every_parameter() {
         let t = table1(&tiny());
         assert!(t.rows.len() >= 13);
-        assert!(t.cell("reorder buffer", "configuration").unwrap().contains("256"));
+        assert!(t
+            .cell("reorder buffer", "configuration")
+            .unwrap()
+            .contains("256"));
     }
 
     #[test]
@@ -565,11 +644,7 @@ mod tests {
     fn fig9_breakdown_sums_to_one() {
         let f = fig9(&tiny());
         for col in ["SPECINT", "SPECFP"] {
-            let total: f64 = f
-                .rows
-                .iter()
-                .map(|r| f.value(&r[0], col).unwrap())
-                .sum();
+            let total: f64 = f.rows.iter().map(|r| f.value(&r[0], col).unwrap()).sum();
             assert!((total - 100.0).abs() < 1.0, "{col} sums to {total}");
         }
         // The baseline has wakeup energy but no steering tables.

@@ -86,11 +86,7 @@ impl Harness {
 
     /// Runs one scheme over a whole suite, in parallel; results are in
     /// benchmark order.
-    pub fn run_suite(
-        &self,
-        sched: &SchedulerConfig,
-        suite: &[WorkloadSpec],
-    ) -> Vec<Arc<SimStats>> {
+    pub fn run_suite(&self, sched: &SchedulerConfig, suite: &[WorkloadSpec]) -> Vec<Arc<SimStats>> {
         self.run_matrix(std::slice::from_ref(sched), suite)
             .pop()
             .expect("one scheme requested")
@@ -149,10 +145,7 @@ mod tests {
             .map(|n| suite::by_name(n).unwrap())
             .collect();
         let m = h.run_matrix(
-            &[
-                SchedulerConfig::iq_64_64(),
-                SchedulerConfig::if_distr(),
-            ],
+            &[SchedulerConfig::iq_64_64(), SchedulerConfig::if_distr()],
             &suite,
         );
         assert_eq!(m.len(), 2);

@@ -108,7 +108,13 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n={} mean={:.2} max={}", self.count, self.mean(), self.max)
+        write!(
+            f,
+            "n={} mean={:.2} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )
     }
 }
 

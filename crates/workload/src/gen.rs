@@ -361,11 +361,7 @@ impl TraceGenerator {
 
         // Prefer starting a chain that is waiting for a restart.
         if self.rng.random_bool(self.spec.chain_starts_with_load) {
-            if let Some(ci) = self
-                .chains
-                .iter()
-                .position(|c| c.remaining == 0)
-            {
+            if let Some(ci) = self.chains.iter().position(|c| c.remaining == 0) {
                 let len = self.sample_chain_len();
                 let dst = self.chains[ci].reg;
                 self.chains[ci].remaining = len;
@@ -542,7 +538,10 @@ mod tests {
         let mut dsts = std::collections::BTreeSet::new();
         for i in &trace {
             if let Some(d) = i.dst {
-                if d.class() == RegClass::Fp && d.index() >= FP_CHAIN_BASE as usize && d.index() < 28 {
+                if d.class() == RegClass::Fp
+                    && d.index() >= FP_CHAIN_BASE as usize
+                    && d.index() < 28
+                {
                     dsts.insert(d.index());
                 }
             }

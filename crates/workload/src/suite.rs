@@ -112,8 +112,34 @@ fn seed_for(name: &str) -> u64 {
 #[must_use]
 pub fn spec_int() -> Vec<WorkloadSpec> {
     vec![
-        int_bench("bzip2", 6, (2, 5), 0.22, 0.08, 0.13, 0.93, 0.02, 12 * KB, 0.15, 0.02, 16 * KB),
-        int_bench("crafty", 7, (2, 4), 0.24, 0.08, 0.14, 0.91, 0.03, 16 * KB, 0.20, 0.03, 32 * KB),
+        int_bench(
+            "bzip2",
+            6,
+            (2, 5),
+            0.22,
+            0.08,
+            0.13,
+            0.93,
+            0.02,
+            12 * KB,
+            0.15,
+            0.02,
+            16 * KB,
+        ),
+        int_bench(
+            "crafty",
+            7,
+            (2, 4),
+            0.24,
+            0.08,
+            0.14,
+            0.91,
+            0.03,
+            16 * KB,
+            0.20,
+            0.03,
+            32 * KB,
+        ),
         // eon is the one SPECint program with a visible FP component
         // (the paper points this out under Figure 7).
         WorkloadSpec {
@@ -125,17 +151,147 @@ pub fn spec_int() -> Vec<WorkloadSpec> {
                 fp_mul: 0.25,
                 fp_div: 0.01,
             },
-            ..int_bench("eon", 7, (2, 5), 0.26, 0.12, 0.10, 0.94, 0.015, 12 * KB, 0.15, 0.0, 32 * KB)
+            ..int_bench(
+                "eon",
+                7,
+                (2, 5),
+                0.26,
+                0.12,
+                0.10,
+                0.94,
+                0.015,
+                12 * KB,
+                0.15,
+                0.0,
+                32 * KB,
+            )
         },
-        int_bench("gap", 6, (2, 5), 0.24, 0.10, 0.12, 0.92, 0.02, 16 * KB, 0.20, 0.05, 32 * KB),
-        int_bench("gcc", 5, (2, 4), 0.25, 0.11, 0.19, 0.88, 0.04, 48 * KB, 0.25, 0.05, 64 * KB),
-        int_bench("gzip", 5, (2, 5), 0.20, 0.08, 0.12, 0.93, 0.02, 8 * KB, 0.10, 0.02, 16 * KB),
-        int_bench("mcf", 4, (2, 4), 0.30, 0.08, 0.16, 0.90, 0.04, 64 * MB, 0.60, 0.30, 16 * KB),
-        int_bench("parser", 5, (2, 4), 0.24, 0.10, 0.17, 0.90, 0.035, 32 * KB, 0.30, 0.08, 32 * KB),
-        int_bench("perlbmk", 6, (2, 4), 0.24, 0.11, 0.18, 0.91, 0.03, 24 * KB, 0.25, 0.05, 48 * KB),
-        int_bench("twolf", 5, (2, 5), 0.23, 0.09, 0.14, 0.89, 0.04, 16 * KB, 0.25, 0.05, 24 * KB),
-        int_bench("vortex", 6, (2, 5), 0.26, 0.13, 0.14, 0.93, 0.015, 96 * KB, 0.25, 0.08, 64 * KB),
-        int_bench("vpr", 5, (2, 5), 0.24, 0.09, 0.14, 0.90, 0.035, 24 * KB, 0.25, 0.05, 24 * KB),
+        int_bench(
+            "gap",
+            6,
+            (2, 5),
+            0.24,
+            0.10,
+            0.12,
+            0.92,
+            0.02,
+            16 * KB,
+            0.20,
+            0.05,
+            32 * KB,
+        ),
+        int_bench(
+            "gcc",
+            5,
+            (2, 4),
+            0.25,
+            0.11,
+            0.19,
+            0.88,
+            0.04,
+            48 * KB,
+            0.25,
+            0.05,
+            64 * KB,
+        ),
+        int_bench(
+            "gzip",
+            5,
+            (2, 5),
+            0.20,
+            0.08,
+            0.12,
+            0.93,
+            0.02,
+            8 * KB,
+            0.10,
+            0.02,
+            16 * KB,
+        ),
+        int_bench(
+            "mcf",
+            4,
+            (2, 4),
+            0.30,
+            0.08,
+            0.16,
+            0.90,
+            0.04,
+            64 * MB,
+            0.60,
+            0.30,
+            16 * KB,
+        ),
+        int_bench(
+            "parser",
+            5,
+            (2, 4),
+            0.24,
+            0.10,
+            0.17,
+            0.90,
+            0.035,
+            32 * KB,
+            0.30,
+            0.08,
+            32 * KB,
+        ),
+        int_bench(
+            "perlbmk",
+            6,
+            (2, 4),
+            0.24,
+            0.11,
+            0.18,
+            0.91,
+            0.03,
+            24 * KB,
+            0.25,
+            0.05,
+            48 * KB,
+        ),
+        int_bench(
+            "twolf",
+            5,
+            (2, 5),
+            0.23,
+            0.09,
+            0.14,
+            0.89,
+            0.04,
+            16 * KB,
+            0.25,
+            0.05,
+            24 * KB,
+        ),
+        int_bench(
+            "vortex",
+            6,
+            (2, 5),
+            0.26,
+            0.13,
+            0.14,
+            0.93,
+            0.015,
+            96 * KB,
+            0.25,
+            0.08,
+            64 * KB,
+        ),
+        int_bench(
+            "vpr",
+            5,
+            (2, 5),
+            0.24,
+            0.09,
+            0.14,
+            0.90,
+            0.035,
+            24 * KB,
+            0.25,
+            0.05,
+            24 * KB,
+        ),
     ]
 }
 

@@ -33,7 +33,13 @@ fn main() {
         SchedulerConfig::mb_distr(),
     ];
 
-    let mut table = Table::new(["scheme", "IPC", "IQ pJ/instr", "IQ power", "dispatch stalls"]);
+    let mut table = Table::new([
+        "scheme",
+        "IPC",
+        "IQ pJ/instr",
+        "IQ power",
+        "dispatch stalls",
+    ]);
     for sched in &schemes {
         let mut sim = Simulator::new(&cfg, sched);
         sim.set_benchmark(&bench.name);

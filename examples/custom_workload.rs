@@ -51,7 +51,11 @@ fn main() {
 
     let n = 50_000usize;
     let trace = spec.generate(n);
-    println!("workload `{}`:\n{}\n", spec.name, TraceProfile::measure(&trace));
+    println!(
+        "workload `{}`:\n{}\n",
+        spec.name,
+        TraceProfile::measure(&trace)
+    );
 
     let cfg = ProcessorConfig::hpca2004();
     for sched in [

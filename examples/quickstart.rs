@@ -33,7 +33,5 @@ fn main() {
         100.0 * mb.ipc() / base.ipc(),
         100.0 * mb.energy_pj() / base.energy_pj(),
     );
-    println!(
-        "(the paper's headline: ~92% of the IPC for a fraction of the energy)"
-    );
+    println!("(the paper's headline: ~92% of the IPC for a fraction of the energy)");
 }

@@ -1,0 +1,29 @@
+# Developer entry points. Install `just`, or copy the recipes by hand —
+# every recipe is plain cargo.
+
+# The tier-1 gate: what CI and the roadmap treat as "the build is green".
+verify:
+    cargo build --release
+    cargo test -q
+
+# Everything CI runs, including workspace-wide tests and lints.
+ci: verify
+    cargo test -q --workspace
+    cargo fmt --all --check
+    cargo clippy --all-targets --workspace -- -D warnings
+    cargo bench --no-run --workspace
+
+# Regenerate every paper artifact (DIQ_INSTRS trades time for fidelity).
+figures:
+    cargo run --release -- figures
+
+# One fast end-to-end pass over the bench targets' machinery: compile all
+# 19 bench executables and run the two headline ones at a tiny budget.
+bench-smoke:
+    cargo bench --no-run --workspace
+    DIQ_INSTRS=2000 cargo bench -p diq-bench --bench tab1_config
+    DIQ_INSTRS=2000 cargo bench -p diq-bench --bench headline_claims
+
+# Remove build output.
+clean:
+    cargo clean

@@ -72,3 +72,44 @@ pub mod stats {
 pub mod sim {
     pub use diq_sim::*;
 }
+
+/// The command-line surface shared by the `diq` binary and its tests.
+pub mod cli {
+    use diq_core::SchedulerConfig;
+
+    /// Every scheme label `diq list` advertises, in display order.
+    ///
+    /// Each entry round-trips through [`scheme_by_name`]:
+    /// `scheme_by_name(l).unwrap().label() == l`.
+    pub const SCHEME_LABELS: [&str; 8] = [
+        "IQ_unbounded",
+        "IQ_64_64",
+        "IssueFIFO_16x16_8x16",
+        "LatFIFO_16x16_8x16",
+        "MixBUFF_16x16_8x16",
+        "IF_distr",
+        "MB_distr",
+        "MB_distr_agesel",
+    ];
+
+    /// The configurations behind [`SCHEME_LABELS`], in the same order.
+    #[must_use]
+    pub fn known_schemes() -> Vec<SchedulerConfig> {
+        vec![
+            SchedulerConfig::unbounded_baseline(),
+            SchedulerConfig::iq_64_64(),
+            SchedulerConfig::issue_fifo(16, 16, 8, 16),
+            SchedulerConfig::lat_fifo(16, 16, 8, 16),
+            SchedulerConfig::mix_buff(16, 16, 8, 16, None),
+            SchedulerConfig::if_distr(),
+            SchedulerConfig::mb_distr(),
+            SchedulerConfig::mb_distr_age_only(),
+        ]
+    }
+
+    /// Resolves an advertised scheme label to its configuration.
+    #[must_use]
+    pub fn scheme_by_name(name: &str) -> Option<SchedulerConfig> {
+        known_schemes().into_iter().find(|s| s.label() == name)
+    }
+}

@@ -9,24 +9,10 @@
 //! diq figures                       regenerate everything
 //! ```
 
+use diq::cli::{scheme_by_name, SCHEME_LABELS};
 use diq::pipeline::Simulator;
-use diq::sched::SchedulerConfig;
 use diq::sim::{figures, Figure, Harness};
 use diq::workload::suite;
-
-fn scheme_by_name(name: &str) -> Option<SchedulerConfig> {
-    let known = [
-        SchedulerConfig::unbounded_baseline(),
-        SchedulerConfig::iq_64_64(),
-        SchedulerConfig::issue_fifo(16, 16, 8, 16),
-        SchedulerConfig::lat_fifo(16, 16, 8, 16),
-        SchedulerConfig::mix_buff(16, 16, 8, 16, None),
-        SchedulerConfig::if_distr(),
-        SchedulerConfig::mb_distr(),
-        SchedulerConfig::mb_distr_age_only(),
-    ];
-    known.into_iter().find(|s| s.label() == name)
-}
 
 fn figure_by_id(id: &str, h: &Harness) -> Option<Figure> {
     Some(match id {
@@ -69,16 +55,7 @@ fn main() {
                 );
             }
             println!("\nschemes:");
-            for label in [
-                "IQ_unbounded",
-                "IQ_64_64",
-                "IssueFIFO_16x16_8x16",
-                "LatFIFO_16x16_8x16",
-                "MixBUFF_16x16_8x16",
-                "IF_distr",
-                "MB_distr",
-                "MB_distr_agesel",
-            ] {
+            for label in SCHEME_LABELS {
                 println!("  {label}");
             }
         }
@@ -94,10 +71,7 @@ fn main() {
                 eprintln!("unknown benchmark `{bench_name}` (see `diq list`)");
                 std::process::exit(1);
             };
-            let n: u64 = args
-                .get(3)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(100_000);
+            let n: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
             let cfg = diq::isa::ProcessorConfig::hpca2004();
             let mut sim = Simulator::new(&cfg, &scheme);
             sim.set_benchmark(&bench.name);
@@ -119,7 +93,9 @@ fn main() {
             match figure_by_id(id, &h) {
                 Some(fig) => println!("{fig}"),
                 None => {
-                    eprintln!("unknown figure `{id}` (tab1, fig2-fig4, fig6-fig15, sec3, headline)");
+                    eprintln!(
+                        "unknown figure `{id}` (tab1, fig2-fig4, fig6-fig15, sec3, headline)"
+                    );
                     std::process::exit(1);
                 }
             }

@@ -1,0 +1,60 @@
+//! Smoke tests of the `diq` binary and its scheme registry: every label the
+//! CLI advertises must round-trip through `scheme_by_name`, and the compiled
+//! binary itself must list exactly those labels (so `cargo test` exercises
+//! the bin target, not just the library).
+
+use diq::cli::{known_schemes, scheme_by_name, SCHEME_LABELS};
+use std::process::Command;
+
+#[test]
+fn every_advertised_label_round_trips() {
+    for label in SCHEME_LABELS {
+        let scheme = scheme_by_name(label)
+            .unwrap_or_else(|| panic!("`{label}` is advertised but not resolvable"));
+        assert_eq!(scheme.label(), label, "label must round-trip");
+    }
+}
+
+#[test]
+fn labels_match_known_schemes_in_order() {
+    let labels: Vec<String> = known_schemes().iter().map(|s| s.label()).collect();
+    assert_eq!(labels, SCHEME_LABELS);
+}
+
+#[test]
+fn unknown_scheme_is_rejected() {
+    assert!(scheme_by_name("IQ_9000").is_none());
+    assert!(scheme_by_name("").is_none());
+}
+
+#[test]
+fn diq_list_prints_every_scheme_and_benchmark() {
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .arg("list")
+        .output()
+        .expect("run `diq list`");
+    assert!(out.status.success(), "`diq list` failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    for label in SCHEME_LABELS {
+        assert!(stdout.contains(label), "`diq list` is missing `{label}`");
+        // And what the binary prints must be resolvable right back.
+        assert!(scheme_by_name(label).is_some());
+    }
+    for bench in diq::workload::suite::all() {
+        assert!(
+            stdout.contains(&bench.name),
+            "`diq list` is missing benchmark `{}`",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn diq_without_arguments_exits_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .output()
+        .expect("run `diq`");
+    assert_eq!(out.status.code(), Some(2), "usage exit code");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("usage"), "stderr should show usage");
+}

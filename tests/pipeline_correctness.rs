@@ -37,7 +37,8 @@ fn every_scheme_commits_exactly_the_trace_on_mixed_workloads() {
                 sched.label()
             );
             assert_eq!(
-                stats.issued, stats.committed,
+                stats.issued,
+                stats.committed,
                 "{bench} under {}: drained runs issue each instruction once",
                 sched.label()
             );

@@ -11,16 +11,16 @@ use proptest::prelude::*;
 /// A random but always-valid workload spec.
 fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
     (
-        1usize..=24,              // live chains
-        1usize..=6,               // min chain len
-        0usize..=6,               // extra chain len
-        0.0f64..0.35,             // load frac
-        0.0f64..0.15,             // store frac
-        0.0f64..0.25,             // branch frac
-        0.5f64..0.98,             // taken bias
-        0.0f64..0.3,              // noise
-        0.0f64..1.0,              // fp-ness of the mix
-        any::<u64>(),             // seed
+        1usize..=24,  // live chains
+        1usize..=6,   // min chain len
+        0usize..=6,   // extra chain len
+        0.0f64..0.35, // load frac
+        0.0f64..0.15, // store frac
+        0.0f64..0.25, // branch frac
+        0.5f64..0.98, // taken bias
+        0.0f64..0.3,  // noise
+        0.0f64..1.0,  // fp-ness of the mix
+        any::<u64>(), // seed
     )
         .prop_map(
             |(chains, len_lo, len_extra, loads, stores, branches, bias, noise, fpness, seed)| {

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` crate's [`Serialize`]/[`Deserialize`] traits
+//! (a `Value`-tree model, not real serde's visitor model) for the type
+//! shapes this workspace uses: structs with named fields, tuple structs,
+//! unit structs, and enums with unit / tuple / struct variants. Generics are
+//! not supported. The only recognised field attribute is
+//! `#[serde(default = "path")]` (and bare `#[serde(default)]`).
+//!
+//! `syn`/`quote` are unavailable offline, so parsing walks the raw
+//! `proc_macro::TokenStream` and code generation goes through strings.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// Call path of the `#[serde(default = "...")]` fallback, if any.
+    default: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let is_enum = loop {
+        assert!(i < toks.len(), "derive input has no struct/enum keyword");
+        if is_punct(&toks[i], '#') {
+            i += 2; // `#` + bracket group
+        } else if is_ident(&toks[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+        } else if is_ident(&toks[i], "struct") {
+            break false;
+        } else if is_ident(&toks[i], "enum") {
+            break true;
+        } else {
+            i += 1;
+        }
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+    let shape = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("expected enum body, got {other}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+    Item { name, shape }
+}
+
+/// Extracts the default-fn path from a `#[serde(...)]` attribute body, the
+/// tokens inside the outer bracket group.
+fn serde_default_of(attr: &Group) -> Option<String> {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if toks.len() != 2 || !is_ident(&toks[0], "serde") {
+        return None;
+    }
+    let TokenTree::Group(inner) = &toks[1] else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    if inner.is_empty() || !is_ident(&inner[0], "default") {
+        return None;
+    }
+    if inner.len() == 1 {
+        return Some("::std::default::Default::default".to_string());
+    }
+    if inner.len() == 3 && is_punct(&inner[1], '=') {
+        if let TokenTree::Literal(lit) = &inner[2] {
+            let s = lit.to_string();
+            return Some(s.trim_matches('"').to_string());
+        }
+    }
+    panic!("unsupported #[serde(...)] attribute: {attr}");
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = None;
+        while is_punct(&toks[i], '#') {
+            if let TokenTree::Group(attr) = &toks[i + 1] {
+                if default.is_none() {
+                    default = serde_default_of(attr);
+                }
+            }
+            i += 2;
+        }
+        if is_ident(&toks[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(p)) = toks.get(i) {
+                if p.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field `{name}`");
+        i += 1;
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        out.push(Field { name, default });
+    }
+    out
+}
+
+/// Number of fields in a tuple-struct/-variant parenthesis group.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    for (i, t) in toks.iter().enumerate() {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 && i + 1 < toks.len() {
+            fields += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(p)) if p.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(p))
+            }
+            Some(TokenTree::Group(b)) if b.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(b))
+            }
+            _ => VariantKind::Unit,
+        };
+        if toks.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+// ------------------------------------------------------------- generation
+
+fn string_of(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn map_of(entries: &[(String, String)]) -> String {
+    let pairs: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("({}, {v})", string_of(k)))
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", pairs.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.name.clone(),
+                        format!("::serde::Serialize::to_value(&self.{})", f.name),
+                    )
+                })
+                .collect();
+            map_of(&entries)
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({}),",
+                            string_of(vname)
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__a0) => {},",
+                            map_of(&[(
+                                vname.clone(),
+                                "::serde::Serialize::to_value(__a0)".to_string()
+                            )])
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let seq =
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "));
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                map_of(&[(vname.clone(), seq)])
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| {
+                                    (
+                                        f.name.clone(),
+                                        format!("::serde::Serialize::to_value({})", f.name),
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                binds.join(", "),
+                                map_of(&[(vname.clone(), map_of(&entries))])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_exprs(fields: &[Field], map_var: &str, what: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            match &f.default {
+                Some(d) => format!(
+                    "{n}: ::serde::__private::map_field_or({map_var}, \"{n}\", \"{what}\", {d})?,"
+                ),
+                None => {
+                    format!("{n}: ::serde::__private::map_field({map_var}, \"{n}\", \"{what}\")?,")
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = named_field_exprs(fields, "__m", name);
+            format!(
+                "let __m = ::serde::__private::as_map(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Seq(__xs) if __xs.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                         format!(\"expected {n}-element array for {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                gets.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let what = format!("{name}::{vname}");
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                                 {name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__xs[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __payload {{\n\
+                                     ::serde::Value::Seq(__xs) if __xs.len() == {n} =>\n\
+                                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                                         format!(\"bad payload for {what}: {{__other:?}}\"))),\n\
+                                 }},",
+                                gets.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits = named_field_exprs(fields, "__f", &what);
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __f = ::serde::__private::as_map(__payload, \"{what}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __payload) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::Error::msg(\n\
+                         format!(\"bad value for enum {name}: {{__other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
