@@ -209,6 +209,41 @@ impl SchedulerConfig {
         }
     }
 
+    /// Every scheme label the CLI and experiment specs advertise, in display
+    /// order. Each entry round-trips through [`by_label`](Self::by_label).
+    pub const KNOWN_LABELS: [&'static str; 8] = [
+        "IQ_unbounded",
+        "IQ_64_64",
+        "IssueFIFO_16x16_8x16",
+        "LatFIFO_16x16_8x16",
+        "MixBUFF_16x16_8x16",
+        "IF_distr",
+        "MB_distr",
+        "MB_distr_agesel",
+    ];
+
+    /// The configurations behind [`KNOWN_LABELS`](Self::KNOWN_LABELS), in the
+    /// same order.
+    #[must_use]
+    pub fn known() -> Vec<SchedulerConfig> {
+        vec![
+            SchedulerConfig::unbounded_baseline(),
+            SchedulerConfig::iq_64_64(),
+            SchedulerConfig::issue_fifo(16, 16, 8, 16),
+            SchedulerConfig::lat_fifo(16, 16, 8, 16),
+            SchedulerConfig::mix_buff(16, 16, 8, 16, None),
+            SchedulerConfig::if_distr(),
+            SchedulerConfig::mb_distr(),
+            SchedulerConfig::mb_distr_age_only(),
+        ]
+    }
+
+    /// Resolves a registered scheme label to its configuration.
+    #[must_use]
+    pub fn by_label(label: &str) -> Option<SchedulerConfig> {
+        Self::known().into_iter().find(|s| s.label() == label)
+    }
+
     /// The display label, following the paper's naming.
     #[must_use]
     pub fn label(&self) -> String {

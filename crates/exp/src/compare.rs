@@ -1,0 +1,384 @@
+//! Aggregation and regression comparison over stored runs.
+
+use crate::store::{PointRecord, ResultStore};
+use crate::ExpError;
+use diq_stats::{geometric_mean, harmonic_mean, pct_change, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The machine-readable summary of one run — the `BENCH_<run>.json` shape
+/// `diq export` emits to seed the perf trajectory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Run name.
+    pub run: String,
+    /// The spec's free-form description.
+    #[serde(default)]
+    pub description: Option<String>,
+    /// Grid points in grid order.
+    pub points: Vec<crate::PointResult>,
+    /// Harmonic-mean IPC over the grid (the paper's IPC aggregate), when
+    /// every point has positive IPC.
+    pub harmonic_mean_ipc: Option<f64>,
+    /// Geometric-mean IPC over the grid.
+    pub geometric_mean_ipc: Option<f64>,
+    /// Total issue-queue energy over the grid (pJ).
+    pub total_energy_pj: f64,
+    /// Suite-level energy breakdown `(component, pJ)`, summed per component
+    /// in the paper's stacking order.
+    pub energy_breakdown: Vec<(String, f64)>,
+}
+
+impl RunSummary {
+    /// Builds the summary of run `name` from its manifest and the store.
+    ///
+    /// # Errors
+    ///
+    /// A missing run, or a manifest entry whose record was lost from
+    /// `store.jsonl` (re-run `diq sweep` to recompute it).
+    pub fn build(store: &ResultStore, name: &str) -> Result<Self, ExpError> {
+        let manifest = store.read_manifest(name)?;
+        let index = store.load()?;
+        let mut points = Vec::with_capacity(manifest.points.len());
+        for entry in &manifest.points {
+            let rec: &PointRecord = index.get(&entry.key).ok_or_else(|| {
+                ExpError::Spec(format!(
+                    "run `{name}`: store is missing point {} ({} on {}); re-run `diq sweep`",
+                    entry.key, entry.scheme, entry.benchmark
+                ))
+            })?;
+            let mut result = rec.result.clone();
+            // The shared store record carries the machine label of whichever
+            // spec computed it first; this run's manifest label wins, so
+            // compare joins see the labels this run declared.
+            result.machine.clone_from(&entry.machine);
+            points.push(result);
+        }
+        Ok(Self::from_points(
+            name.to_string(),
+            manifest.description,
+            points,
+        ))
+    }
+
+    /// Aggregates a list of point results (already in grid order).
+    #[must_use]
+    pub fn from_points(
+        run: String,
+        description: Option<String>,
+        points: Vec<crate::PointResult>,
+    ) -> Self {
+        let harmonic_mean_ipc = harmonic_mean(points.iter().map(|p| p.ipc));
+        let geometric_mean_ipc = geometric_mean(points.iter().map(|p| p.ipc));
+        let total_energy_pj = points.iter().map(|p| p.energy_pj).sum();
+        let mut by_component: Vec<(String, f64)> = Vec::new();
+        for p in &points {
+            for (label, pj) in &p.energy_breakdown {
+                match by_component.iter_mut().find(|(l, _)| l == label) {
+                    Some((_, sum)) => *sum += pj,
+                    None => by_component.push((label.clone(), *pj)),
+                }
+            }
+        }
+        RunSummary {
+            run,
+            description,
+            points,
+            harmonic_mean_ipc,
+            geometric_mean_ipc,
+            total_energy_pj,
+            energy_breakdown: by_component,
+        }
+    }
+
+    /// Pretty-printed JSON (the exported file's contents).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("summaries serialize");
+        s.push('\n');
+        s
+    }
+}
+
+/// One matched coordinate in a two-run comparison.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointDelta {
+    /// Workload name.
+    pub benchmark: String,
+    /// Instructions simulated.
+    pub instructions: u64,
+    /// Machine override label.
+    pub machine: String,
+    /// IPC in run A (geomean when A has several schemes at this coordinate).
+    pub ipc_a: f64,
+    /// IPC in run B.
+    pub ipc_b: f64,
+    /// `100 * (ipc_b - ipc_a) / ipc_a`; negative means B is slower.
+    pub ipc_delta_pct: f64,
+    /// Issue-queue energy in run A (pJ, summed over schemes).
+    pub energy_a: f64,
+    /// Issue-queue energy in run B (pJ).
+    pub energy_b: f64,
+    /// `100 * (energy_b - energy_a) / energy_a`; negative means B is
+    /// cheaper.
+    pub energy_delta_pct: f64,
+}
+
+/// A per-point comparison of run B against baseline run A, joined on
+/// (workload, instruction count, machine).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Baseline run name.
+    pub run_a: String,
+    /// Candidate run name.
+    pub run_b: String,
+    /// Matched coordinates, in run A's grid order.
+    pub points: Vec<PointDelta>,
+    /// Geomean of per-point IPC ratios (B/A); < 1 means B is slower.
+    pub geomean_ipc_ratio: f64,
+    /// Geomean of per-point energy ratios (B/A).
+    pub geomean_energy_ratio: f64,
+}
+
+impl Comparison {
+    /// Joins two summaries. Coordinates present in only one run are ignored;
+    /// when a run holds several schemes at one coordinate, their IPCs
+    /// collapse to a geomean (and energies to a sum) first.
+    ///
+    /// # Errors
+    ///
+    /// No overlapping coordinates, or non-positive IPCs that defeat the
+    /// ratio geomeans.
+    pub fn between(a: &RunSummary, b: &RunSummary) -> Result<Self, ExpError> {
+        type Coord = (String, u64, String);
+        /// Per-coordinate accumulation: IPCs of every scheme seen there,
+        /// plus summed energy.
+        type Collapsed = (Vec<f64>, f64);
+        fn collapse(s: &RunSummary) -> (Vec<Coord>, HashMap<Coord, Collapsed>) {
+            let mut order = Vec::new();
+            let mut map: HashMap<Coord, Collapsed> = HashMap::new();
+            for p in &s.points {
+                let coord = (p.benchmark.clone(), p.instructions, p.machine.clone());
+                let slot = map.entry(coord.clone()).or_insert_with(|| {
+                    order.push(coord);
+                    (Vec::new(), 0.0)
+                });
+                slot.0.push(p.ipc);
+                slot.1 += p.energy_pj;
+            }
+            (order, map)
+        }
+        let (order_a, map_a) = collapse(a);
+        let (_, map_b) = collapse(b);
+
+        let mut points = Vec::new();
+        for coord in order_a {
+            let Some((ipcs_b, energy_b)) = map_b.get(&coord) else {
+                continue;
+            };
+            let (ipcs_a, energy_a) = &map_a[&coord];
+            let ipc_a = geometric_mean(ipcs_a.iter().copied()).ok_or_else(|| {
+                ExpError::Spec(format!("run `{}`: non-positive IPC at {coord:?}", a.run))
+            })?;
+            let ipc_b = geometric_mean(ipcs_b.iter().copied()).ok_or_else(|| {
+                ExpError::Spec(format!("run `{}`: non-positive IPC at {coord:?}", b.run))
+            })?;
+            points.push(PointDelta {
+                benchmark: coord.0,
+                instructions: coord.1,
+                machine: coord.2,
+                ipc_a,
+                ipc_b,
+                ipc_delta_pct: pct_change(ipc_a, ipc_b),
+                energy_a: *energy_a,
+                energy_b: *energy_b,
+                energy_delta_pct: pct_change(*energy_a, *energy_b),
+            });
+        }
+        if points.is_empty() {
+            return Err(ExpError::Spec(format!(
+                "runs `{}` and `{}` share no (workload, instructions, machine) coordinates",
+                a.run, b.run
+            )));
+        }
+        let geomean_ipc_ratio = geometric_mean(points.iter().map(|p| p.ipc_b / p.ipc_a))
+            .expect("ratios of positive IPCs");
+        let geomean_energy_ratio = geometric_mean(
+            points
+                .iter()
+                .filter(|p| p.energy_a > 0.0 && p.energy_b > 0.0)
+                .map(|p| p.energy_b / p.energy_a),
+        )
+        .unwrap_or(1.0);
+        Ok(Comparison {
+            run_a: a.run.clone(),
+            run_b: b.run.clone(),
+            points,
+            geomean_ipc_ratio,
+            geomean_energy_ratio,
+        })
+    }
+
+    /// Geomean IPC regression of B versus A in percent (0 when B is not
+    /// slower) — what the `diq compare` gate thresholds against.
+    #[must_use]
+    pub fn ipc_regression_pct(&self) -> f64 {
+        (100.0 * (1.0 - self.geomean_ipc_ratio)).max(0.0)
+    }
+
+    /// Whether the regression gate trips at `threshold_pct`.
+    #[must_use]
+    pub fn is_regression(&self, threshold_pct: f64) -> bool {
+        self.ipc_regression_pct() > threshold_pct
+    }
+
+    /// The matched points as a text table (per-point IPC and energy deltas,
+    /// plus the geomean row).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "benchmark",
+            "instrs",
+            "machine",
+            "IPC A",
+            "IPC B",
+            "dIPC",
+            "dEnergy",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.benchmark.clone(),
+                p.instructions.to_string(),
+                p.machine.clone(),
+                format!("{:.3}", p.ipc_a),
+                format!("{:.3}", p.ipc_b),
+                format!("{:+.2}%", p.ipc_delta_pct),
+                format!("{:+.2}%", p.energy_delta_pct),
+            ]);
+        }
+        t.row([
+            "GEOMEAN".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:+.2}%", 100.0 * (self.geomean_ipc_ratio - 1.0)),
+            format!("{:+.2}%", 100.0 * (self.geomean_energy_ratio - 1.0)),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PointResult;
+
+    fn result(scheme: &str, bench: &str, ipc: f64, energy: f64) -> PointResult {
+        PointResult {
+            scheme: scheme.into(),
+            benchmark: bench.into(),
+            instructions: 1000,
+            machine: "table1".into(),
+            seed: 1,
+            ipc,
+            cycles: 100,
+            committed: 1000,
+            issued: 1000,
+            dispatch_stall_cycles: 0,
+            mispredict_redirects: 0,
+            branch_accuracy: 0.95,
+            dl1_miss_rate: 0.01,
+            l2_miss_rate: 0.1,
+            energy_pj: energy,
+            energy_breakdown: vec![("fifo".into(), energy)],
+            lsq_forwards: 0,
+            checker_violations: 0,
+        }
+    }
+
+    fn summary(run: &str, points: Vec<PointResult>) -> RunSummary {
+        RunSummary::from_points(run.into(), None, points)
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = summary(
+            "r",
+            vec![
+                result("A", "gzip", 2.0, 10.0),
+                result("A", "swim", 4.0, 30.0),
+            ],
+        );
+        assert!((s.harmonic_mean_ipc.unwrap() - 8.0 / 3.0).abs() < 1e-12);
+        assert!((s.geometric_mean_ipc.unwrap() - 8.0_f64.sqrt()).abs() < 1e-12);
+        assert!((s.total_energy_pj - 40.0).abs() < 1e-12);
+        assert_eq!(s.energy_breakdown, vec![("fifo".to_string(), 40.0)]);
+        let back: RunSummary = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn comparison_detects_regression() {
+        let a = summary(
+            "base",
+            vec![
+                result("A", "gzip", 2.0, 10.0),
+                result("A", "swim", 4.0, 30.0),
+            ],
+        );
+        let b = summary(
+            "cand",
+            vec![
+                result("B", "gzip", 1.8, 8.0),
+                result("B", "swim", 3.6, 24.0),
+            ],
+        );
+        let c = Comparison::between(&a, &b).unwrap();
+        assert_eq!(c.points.len(), 2);
+        assert!((c.geomean_ipc_ratio - 0.9).abs() < 1e-12);
+        assert!((c.ipc_regression_pct() - 10.0).abs() < 1e-9);
+        assert!(c.is_regression(5.0));
+        assert!(!c.is_regression(15.0));
+        let text = c.render();
+        assert!(text.contains("GEOMEAN"), "{text}");
+        assert!(text.contains("gzip"), "{text}");
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let a = summary("base", vec![result("A", "gzip", 2.0, 10.0)]);
+        let b = summary("cand", vec![result("B", "gzip", 2.4, 9.0)]);
+        let c = Comparison::between(&a, &b).unwrap();
+        assert_eq!(c.ipc_regression_pct(), 0.0);
+        assert!(!c.is_regression(0.0));
+    }
+
+    #[test]
+    fn multi_scheme_runs_collapse_per_coordinate() {
+        let a = summary(
+            "base",
+            vec![
+                result("A1", "gzip", 2.0, 10.0),
+                result("A2", "gzip", 8.0, 10.0),
+            ],
+        );
+        let b = summary("cand", vec![result("B", "gzip", 4.0, 20.0)]);
+        let c = Comparison::between(&a, &b).unwrap();
+        assert_eq!(c.points.len(), 1);
+        assert!(
+            (c.points[0].ipc_a - 4.0).abs() < 1e-12,
+            "geomean of 2 and 8"
+        );
+        assert_eq!(c.points[0].energy_a, 20.0, "energies sum");
+        assert!((c.geomean_ipc_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_runs_error() {
+        let a = summary("base", vec![result("A", "gzip", 2.0, 10.0)]);
+        let b = summary("cand", vec![result("B", "swim", 2.0, 10.0)]);
+        let err = Comparison::between(&a, &b).unwrap_err().to_string();
+        assert!(err.contains("share no"), "{err}");
+    }
+}

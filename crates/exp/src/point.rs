@@ -1,0 +1,227 @@
+//! One grid point: its identity (content hash) and its execution.
+
+use diq_core::SchedulerConfig;
+use diq_isa::ProcessorConfig;
+use diq_pipeline::{SimStats, Simulator};
+use diq_workload::WorkloadSpec;
+use serde::{Deserialize, Serialize, Value};
+
+/// 64-bit FNV-1a over `bytes` — the store's content hash. Small, stable,
+/// dependency-free; collisions across a few thousand grid points are not a
+/// realistic concern, and a collision would only ever skip a recompute.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// One fully-resolved simulation point of an experiment grid.
+///
+/// The workload carried here already has its *effective* seed (base workload
+/// seed shifted by the spec's seed), so a `Point` is self-contained: two
+/// points with equal [`key`](Point::key)s produce byte-identical results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// The issue scheme under test.
+    pub scheme: SchedulerConfig,
+    /// The workload, with the effective per-point seed applied.
+    pub workload: WorkloadSpec,
+    /// Instructions to simulate.
+    pub instructions: u64,
+    /// The (possibly knob-overridden) machine.
+    pub machine: ProcessorConfig,
+    /// Display label of the machine override set (`"table1"` when stock).
+    pub machine_label: String,
+}
+
+impl Point {
+    /// A point on the stock Table 1 machine.
+    #[must_use]
+    pub fn new(
+        machine: ProcessorConfig,
+        scheme: SchedulerConfig,
+        workload: WorkloadSpec,
+        instructions: u64,
+    ) -> Self {
+        Point {
+            scheme,
+            workload,
+            instructions,
+            machine,
+            machine_label: "table1".to_string(),
+        }
+    }
+
+    /// The canonical identity of this point: a JSON rendering of everything
+    /// that affects its result. Hashed for the store key; field order is
+    /// fixed, so the text (and hence the key) is stable.
+    #[must_use]
+    pub fn identity_json(&self) -> String {
+        let v = Value::Map(vec![
+            ("scheme".into(), self.scheme.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("instructions".into(), self.instructions.to_value()),
+            ("machine".into(), self.machine.to_value()),
+        ]);
+        serde_json::to_string(&v).expect("identity serializes")
+    }
+
+    /// The content-addressed store key: 16 hex digits of FNV-1a over
+    /// [`identity_json`](Point::identity_json).
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.identity_json().as_bytes()))
+    }
+
+    /// Runs the simulation for this point. Streaming: the trace is generated
+    /// on the fly, so memory use is independent of `instructions`.
+    #[must_use]
+    pub fn execute(&self) -> SimStats {
+        let mut sim = Simulator::new(&self.machine, &self.scheme);
+        sim.set_benchmark(&self.workload.name);
+        let trace =
+            diq_workload::TraceGenerator::new(&self.workload).take(self.instructions as usize);
+        sim.run(trace, self.instructions)
+    }
+}
+
+/// The stored, machine-readable result of one point — the flattened subset
+/// of [`SimStats`] the aggregation and comparison layers consume.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Scheme label (e.g. `MB_distr`).
+    pub scheme: String,
+    /// Workload name.
+    pub benchmark: String,
+    /// Instructions simulated.
+    pub instructions: u64,
+    /// Machine override label (`"table1"` when stock).
+    pub machine: String,
+    /// Effective workload seed.
+    pub seed: u64,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Issued instructions.
+    pub issued: u64,
+    /// Cycles dispatch presented an instruction the scheduler refused.
+    pub dispatch_stall_cycles: u64,
+    /// Mispredictions that redirected fetch.
+    pub mispredict_redirects: u64,
+    /// Branch-predictor accuracy in [0, 1].
+    pub branch_accuracy: f64,
+    /// L1 data-cache miss rate in [0, 1].
+    pub dl1_miss_rate: f64,
+    /// L2 miss rate in [0, 1].
+    pub l2_miss_rate: f64,
+    /// Total issue-queue energy (pJ).
+    pub energy_pj: f64,
+    /// Per-component energy `(paper label, pJ)`, in the paper's stacking
+    /// order.
+    pub energy_breakdown: Vec<(String, f64)>,
+    /// Store-to-load forwards.
+    pub lsq_forwards: u64,
+    /// Dataflow-checker violations (must be 0).
+    pub checker_violations: u64,
+}
+
+impl PointResult {
+    /// Flattens a finished simulation into its stored form.
+    #[must_use]
+    pub fn from_stats(point: &Point, stats: &SimStats) -> Self {
+        PointResult {
+            scheme: point.scheme.label(),
+            benchmark: point.workload.name.clone(),
+            instructions: point.instructions,
+            machine: point.machine_label.clone(),
+            seed: point.workload.seed,
+            ipc: stats.ipc(),
+            cycles: stats.cycles,
+            committed: stats.committed,
+            issued: stats.issued,
+            dispatch_stall_cycles: stats.dispatch_stall_cycles,
+            mispredict_redirects: stats.mispredict_redirects,
+            branch_accuracy: stats.branch.accuracy(),
+            dl1_miss_rate: stats.dl1.miss_rate(),
+            l2_miss_rate: stats.l2.miss_rate(),
+            energy_pj: stats.energy_pj(),
+            energy_breakdown: stats
+                .energy
+                .breakdown()
+                .map(|(c, pj)| (c.paper_label().to_string(), pj))
+                .collect(),
+            lsq_forwards: stats.lsq_forwards,
+            checker_violations: stats.checker_violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diq_workload::suite;
+
+    fn point() -> Point {
+        Point::new(
+            ProcessorConfig::hpca2004(),
+            SchedulerConfig::mb_distr(),
+            suite::by_name("gzip").unwrap(),
+            500,
+        )
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let p = point();
+        assert_eq!(p.key(), point().key());
+        assert_eq!(p.key().len(), 16);
+
+        let mut other = point();
+        other.instructions = 501;
+        assert_ne!(p.key(), other.key(), "instruction count is identity");
+
+        let mut other = point();
+        other.machine.rob_entries = 128;
+        assert_ne!(p.key(), other.key(), "machine knobs are identity");
+
+        let mut other = point();
+        other.workload.seed ^= 1;
+        assert_ne!(p.key(), other.key(), "seed is identity");
+
+        let mut other = point();
+        other.scheme = SchedulerConfig::iq_64_64();
+        assert_ne!(p.key(), other.key(), "scheme is identity");
+    }
+
+    #[test]
+    fn execute_produces_committed_run() {
+        let p = point();
+        let stats = p.execute();
+        assert_eq!(stats.committed, 500);
+        assert_eq!(stats.checker_violations, 0);
+        let r = PointResult::from_stats(&p, &stats);
+        assert_eq!(r.scheme, "MB_distr");
+        assert_eq!(r.benchmark, "gzip");
+        assert!(r.ipc > 0.0);
+        // breakdown() yields only the components this scheme exercises.
+        assert!(!r.energy_breakdown.is_empty());
+        assert!(r.energy_breakdown.iter().all(|(_, pj)| *pj > 0.0));
+        let sum: f64 = r.energy_breakdown.iter().map(|(_, pj)| pj).sum();
+        assert!((sum - r.energy_pj).abs() < 1e-6 * r.energy_pj);
+    }
+}

@@ -1,0 +1,79 @@
+//! The determinism contract of the result store: the same spec at the same
+//! seed must produce byte-identical store contents regardless of how many
+//! worker threads execute the grid.
+
+use diq_exp::{sweep, ExperimentSpec, ResultStore};
+use std::fs;
+use std::path::PathBuf;
+
+fn spec() -> ExperimentSpec {
+    // Deliberately broad: registered label + inline geometry, a machine
+    // override, two instruction counts and a seed shift, so the identity
+    // hashing and record serialization are all exercised.
+    ExperimentSpec::from_json(
+        r#"{
+            "name": "determinism",
+            "seed": 3,
+            "instructions": [300, "400"],
+            "schemes": [
+                "MB_distr",
+                {"IssueFifo": {"int": {"queues": 8, "entries": 8},
+                               "fp": {"queues": 8, "entries": 16},
+                               "distributed_fus": false}}
+            ],
+            "workloads": ["gzip", "swim", "mcf"],
+            "machines": [{}, {"rob_entries": 128}]
+        }"#,
+    )
+    .unwrap()
+}
+
+fn fresh_store(tag: &str) -> (ResultStore, PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("diq-exp-determinism-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    (ResultStore::open(&dir).unwrap(), dir)
+}
+
+#[test]
+fn store_bytes_are_independent_of_thread_count() {
+    let spec = spec();
+    let (store1, dir1) = fresh_store("t1");
+    let (store8, dir8) = fresh_store("t8");
+
+    let out1 = sweep(&spec, &store1, 1).unwrap();
+    let out8 = sweep(&spec, &store8, 8).unwrap();
+    assert_eq!(
+        out1.computed, 24,
+        "2 schemes x 3 workloads x 2 counts x 2 machines"
+    );
+    assert_eq!(out8.computed, 24);
+
+    let bytes1 = fs::read(dir1.join("store.jsonl")).unwrap();
+    let bytes8 = fs::read(dir8.join("store.jsonl")).unwrap();
+    assert!(!bytes1.is_empty());
+    assert_eq!(
+        bytes1, bytes8,
+        "store.jsonl must be byte-identical for 1 vs 8 worker threads"
+    );
+
+    let m1 = fs::read(dir1.join("runs").join("determinism.json")).unwrap();
+    let m8 = fs::read(dir8.join("runs").join("determinism.json")).unwrap();
+    assert_eq!(m1, m8, "run manifests must match too");
+
+    let _ = fs::remove_dir_all(dir1);
+    let _ = fs::remove_dir_all(dir8);
+}
+
+#[test]
+fn reseeding_changes_every_point_key() {
+    let base = spec();
+    let mut reseeded = base.clone();
+    reseeded.seed = 4;
+    let keys_a: Vec<String> = base.expand().unwrap().iter().map(|p| p.key()).collect();
+    let keys_b: Vec<String> = reseeded.expand().unwrap().iter().map(|p| p.key()).collect();
+    assert_eq!(keys_a.len(), keys_b.len());
+    for (a, b) in keys_a.iter().zip(&keys_b) {
+        assert_ne!(a, b, "a seed shift must re-address the whole grid");
+    }
+}

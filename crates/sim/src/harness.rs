@@ -1,8 +1,9 @@
 //! Parallel, cached simulation runner.
 
 use diq_core::SchedulerConfig;
+use diq_exp::Point;
 use diq_isa::ProcessorConfig;
-use diq_pipeline::{SimStats, Simulator};
+use diq_pipeline::SimStats;
 use diq_workload::WorkloadSpec;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -37,13 +38,21 @@ impl Default for Harness {
 impl Harness {
     /// A harness over the paper's Table 1 machine, simulating
     /// [`DEFAULT_INSTRUCTIONS`](crate::DEFAULT_INSTRUCTIONS) per benchmark
-    /// (override with the `DIQ_INSTRS` environment variable).
+    /// (override with the `DIQ_INSTRS` environment variable;
+    /// `100k`/`5M`-style suffixes accepted).
+    ///
+    /// # Panics
+    ///
+    /// If `DIQ_INSTRS` is set but not a valid count — a typo silently
+    /// producing figures at the wrong fidelity would be worse.
     #[must_use]
     pub fn new() -> Self {
-        let instructions = std::env::var("DIQ_INSTRS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(crate::DEFAULT_INSTRUCTIONS);
+        let instructions = match std::env::var("DIQ_INSTRS") {
+            Ok(s) => diq_exp::parse_count(&s).unwrap_or_else(|| {
+                panic!("DIQ_INSTRS=`{s}` is not a valid instruction count (try 250000 or 100k)")
+            }),
+            Err(_) => crate::DEFAULT_INSTRUCTIONS,
+        };
         Self::with_instructions(instructions)
     }
 
@@ -71,15 +80,17 @@ impl Harness {
     }
 
     /// Runs (or returns the cached result of) one scheme on one benchmark.
+    ///
+    /// Execution goes through [`diq_exp::Point`] — the same path `diq sweep`
+    /// uses — so paper artifacts and ad-hoc experiment grids cannot drift
+    /// apart.
     pub fn run(&self, sched: &SchedulerConfig, bench: &WorkloadSpec) -> Arc<SimStats> {
         let key = (sched.label(), bench.name.clone());
         if let Some(hit) = self.cache.lock().get(&key) {
             return Arc::clone(hit);
         }
-        let mut sim = Simulator::new(&self.cfg, sched);
-        sim.set_benchmark(&bench.name);
-        let trace = diq_workload::TraceGenerator::new(bench).take(self.instructions as usize);
-        let stats = Arc::new(sim.run(trace, self.instructions));
+        let point = Point::new(self.cfg, sched.clone(), bench.clone(), self.instructions);
+        let stats = Arc::new(point.execute());
         self.cache.lock().insert(key, Arc::clone(&stats));
         stats
     }
@@ -99,23 +110,14 @@ impl Harness {
         scheds: &[SchedulerConfig],
         suite: &[WorkloadSpec],
     ) -> Vec<Vec<Arc<SimStats>>> {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZero::get)
-            .unwrap_or(4);
+        let threads = diq_exp::default_threads();
         let jobs: Vec<(usize, usize)> = (0..scheds.len())
             .flat_map(|s| (0..suite.len()).map(move |b| (s, b)))
             .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(jobs.len()) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(s, b)) = jobs.get(i) else { break };
-                    let _ = self.run(&scheds[s], &suite[b]);
-                });
-            }
-        })
-        .expect("simulation worker panicked");
+        diq_exp::run_indexed(jobs.len(), threads, |i| {
+            let (s, b) = jobs[i];
+            let _ = self.run(&scheds[s], &suite[b]);
+        });
         scheds
             .iter()
             .map(|s| suite.iter().map(|b| self.run(s, b)).collect())

@@ -12,7 +12,12 @@
 //!
 //! The default run length is 100 000 instructions per benchmark (the paper
 //! simulates 100 M; see DESIGN.md for the scaling argument). Set
-//! `DIQ_INSTRS` to override.
+//! `DIQ_INSTRS` to override (`100k`/`5M`-style suffixes accepted).
+//!
+//! Since the `diq-exp` experiment subsystem landed, the harness executes
+//! each (scheme, benchmark) pair through [`diq_exp::Point`] and fans out via
+//! [`diq_exp::run_indexed`] — the exact path `diq sweep` uses — so the paper
+//! artifacts and ad-hoc experiment grids share one execution path.
 //!
 //! # Example
 //!
@@ -35,5 +40,6 @@ pub use energy::ChipEnergy;
 pub use harness::Harness;
 pub use report::Figure;
 
-/// Default instructions simulated per benchmark.
-pub const DEFAULT_INSTRUCTIONS: u64 = 100_000;
+/// Default instructions simulated per benchmark (shared with `diq-exp`, so
+/// sweeps and figures default to the same run length).
+pub const DEFAULT_INSTRUCTIONS: u64 = diq_exp::DEFAULT_INSTRUCTIONS;

@@ -205,6 +205,24 @@ impl WorkloadSpec {
         crate::TraceGenerator::new(self).take(n).collect()
     }
 
+    /// Parses a spec from JSON and validates it, so custom scenarios can be
+    /// loaded from experiment files.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error, or the first out-of-range parameter.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let spec: WorkloadSpec = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec as pretty-printed JSON (the experiment-file form).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workload specs serialize")
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Errors
@@ -292,5 +310,21 @@ mod tests {
     fn generation_is_deterministic() {
         let s = base();
         assert_eq!(s.generate(500), s.generate(500));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = base();
+        let back = WorkloadSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_specs() {
+        let mut s = base();
+        s.live_chains = 99;
+        let err = WorkloadSpec::from_json(&s.to_json()).unwrap_err();
+        assert!(err.contains("live_chains"), "{err}");
+        assert!(WorkloadSpec::from_json("not json").is_err());
     }
 }

@@ -359,6 +359,19 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
     all().into_iter().find(|s| s.name == name)
 }
 
+/// Resolves a suite group name — `"all"`, `"int"`/`"specint"`, or
+/// `"fp"`/`"specfp"` — to its member models. Experiment specs use these as
+/// shorthand for whole-suite axes.
+#[must_use]
+pub fn group(name: &str) -> Option<Vec<WorkloadSpec>> {
+    match name {
+        "all" => Some(all()),
+        "int" | "specint" => Some(spec_int()),
+        "fp" | "specfp" => Some(spec_fp()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +381,15 @@ mod tests {
         assert_eq!(spec_int().len(), 12);
         assert_eq!(spec_fp().len(), 14);
         assert_eq!(all().len(), 26);
+    }
+
+    #[test]
+    fn groups_resolve() {
+        assert_eq!(group("all").unwrap().len(), 26);
+        assert_eq!(group("int").unwrap().len(), 12);
+        assert_eq!(group("fp").unwrap().len(), 14);
+        assert_eq!(group("specfp").unwrap().len(), 14);
+        assert!(group("spec2017").is_none());
     }
 
     #[test]

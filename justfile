@@ -13,9 +13,26 @@ ci: verify
     cargo clippy --all-targets --workspace -- -D warnings
     cargo bench --no-run --workspace
 
-# Regenerate every paper artifact (DIQ_INSTRS trades time for fidelity).
+# Regenerate every paper artifact (DIQ_INSTRS trades time for fidelity;
+# 100k/5M-style suffixes accepted).
 figures:
     cargo run --release -- figures
+
+# Run an experiment grid, resumably (results land in ./results).
+sweep spec="experiments/paper_matrix.json":
+    cargo run --release -- sweep {{spec}}
+
+# The CI resume check, locally: sweep a tiny grid twice, the second pass must
+# be 100% cache hits, then export the summary JSON.
+sweep-smoke:
+    cargo build --release
+    ./target/release/diq sweep experiments/ci_smoke.json --store ci-results
+    ./target/release/diq sweep experiments/ci_smoke.json --store ci-results | grep "100.0% cache hits"
+    ./target/release/diq export ci-smoke --store ci-results
+
+# Gate run B against baseline run A (exits 1 past the IPC threshold).
+compare a b threshold="2":
+    cargo run --release -- compare {{a}} {{b}} --threshold {{threshold}}
 
 # One fast end-to-end pass over the bench targets' machinery: compile all
 # 19 bench executables and run the two headline ones at a tiny budget.

@@ -73,6 +73,12 @@ pub mod sim {
     pub use diq_sim::*;
 }
 
+/// Experiment orchestration: declarative sweep specs, the deterministic
+/// parallel runner, and the persistent result store (re-export of `diq-exp`).
+pub mod exp {
+    pub use diq_exp::*;
+}
+
 /// The command-line surface shared by the `diq` binary and its tests.
 pub mod cli {
     use diq_core::SchedulerConfig;
@@ -80,36 +86,28 @@ pub mod cli {
     /// Every scheme label `diq list` advertises, in display order.
     ///
     /// Each entry round-trips through [`scheme_by_name`]:
-    /// `scheme_by_name(l).unwrap().label() == l`.
-    pub const SCHEME_LABELS: [&str; 8] = [
-        "IQ_unbounded",
-        "IQ_64_64",
-        "IssueFIFO_16x16_8x16",
-        "LatFIFO_16x16_8x16",
-        "MixBUFF_16x16_8x16",
-        "IF_distr",
-        "MB_distr",
-        "MB_distr_agesel",
-    ];
+    /// `scheme_by_name(l).unwrap().label() == l`. The registry itself lives
+    /// in `diq-core` ([`SchedulerConfig::KNOWN_LABELS`]) so experiment specs
+    /// can resolve labels without this crate.
+    pub const SCHEME_LABELS: [&str; 8] = SchedulerConfig::KNOWN_LABELS;
 
     /// The configurations behind [`SCHEME_LABELS`], in the same order.
     #[must_use]
     pub fn known_schemes() -> Vec<SchedulerConfig> {
-        vec![
-            SchedulerConfig::unbounded_baseline(),
-            SchedulerConfig::iq_64_64(),
-            SchedulerConfig::issue_fifo(16, 16, 8, 16),
-            SchedulerConfig::lat_fifo(16, 16, 8, 16),
-            SchedulerConfig::mix_buff(16, 16, 8, 16, None),
-            SchedulerConfig::if_distr(),
-            SchedulerConfig::mb_distr(),
-            SchedulerConfig::mb_distr_age_only(),
-        ]
+        SchedulerConfig::known()
     }
 
     /// Resolves an advertised scheme label to its configuration.
     #[must_use]
     pub fn scheme_by_name(name: &str) -> Option<SchedulerConfig> {
-        known_schemes().into_iter().find(|s| s.label() == name)
+        SchedulerConfig::by_label(name)
+    }
+
+    /// Parses an instruction count with an optional magnitude suffix
+    /// (re-export of [`diq_exp::parse_count`]): `"250000"`, `"100k"`,
+    /// `"5M"`, `"1G"`, with `_` separators allowed.
+    #[must_use]
+    pub fn parse_count(s: &str) -> Option<u64> {
+        diq_exp::parse_count(s)
     }
 }

@@ -7,10 +7,13 @@
 //! diq figure <id>                   regenerate one paper artifact (fig2..fig15,
 //!                                   tab1, sec3, headline)
 //! diq figures                       regenerate everything
+//! diq sweep <spec.json>             run an experiment grid, resumably
+//! diq compare <run-a> <run-b>       per-point deltas + regression gate
+//! diq export <run>                  write a BENCH_<run>.json summary
 //! ```
 
-use diq::cli::{scheme_by_name, SCHEME_LABELS};
-use diq::pipeline::Simulator;
+use diq::cli::{parse_count, scheme_by_name, SCHEME_LABELS};
+use diq::exp::{sweep_as, Comparison, ExperimentSpec, Point, ResultStore, RunSummary};
 use diq::sim::{figures, Figure, Harness};
 use diq::workload::suite;
 
@@ -38,9 +41,211 @@ fn figure_by_id(id: &str, h: &Harness) -> Option<Figure> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  diq list\n  diq run <scheme> <benchmark> [instructions]\n  diq figure <id>\n  diq figures\n\nDIQ_INSTRS sets the per-benchmark instruction count for figures."
+        "usage:\n  \
+         diq list\n  \
+         diq run <scheme> <benchmark> [instructions]\n  \
+         diq figure <id>\n  \
+         diq figures\n  \
+         diq sweep <spec.json> [--store DIR] [--threads N] [--name RUN]\n  \
+         diq compare <run-a> <run-b> [--store DIR] [--threshold PCT]\n  \
+         diq export <run> [--store DIR] [--out FILE]\n\n\
+         Instruction counts accept 100k/5M/1G suffixes, here and in DIQ_INSTRS\n\
+         (the per-benchmark count for figures). The result store defaults to\n\
+         ./results; `diq compare` exits 1 when run-b's geomean IPC regresses\n\
+         more than the threshold (default 2%) against run-a."
     );
     std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Splits `args` into positionals and recognised `--flag value` options.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+) -> (Vec<String>, std::collections::HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                fail(format!("unknown option `--{name}`"));
+            }
+            let Some(v) = it.next() else {
+                fail(format!("option `--{name}` needs a value"));
+            };
+            flags.insert(name.to_string(), v.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn open_store(flags: &std::collections::HashMap<String, String>) -> ResultStore {
+    let dir = flags.get("store").map_or("results", String::as_str);
+    ResultStore::open(dir).unwrap_or_else(|e| fail(format!("open store `{dir}`: {e}")))
+}
+
+fn cmd_run(args: &[String]) {
+    let (Some(scheme_name), Some(bench_name)) = (args.first(), args.get(1)) else {
+        usage();
+    };
+    let Some(scheme) = scheme_by_name(scheme_name) else {
+        fail(format!("unknown scheme `{scheme_name}` (see `diq list`)"));
+    };
+    let Some(bench) = suite::by_name(bench_name) else {
+        fail(format!("unknown benchmark `{bench_name}` (see `diq list`)"));
+    };
+    let n: u64 = match args.get(2) {
+        Some(s) => parse_count(s)
+            .unwrap_or_else(|| fail(format!("bad instruction count `{s}` (try 250000 or 100k)"))),
+        None => diq::exp::DEFAULT_INSTRUCTIONS,
+    };
+    // One execution path with the harness and `diq sweep`: a Point streams
+    // its trace, so memory stays O(1) in the instruction count.
+    let cfg = diq::isa::ProcessorConfig::hpca2004();
+    let stats = Point::new(cfg, scheme, bench, n).execute();
+    println!("{stats}");
+    println!("energy breakdown:");
+    for (c, pj) in stats.energy.breakdown() {
+        println!(
+            "  {:12} {:8.1} nJ ({:4.1}%)",
+            c.paper_label(),
+            pj / 1e3,
+            100.0 * stats.energy.fraction(c)
+        );
+    }
+}
+
+fn cmd_sweep(args: &[String]) {
+    let (positional, flags) = parse_flags(args, &["store", "threads", "name"]);
+    let [spec_path] = positional.as_slice() else {
+        usage();
+    };
+    let json = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| fail(format!("read `{spec_path}`: {e}")));
+    let spec =
+        ExperimentSpec::from_json(&json).unwrap_or_else(|e| fail(format!("`{spec_path}`: {e}")));
+    let run_name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| spec.name.clone());
+    let threads = match flags.get("threads") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| fail(format!("bad thread count `{s}`"))),
+        None => diq::exp::default_threads(),
+    };
+    let store = open_store(&flags);
+    let outcome = sweep_as(&spec, run_name, &store, threads).unwrap_or_else(|e| fail(e));
+    for (rec, fresh) in outcome.records.iter().zip(&outcome.fresh) {
+        let r = &rec.result;
+        println!(
+            "  [{}] {} on {} @ {} ({} instrs): IPC {:.3}, energy {:.1} nJ",
+            if *fresh { "computed" } else { "cached" },
+            r.scheme,
+            r.benchmark,
+            r.machine,
+            r.instructions,
+            r.ipc,
+            r.energy_pj / 1e3,
+        );
+    }
+    println!(
+        "sweep `{}`: {} points, {} computed, {} cached ({:.1}% cache hits), store {}",
+        outcome.run,
+        outcome.total(),
+        outcome.computed,
+        outcome.cached,
+        outcome.cache_hit_pct(),
+        store.root().display(),
+    );
+}
+
+fn cmd_compare(args: &[String]) {
+    let (positional, flags) = parse_flags(args, &["store", "threshold"]);
+    let [run_a, run_b] = positional.as_slice() else {
+        usage();
+    };
+    let threshold: f64 = match flags.get("threshold") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+            .unwrap_or_else(|| fail(format!("bad threshold `{s}`"))),
+        None => 2.0,
+    };
+    let store = open_store(&flags);
+    let a = RunSummary::build(&store, run_a).unwrap_or_else(|e| fail(e));
+    let b = RunSummary::build(&store, run_b).unwrap_or_else(|e| fail(e));
+    let cmp = Comparison::between(&a, &b).unwrap_or_else(|e| fail(e));
+    println!(
+        "{} -> {} ({} matched points)",
+        run_a,
+        run_b,
+        cmp.points.len()
+    );
+    print!("{}", cmp.render());
+    println!(
+        "geomean IPC ratio {:.4}, geomean energy ratio {:.4}",
+        cmp.geomean_ipc_ratio, cmp.geomean_energy_ratio
+    );
+    if cmp.is_regression(threshold) {
+        println!(
+            "REGRESSION: `{}` is {:.2}% slower than `{}` (threshold {:.2}%)",
+            run_b,
+            cmp.ipc_regression_pct(),
+            run_a,
+            threshold
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: IPC regression {:.2}% within threshold {:.2}%",
+        cmp.ipc_regression_pct(),
+        threshold
+    );
+}
+
+fn cmd_export(args: &[String]) {
+    let (positional, flags) = parse_flags(args, &["store", "out"]);
+    let [run] = positional.as_slice() else {
+        usage();
+    };
+    let store = open_store(&flags);
+    let summary = RunSummary::build(&store, run).unwrap_or_else(|e| fail(e));
+    let json = summary.to_json();
+    match flags.get("out").map(String::as_str) {
+        Some("-") => print!("{json}"),
+        out => {
+            let path = out.map_or_else(
+                || store.root().join(format!("BENCH_{run}.json")),
+                std::path::PathBuf::from,
+            );
+            std::fs::write(&path, &json)
+                .unwrap_or_else(|e| fail(format!("write `{}`: {e}", path.display())));
+            println!(
+                "exported `{}`: {} points, harmonic-mean IPC {}, geomean IPC {}, {:.1} nJ -> {}",
+                run,
+                summary.points.len(),
+                summary
+                    .harmonic_mean_ipc
+                    .map_or("n/a".into(), |v| format!("{v:.3}")),
+                summary
+                    .geometric_mean_ipc
+                    .map_or("n/a".into(), |v| format!("{v:.3}")),
+                summary.total_energy_pj / 1e3,
+                path.display(),
+            );
+        }
+    }
 }
 
 fn main() {
@@ -59,34 +264,7 @@ fn main() {
                 println!("  {label}");
             }
         }
-        Some("run") => {
-            let (Some(scheme_name), Some(bench_name)) = (args.get(1), args.get(2)) else {
-                usage();
-            };
-            let Some(scheme) = scheme_by_name(scheme_name) else {
-                eprintln!("unknown scheme `{scheme_name}` (see `diq list`)");
-                std::process::exit(1);
-            };
-            let Some(bench) = suite::by_name(bench_name) else {
-                eprintln!("unknown benchmark `{bench_name}` (see `diq list`)");
-                std::process::exit(1);
-            };
-            let n: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100_000);
-            let cfg = diq::isa::ProcessorConfig::hpca2004();
-            let mut sim = Simulator::new(&cfg, &scheme);
-            sim.set_benchmark(&bench.name);
-            let stats = sim.run(bench.generate(n as usize), n);
-            println!("{stats}");
-            println!("energy breakdown:");
-            for (c, pj) in stats.energy.breakdown() {
-                println!(
-                    "  {:12} {:8.1} nJ ({:4.1}%)",
-                    c.paper_label(),
-                    pj / 1e3,
-                    100.0 * stats.energy.fraction(c)
-                );
-            }
-        }
+        Some("run") => cmd_run(&args[1..]),
         Some("figure") => {
             let Some(id) = args.get(1) else { usage() };
             let h = Harness::new();
@@ -106,6 +284,9 @@ fn main() {
                 println!("{fig}");
             }
         }
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
         _ => usage(),
     }
 }
