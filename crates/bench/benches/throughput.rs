@@ -1,0 +1,121 @@
+//! Simulator-throughput benchmark: simulated instructions/second per
+//! scheme, event-driven wakeup versus the frozen scan reference on the same
+//! trace, appended to the result store as `BENCH_<run>.json`.
+//!
+//! Run: `just bench-throughput`, or directly:
+//!
+//! ```text
+//! cargo bench -p diq-bench --bench throughput
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `DIQ_TP_INSTRS`    — instructions per point (default `500k`; suffixes ok)
+//! * `DIQ_TP_SCHEMES`   — comma-separated scheme labels
+//!   (default `IQ_64_64,IF_distr,MB_distr` — the `stress_1m` grid)
+//! * `DIQ_TP_WORKLOADS` — comma-separated benchmarks
+//!   (default `gzip,mcf,swim,art` — the `stress_1m` grid)
+//! * `DIQ_TP_RUN`       — run name, i.e. the `BENCH_<run>.json` stem
+//!   (default `throughput`)
+//! * `DIQ_STORE`        — store directory (default `results`; relative
+//!   paths resolve against the workspace root)
+//! * `DIQ_TP_BASELINE_BIN` — path to a baseline `diq` binary (e.g. built
+//!   from the pre-refactor commit); when set, each point also records
+//!   end-to-end `diq run` instructions/sec of that binary versus this
+//!   workspace's (`DIQ_TP_SELF_BIN`, default `target/release/diq`), which
+//!   measures the whole tentpole — wakeup fast path *and* pipeline
+//!   allocation work — on an equal footing
+
+use diq_core::SchedulerConfig;
+use diq_exp::{measure_point, ThroughputSummary};
+use diq_isa::ProcessorConfig;
+use diq_workload::suite;
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() {
+    let instructions = {
+        let s = env_or("DIQ_TP_INSTRS", "500k");
+        diq_exp::parse_count(&s)
+            .unwrap_or_else(|| panic!("DIQ_TP_INSTRS=`{s}` is not a valid count"))
+    };
+    let schemes: Vec<SchedulerConfig> = env_or("DIQ_TP_SCHEMES", "IQ_64_64,IF_distr,MB_distr")
+        .split(',')
+        .map(|label| {
+            SchedulerConfig::by_label(label.trim())
+                .unwrap_or_else(|| panic!("unknown scheme `{label}` (see `diq list`)"))
+        })
+        .collect();
+    let workloads: Vec<_> = env_or("DIQ_TP_WORKLOADS", "gzip,mcf,swim,art")
+        .split(',')
+        .map(|name| {
+            suite::by_name(name.trim())
+                .unwrap_or_else(|| panic!("unknown benchmark `{name}` (see `diq list`)"))
+        })
+        .collect();
+    let run = env_or("DIQ_TP_RUN", "throughput");
+    // Relative store paths are workspace-root-relative (cargo bench sets
+    // the CWD to the crate), so `DIQ_STORE=results` means `./results`.
+    let store = {
+        let raw = std::path::PathBuf::from(env_or("DIQ_STORE", "results"));
+        if raw.is_absolute() {
+            raw
+        } else {
+            std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(raw)
+        }
+    };
+
+    let baseline_bin = std::env::var("DIQ_TP_BASELINE_BIN").ok();
+    // `cargo bench` sets the CWD to the crate, not the workspace root.
+    let default_self = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/release/diq");
+    let self_bin = env_or("DIQ_TP_SELF_BIN", default_self);
+
+    let cfg = ProcessorConfig::hpca2004();
+    let mut points = Vec::new();
+    for scheme in &schemes {
+        for workload in &workloads {
+            let mut p = measure_point(&cfg, scheme, workload, instructions);
+            if let Some(bin) = &baseline_bin {
+                let base = diq_exp::measure_e2e_ips(bin, &p.scheme, &p.benchmark, instructions)
+                    .unwrap_or_else(|e| panic!("baseline measurement: {e}"));
+                let own =
+                    diq_exp::measure_e2e_ips(&self_bin, &p.scheme, &p.benchmark, instructions)
+                        .unwrap_or_else(|e| panic!("self measurement: {e}"));
+                p.baseline_e2e_ips = Some(base);
+                p.self_e2e_ips = Some(own);
+                p.speedup_vs_baseline = Some(own / base);
+            }
+            print!(
+                "{:24} {:8} {:>7} instrs: {:>9.0} instrs/s event, {:>9.0} instrs/s scan, {:.2}x",
+                p.scheme, p.benchmark, p.instructions, p.event_ips, p.scan_ips, p.speedup
+            );
+            match p.speedup_vs_baseline {
+                Some(s) => println!(", {s:.2}x vs baseline bin"),
+                None => println!(),
+            }
+            points.push(p);
+        }
+    }
+
+    let summary = ThroughputSummary::from_points(
+        run,
+        Some(format!(
+            "simulated instrs/sec, event-driven vs scan wakeup, {instructions} instrs/point"
+        )),
+        points,
+    );
+    let path = summary
+        .write_to_store(&store)
+        .unwrap_or_else(|e| panic!("write throughput summary: {e}"));
+    print!(
+        "geomean: {:.0} instrs/s event-driven, {:.2}x vs scan",
+        summary.geomean_event_ips.unwrap_or(0.0),
+        summary.geomean_speedup.unwrap_or(0.0),
+    );
+    if let Some(s) = summary.geomean_speedup_vs_baseline {
+        print!(", {s:.2}x vs baseline bin");
+    }
+    println!(" -> {}", path.display());
+}

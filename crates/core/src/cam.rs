@@ -8,9 +8,19 @@
 //! operands are disabled (Folegnani–González), and the queue is banked
 //! (8 banks × 8 entries for `IQ_64_64`) so only occupied banks see the
 //! broadcast; selection logic consumes nothing while the queue is empty.
+//!
+//! The *simulation* of that broadcast is event-driven: each array keeps a
+//! per-tag consumer list ([`WakeupMap`]) so a result touches only the
+//! entries listening for it, and a ready-list so selection never rescans
+//! the queue. The *energy* charged per broadcast is still the physical
+//! banked-CAM cost — occupied banks × tag-line drive plus enabled
+//! comparators × match-line — computed from incrementally maintained
+//! counters ([`WakeupEvent`] carries them), bit-identical to the frozen
+//! scan model in [`reference`](crate::reference).
 
 use crate::energy::CamEnergy;
 use crate::fu::FuTopology;
+use crate::wakeup::{Slab, WakeupEvent, WakeupMap};
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{Cycle, InstId, OpClass, PhysReg, ProcessorConfig, RegClass};
 use diq_power::{Component, EnergyMeter, TechParams};
@@ -19,25 +29,28 @@ use diq_power::{Component, EnergyMeter, TechParams};
 struct CamEntry {
     id: InstId,
     op: OpClass,
-    srcs: [Option<PhysReg>; 2],
     ready: [bool; 2],
+    /// Position in `CamArray::ready` while all operands are ready.
+    ready_pos: u32,
 }
 
 impl CamEntry {
     fn all_ready(&self) -> bool {
         self.ready[0] && self.ready[1]
     }
-
-    /// Number of enabled comparators (unready operands).
-    fn listening(&self) -> usize {
-        self.ready.iter().filter(|r| !**r).count()
-    }
 }
 
 /// One banked CAM/RAM queue (integer or FP side).
 #[derive(Clone, Debug)]
 struct CamArray {
-    entries: Vec<CamEntry>,
+    slab: Slab<CamEntry>,
+    /// Slots whose entries have both operands ready (selection candidates).
+    ready: Vec<u32>,
+    /// `tag → [waiting (slot, operand)]`.
+    waiters: WakeupMap,
+    /// Enabled comparators across the whole array (operands not yet ready)
+    /// — the match-line count a broadcast is charged for.
+    unready_ops: usize,
     capacity: usize,
     bank_entries: usize,
 }
@@ -46,30 +59,84 @@ impl CamArray {
     fn new(capacity: usize, banks: usize) -> Self {
         assert!(capacity > 0 && banks > 0);
         CamArray {
-            entries: Vec::with_capacity(capacity),
+            slab: Slab::new(),
+            ready: Vec::with_capacity(capacity),
+            waiters: WakeupMap::new(),
+            unready_ops: 0,
             capacity,
             bank_entries: capacity.div_ceil(banks),
         }
     }
 
     fn active_banks(&self) -> usize {
-        self.entries.len().div_ceil(self.bank_entries)
+        self.slab.len().div_ceil(self.bank_entries)
     }
 
-    /// Wakes up matching operands; returns (active banks, enabled
-    /// comparators) for energy accounting.
-    fn wakeup(&mut self, tag: PhysReg) -> (usize, usize) {
-        let banks = self.active_banks();
-        let mut listening = 0;
-        for e in &mut self.entries {
-            listening += e.listening();
-            for (i, src) in e.srcs.iter().enumerate() {
-                if !e.ready[i] && *src == Some(tag) {
-                    e.ready[i] = true;
-                }
+    fn dispatch(&mut self, d: &DispatchInst) {
+        let mut ready = [true, true];
+        for (i, src) in d.srcs.iter().enumerate() {
+            if src.is_some() {
+                ready[i] = d.srcs_ready[i];
             }
         }
-        (banks, listening)
+        let slot = self.slab.insert(CamEntry {
+            id: d.id,
+            op: d.op,
+            ready,
+            ready_pos: u32::MAX,
+        });
+        for (i, src) in d.srcs.iter().enumerate() {
+            if !ready[i] {
+                self.waiters
+                    .listen(src.expect("unready operand has a tag"), slot, i);
+                self.unready_ops += 1;
+            }
+        }
+        if ready[0] && ready[1] {
+            self.mark_ready(slot);
+        }
+    }
+
+    fn mark_ready(&mut self, slot: u32) {
+        self.slab.get_mut(slot).ready_pos = self.ready.len() as u32;
+        self.ready.push(slot);
+    }
+
+    /// Removes an issued entry (it is necessarily on the ready list).
+    fn remove(&mut self, slot: u32) -> CamEntry {
+        let e = self.slab.remove(slot);
+        let pos = e.ready_pos as usize;
+        self.ready.swap_remove(pos);
+        if let Some(&moved) = self.ready.get(pos) {
+            self.slab.get_mut(moved).ready_pos = pos as u32;
+        }
+        e
+    }
+
+    /// Delivers `tag` to every listening comparator and reports the
+    /// physical broadcast this models: the tag lines are driven across all
+    /// occupied banks and every enabled comparator evaluates, whether or
+    /// not it matches.
+    fn wakeup(&mut self, tag: PhysReg) -> WakeupEvent {
+        let event = WakeupEvent {
+            banks: self.active_banks(),
+            comparators: self.unready_ops,
+        };
+        let slab = &mut self.slab;
+        let ready = &mut self.ready;
+        let mut woken = 0usize;
+        self.waiters.wake(tag, |w| {
+            let e = slab.get_mut(w.slot);
+            debug_assert!(!e.ready[w.operand as usize], "double wakeup");
+            e.ready[w.operand as usize] = true;
+            woken += 1;
+            if e.all_ready() {
+                e.ready_pos = ready.len() as u32;
+                ready.push(w.slot);
+            }
+        });
+        self.unready_ops -= woken;
+        event
     }
 }
 
@@ -93,6 +160,8 @@ pub struct CamIssueQueue {
     meter: EnergyMeter,
     topology: FuTopology,
     tech: TechParams,
+    /// Per-cycle selection scratch, reused across cycles.
+    candidates: Vec<(u64, Side, u32)>,
 }
 
 impl CamIssueQueue {
@@ -117,6 +186,7 @@ impl CamIssueQueue {
             meter: EnergyMeter::new(),
             topology,
             tech,
+            candidates: Vec::new(),
         }
     }
 
@@ -136,21 +206,10 @@ impl Scheduler for CamIssueQueue {
     fn try_dispatch(&mut self, d: &DispatchInst, _now: Cycle) -> Result<(), DispatchStall> {
         let side = d.side();
         let array = self.array(side);
-        if array.entries.len() >= array.capacity {
+        if array.slab.len() >= array.capacity {
             return Err(DispatchStall::Full);
         }
-        let mut ready = [true, true];
-        for (i, src) in d.srcs.iter().enumerate() {
-            if src.is_some() {
-                ready[i] = d.srcs_ready[i];
-            }
-        }
-        array.entries.push(CamEntry {
-            id: d.id,
-            op: d.op,
-            srcs: d.srcs,
-            ready,
-        });
+        array.dispatch(d);
         self.meter
             .add(Component::Buff, self.energy_model.entry_write);
         Ok(())
@@ -158,45 +217,42 @@ impl Scheduler for CamIssueQueue {
 
     fn issue_cycle(&mut self, _now: Cycle, sink: &mut dyn IssueSink) {
         // Oldest-first among all ready entries of both sides; the sink
-        // enforces per-side width and functional-unit limits.
-        let mut candidates: Vec<(u64, Side)> = Vec::new();
+        // enforces per-side width and functional-unit limits. The ready
+        // lists mean selection work is proportional to the candidates, not
+        // the queue size.
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
         for (side, array) in [(Side::Int, &self.int), (Side::Fp, &self.fp)] {
-            for e in &array.entries {
-                if e.all_ready() {
-                    candidates.push((e.id.0, side));
-                }
+            for &slot in &array.ready {
+                candidates.push((array.slab.get(slot).id.0, side, slot));
             }
             // Selection logic consumes energy whenever the queue has
             // anything to arbitrate.
-            if !array.entries.is_empty() {
-                let active = array.entries.iter().filter(|e| e.all_ready()).count();
+            if array.slab.len() > 0 {
                 self.meter.add(
                     Component::Select,
                     self.energy_model
                         .select
-                        .select_energy_pj(&self.tech, active),
+                        .select_energy_pj(&self.tech, array.ready.len()),
                 );
             }
         }
         candidates.sort_unstable_by_key(|c| c.0);
-        for (age, side) in candidates {
-            let id = InstId(age);
+        for &(age, side, slot) in &candidates {
             let array = match side {
-                Side::Int => &self.int,
-                Side::Fp => &self.fp,
+                Side::Int => &mut self.int,
+                Side::Fp => &mut self.fp,
             };
-            let Some(pos) = array.entries.iter().position(|e| e.id == id) else {
-                continue;
-            };
-            let op = array.entries[pos].op;
-            if sink.try_issue(id, op, None) {
-                self.array(side).entries.swap_remove(pos);
+            let op = array.slab.get(slot).op;
+            if sink.try_issue(InstId(age), op, None) {
+                array.remove(slot);
                 self.meter
                     .add(Component::Buff, self.energy_model.entry_read);
                 let (mux, pj) = self.energy_model.mux.event(op);
                 self.meter.add(mux, pj);
             }
         }
+        self.candidates = candidates;
     }
 
     fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
@@ -209,17 +265,17 @@ impl Scheduler for CamIssueQueue {
         let mut listening = 0;
         match dst.class() {
             RegClass::Int => {
-                let (b, l) = self.int.wakeup(dst);
-                banks += b;
-                listening += l;
+                let ev = self.int.wakeup(dst);
+                banks += ev.banks;
+                listening += ev.comparators;
             }
             RegClass::Fp => {
-                let (b, l) = self.fp.wakeup(dst);
-                banks += b;
-                listening += l;
-                let (b, l) = self.int.wakeup(dst);
-                banks += b;
-                listening += l;
+                let ev = self.fp.wakeup(dst);
+                banks += ev.banks;
+                listening += ev.comparators;
+                let ev = self.int.wakeup(dst);
+                banks += ev.banks;
+                listening += ev.comparators;
             }
         }
         self.meter.add(
@@ -234,7 +290,7 @@ impl Scheduler for CamIssueQueue {
     }
 
     fn occupancy(&self) -> (usize, usize) {
-        (self.int.entries.len(), self.fp.entries.len())
+        (self.int.slab.len(), self.fp.slab.len())
     }
 
     fn energy(&self) -> &EnergyMeter {
@@ -352,5 +408,34 @@ mod tests {
         let mut sink = BoundedSink::all_ready();
         s.issue_cycle(1, &mut sink);
         assert!(s.energy().get(Component::Select) > 0.0);
+    }
+
+    #[test]
+    fn both_operands_waiting_on_one_tag_wake_together() {
+        let mut s = queue();
+        let mut inst = di(1, OpClass::IntAlu, Some(3), [Some(40), Some(40)]);
+        inst.srcs_ready = [false, false];
+        s.try_dispatch(&inst, 0).unwrap();
+        s.on_result(diq_isa::PhysReg::new(RegClass::Int, 40), 1);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(1, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+    }
+
+    #[test]
+    fn failed_issue_keeps_entry_ready_for_next_cycle() {
+        let mut s = queue();
+        s.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]), 0)
+            .unwrap();
+        s.try_dispatch(&di(2, OpClass::IntAlu, Some(4), [None, None]), 0)
+            .unwrap();
+        // Width 1: only the oldest issues; the other stays a candidate.
+        let mut sink = BoundedSink::with_width(1);
+        s.issue_cycle(0, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(1, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(2)]);
+        assert_eq!(s.occupancy(), (0, 0));
     }
 }

@@ -393,6 +393,16 @@ impl SchedulerConfig {
             )),
         }
     }
+
+    /// Builds the frozen scan-based reference implementation of this scheme
+    /// (see [`reference`](crate::reference)): same observable behaviour and
+    /// bit-identical statistics as [`build`](Self::build), without the
+    /// event-driven wakeup fast path. Golden and property tests diff the
+    /// two; everything else should use `build`.
+    #[must_use]
+    pub fn build_scan(&self, cfg: &ProcessorConfig) -> Box<dyn Scheduler> {
+        crate::reference::build_scan(self, cfg)
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,16 @@
 //! Palacharla-style FIFO issue queues (`IssueFIFO`), and the shared FIFO
 //! machinery reused by the integer side of `LatFIFO` and `MixBUFF`.
+//!
+//! Entries live in a slab and carry their own ready bits, maintained by the
+//! per-tag consumer lists of [`WakeupMap`]: a result broadcast flips only
+//! the bits of entries actually waiting for that tag, so head-readiness at
+//! issue is a bit test instead of a scoreboard poll. The *energy* model is
+//! unchanged — heads are still charged a `regs_ready` read per operand per
+//! cycle, exactly as the physical design polls the scoreboard.
 
 use crate::energy::FifoEnergy;
 use crate::fu::FuTopology;
+use crate::wakeup::{Slab, WakeupMap};
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{ArchReg, Cycle, InstId, OpClass, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
@@ -14,6 +22,33 @@ pub(crate) struct Entry {
     pub id: InstId,
     pub op: OpClass,
     pub srcs: [Option<PhysReg>; 2],
+    pub ready: [bool; 2],
+}
+
+impl Entry {
+    pub(crate) fn new(d: &DispatchInst) -> Self {
+        let mut ready = [true, true];
+        for (i, src) in d.srcs.iter().enumerate() {
+            if src.is_some() {
+                ready[i] = d.srcs_ready[i];
+            }
+        }
+        Entry {
+            id: d.id,
+            op: d.op,
+            srcs: d.srcs,
+            ready,
+        }
+    }
+
+    pub(crate) fn all_ready(&self) -> bool {
+        self.ready[0] && self.ready[1]
+    }
+
+    /// Number of operand reads a head check performs (present sources).
+    pub(crate) fn nsrc(&self) -> u64 {
+        self.srcs.iter().flatten().count() as u64
+    }
 }
 
 /// An array of FIFO queues for one side of the machine, with the paper's
@@ -31,7 +66,9 @@ pub(crate) struct Entry {
 #[derive(Clone, Debug)]
 pub(crate) struct FifoArray {
     side: Side,
-    queues: Vec<VecDeque<Entry>>,
+    slab: Slab<Entry>,
+    queues: Vec<VecDeque<u32>>,
+    waiters: WakeupMap,
     capacity: usize,
     /// arch-reg flat index → (queue, producing instruction).
     steer: Vec<Option<(usize, InstId)>>,
@@ -46,7 +83,9 @@ impl FifoArray {
         assert!(queues > 0 && capacity > 0);
         FifoArray {
             side,
+            slab: Slab::new(),
             queues: vec![VecDeque::with_capacity(capacity); queues],
+            waiters: WakeupMap::new(),
             capacity,
             steer: vec![None; 2 * diq_isa::ARCH_REGS_PER_CLASS],
             tail_reg: vec![None; queues],
@@ -55,18 +94,22 @@ impl FifoArray {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.slab.len()
     }
 
     fn place(&mut self, q: usize, d: &DispatchInst) {
         if let Some(old) = self.tail_reg[q].take() {
             self.steer[old.flat_index()] = None;
         }
-        self.queues[q].push_back(Entry {
-            id: d.id,
-            op: d.op,
-            srcs: d.srcs,
-        });
+        let entry = Entry::new(d);
+        let slot = self.slab.insert(entry);
+        for (i, ready) in entry.ready.iter().enumerate() {
+            if !ready {
+                self.waiters
+                    .listen(entry.srcs[i].expect("unready operand has a tag"), slot, i);
+            }
+        }
+        self.queues[q].push_back(slot);
         self.tail_id[q] = Some(d.id);
         if let Some(dst) = d.dst_arch {
             self.steer[dst.flat_index()] = Some((q, d.id));
@@ -123,12 +166,13 @@ impl FifoArray {
         self.queues
             .iter()
             .enumerate()
-            .filter_map(|(q, fifo)| fifo.front().map(|e| (q, *e)))
+            .filter_map(|(q, fifo)| fifo.front().map(|&slot| (q, *self.slab.get(slot))))
     }
 
     /// Removes the head of queue `q` after it issued.
     pub(crate) fn pop_head(&mut self, q: usize) -> Entry {
-        let e = self.queues[q].pop_front().expect("pop from empty FIFO");
+        let slot = self.queues[q].pop_front().expect("pop from empty FIFO");
+        let e = self.slab.remove(slot);
         if self.tail_id[q] == Some(e.id) {
             // The queue is now empty; drop its steering state.
             if let Some(r) = self.tail_reg[q].take() {
@@ -137,6 +181,16 @@ impl FifoArray {
             self.tail_id[q] = None;
         }
         e
+    }
+
+    /// Delivers a produced tag to the entries waiting for it (any position
+    /// in any queue — buried entries collect their ready bits while they
+    /// wait their turn at the head).
+    pub(crate) fn wake(&mut self, tag: PhysReg) {
+        let slab = &mut self.slab;
+        self.waiters.wake(tag, |w| {
+            slab.get_mut(w.slot).ready[w.operand as usize] = true;
+        });
     }
 
     /// Clears the steering table (mispredict recovery, as in the paper).
@@ -149,6 +203,11 @@ impl FifoArray {
 
     pub(crate) fn side(&self) -> Side {
         self.side
+    }
+
+    #[cfg(test)]
+    fn queue_len(&self, q: usize) -> usize {
+        self.queues[q].len()
     }
 }
 
@@ -175,6 +234,7 @@ pub struct IssueFifo {
     energy_model: [FifoEnergy; 2],
     meter: EnergyMeter,
     topology: FuTopology,
+    candidates: Vec<(u64, Side, usize, Entry)>,
 }
 
 impl IssueFifo {
@@ -199,6 +259,7 @@ impl IssueFifo {
             ],
             meter: EnergyMeter::new(),
             topology,
+            candidates: Vec::new(),
         }
     }
 
@@ -232,22 +293,21 @@ impl Scheduler for IssueFifo {
     fn issue_cycle(&mut self, _now: Cycle, sink: &mut dyn IssueSink) {
         // Gather ready heads from both sides, oldest first, and let the sink
         // arbitrate width and functional units.
-        let mut candidates: Vec<(u64, Side, usize, Entry)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
         for array in [&self.int, &self.fp] {
             let em = self.energy_model[array.side().index()];
             for (q, e) in array.heads() {
                 // Heads read the scoreboard every cycle, ready or not.
-                let nsrc = e.srcs.iter().flatten().count() as u64;
                 self.meter
-                    .add_events(Component::RegsReady, nsrc, em.regs_ready_read);
-                let ready = e.srcs.iter().flatten().all(|&r| sink.is_ready(r));
-                if ready {
+                    .add_events(Component::RegsReady, e.nsrc(), em.regs_ready_read);
+                if e.all_ready() {
                     candidates.push((e.id.0, array.side(), q, e));
                 }
             }
         }
         candidates.sort_unstable_by_key(|c| c.0);
-        for (_, side, q, e) in candidates {
+        for &(_, side, q, e) in &candidates {
             if sink.try_issue(e.id, e.op, Some((side, q))) {
                 let em = self.energy_model[side.index()];
                 self.array(side).pop_head(q);
@@ -256,11 +316,14 @@ impl Scheduler for IssueFifo {
                 self.meter.add(mux, pj);
             }
         }
+        self.candidates = candidates;
     }
 
     fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
         let em = self.energy_model[dst.class().index()];
         self.meter.add(Component::RegsReady, em.regs_ready_write);
+        self.int.wake(dst);
+        self.fp.wake(dst);
     }
 
     fn on_mispredict(&mut self) {
@@ -299,7 +362,7 @@ mod tests {
         let c = di(2, OpClass::IntAlu, Some(4), [Some(3), None]);
         let q2 = a.try_dispatch(&c).unwrap();
         assert_eq!(q1, q2);
-        assert_eq!(a.queues[q1].len(), 2);
+        assert_eq!(a.queue_len(q1), 2);
     }
 
     #[test]
@@ -400,15 +463,34 @@ mod tests {
     }
 
     #[test]
+    fn wake_reaches_buried_entries() {
+        let mut a = arr();
+        // Producer then dependent in one queue: the dependent (waiting on
+        // p3) sits *behind* the head, and its ready bit must still flip.
+        a.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [None, None]))
+            .unwrap();
+        let q = a
+            .try_dispatch(&di(2, OpClass::IntAlu, Some(4), [Some(3), None]))
+            .unwrap();
+        a.wake(PhysReg::new(diq_isa::RegClass::Int, 3));
+        a.pop_head(q);
+        let (_, head) = a.heads().next().unwrap();
+        assert_eq!(head.id, InstId(2));
+        assert!(head.all_ready(), "buried entry collected its wakeup");
+    }
+
+    #[test]
     fn scheduler_issues_only_ready_heads_in_age_order() {
         let cfg = ProcessorConfig::hpca2004();
         let mut s = crate::SchedulerConfig::issue_fifo(4, 4, 4, 4).build(&cfg);
-        // Two independent chains; make only the second's head ready.
+        // Two independent chains, both waiting; make only the second's head
+        // ready by broadcasting its operand's tag.
         s.try_dispatch(&di(1, OpClass::IntAlu, Some(3), [Some(10), None]), 0)
             .unwrap();
         s.try_dispatch(&di(2, OpClass::IntAlu, Some(4), [Some(11), None]), 0)
             .unwrap();
-        let mut sink = BoundedSink::ready_only(&[11]);
+        s.on_result(PhysReg::new(diq_isa::RegClass::Int, 11), 0);
+        let mut sink = BoundedSink::all_ready();
         s.issue_cycle(0, &mut sink);
         assert_eq!(sink.issued, vec![InstId(2)]);
         assert_eq!(s.occupancy().0, 1);

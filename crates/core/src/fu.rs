@@ -111,6 +111,23 @@ impl FuTopology {
     /// queue index is out of range.
     #[must_use]
     pub fn reachable(&self, op: OpClass, queue: Option<(Side, usize)>) -> Vec<UnitId> {
+        self.reachable_range(op, queue).map(UnitId).collect()
+    }
+
+    /// Allocation-free form of [`reachable`](Self::reachable): every
+    /// topology maps an (operation kind, queue) to *consecutive* unit
+    /// indices, so the reachable set is a range — the per-cycle issue sink
+    /// iterates this without building a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// As [`reachable`](Self::reachable).
+    #[must_use]
+    pub fn reachable_range(
+        &self,
+        op: OpClass,
+        queue: Option<(Side, usize)>,
+    ) -> std::ops::Range<usize> {
         let kind = op.fu_kind();
         match *self {
             FuTopology::Shared { pool } => {
@@ -122,7 +139,7 @@ impl FuTopology {
                     FuKind::FpMulDiv,
                 ] {
                     if k == kind {
-                        return (base..base + pool.count(k)).map(UnitId).collect();
+                        return base..base + pool.count(k);
                     }
                     base += pool.count(k);
                 }
@@ -133,27 +150,26 @@ impl FuTopology {
                 fp_queues,
             } => {
                 let (side, q) = queue.expect("distributed topology requires a queue");
-                match (side, kind) {
+                let unit = match (side, kind) {
                     (Side::Int, FuKind::IntAlu) => {
                         assert!(q < int_queues, "integer queue {q} out of range");
-                        vec![UnitId(q)]
+                        q
                     }
                     (Side::Int, FuKind::IntMulDiv) => {
                         assert!(q < int_queues);
-                        vec![UnitId(int_queues + q / 2)]
+                        int_queues + q / 2
                     }
                     (Side::Fp, FuKind::FpAdd) => {
                         assert!(q < fp_queues, "fp queue {q} out of range");
-                        let base = int_queues + int_queues.div_ceil(2);
-                        vec![UnitId(base + q / 2)]
+                        int_queues + int_queues.div_ceil(2) + q / 2
                     }
                     (Side::Fp, FuKind::FpMulDiv) => {
                         assert!(q < fp_queues);
-                        let base = int_queues + int_queues.div_ceil(2) + fp_queues.div_ceil(2);
-                        vec![UnitId(base + q / 2)]
+                        int_queues + int_queues.div_ceil(2) + fp_queues.div_ceil(2) + q / 2
                     }
                     (s, k) => unreachable!("op {op} (kind {k}) issued from {s:?} queue"),
-                }
+                };
+                unit..unit + 1
             }
         }
     }

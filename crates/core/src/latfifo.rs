@@ -5,12 +5,15 @@
 //! (Section 3.1): among the non-full queues whose tail is expected to issue
 //! at least one cycle before this instruction, pick the one whose tail
 //! issues latest; otherwise an empty queue; otherwise stall. Issue still
-//! takes each queue's head, checking the ready-bit scoreboard.
+//! takes each queue's head, checking the ready-bit scoreboard — modelled
+//! event-driven: entries carry ready bits flipped by per-tag wakeup, while
+//! the energy model still charges the per-cycle scoreboard polls.
 
 use crate::energy::FifoEnergy;
 use crate::estimate::IssueTimeEstimator;
 use crate::fifo::{Entry, FifoArray};
 use crate::fu::FuTopology;
+use crate::wakeup::{Slab, WakeupMap};
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{Cycle, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
@@ -19,7 +22,9 @@ use std::collections::VecDeque;
 /// FP FIFOs placed by estimated issue time.
 #[derive(Clone, Debug)]
 struct LatQueues {
-    queues: Vec<VecDeque<Entry>>,
+    slab: Slab<Entry>,
+    queues: Vec<VecDeque<u32>>,
+    waiters: WakeupMap,
     capacity: usize,
     /// Estimated issue cycle of each queue's tail (`None` when empty).
     tail_est: Vec<Option<Cycle>>,
@@ -29,14 +34,16 @@ impl LatQueues {
     fn new(queues: usize, capacity: usize) -> Self {
         assert!(queues > 0 && capacity > 0);
         LatQueues {
+            slab: Slab::new(),
             queues: vec![VecDeque::with_capacity(capacity); queues],
+            waiters: WakeupMap::new(),
             capacity,
             tail_est: vec![None; queues],
         }
     }
 
     fn len(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.slab.len()
     }
 
     fn try_dispatch(&mut self, d: &DispatchInst, est: Cycle) -> Result<usize, DispatchStall> {
@@ -52,17 +59,22 @@ impl LatQueues {
             .map(|(i, _)| i)
             .or_else(|| self.queues.iter().position(VecDeque::is_empty));
         let q = q.ok_or(DispatchStall::NoEmptyQueue)?;
-        self.queues[q].push_back(Entry {
-            id: d.id,
-            op: d.op,
-            srcs: d.srcs,
-        });
+        let entry = Entry::new(d);
+        let slot = self.slab.insert(entry);
+        for (i, ready) in entry.ready.iter().enumerate() {
+            if !ready {
+                self.waiters
+                    .listen(entry.srcs[i].expect("unready operand has a tag"), slot, i);
+            }
+        }
+        self.queues[q].push_back(slot);
         self.tail_est[q] = Some(est);
         Ok(q)
     }
 
     fn pop_head(&mut self, q: usize) -> Entry {
-        let e = self.queues[q].pop_front().expect("pop from empty queue");
+        let slot = self.queues[q].pop_front().expect("pop from empty queue");
+        let e = self.slab.remove(slot);
         if self.queues[q].is_empty() {
             self.tail_est[q] = None;
         }
@@ -73,7 +85,14 @@ impl LatQueues {
         self.queues
             .iter()
             .enumerate()
-            .filter_map(|(q, fifo)| fifo.front().map(|e| (q, *e)))
+            .filter_map(|(q, fifo)| fifo.front().map(|&slot| (q, *self.slab.get(slot))))
+    }
+
+    fn wake(&mut self, tag: PhysReg) {
+        let slab = &mut self.slab;
+        self.waiters.wake(tag, |w| {
+            slab.get_mut(w.slot).ready[w.operand as usize] = true;
+        });
     }
 }
 
@@ -97,6 +116,7 @@ pub struct LatFifo {
     energy_model: [FifoEnergy; 2],
     meter: EnergyMeter,
     topology: FuTopology,
+    candidates: Vec<(u64, Side, usize, Entry)>,
 }
 
 impl LatFifo {
@@ -122,6 +142,7 @@ impl LatFifo {
             ],
             meter: EnergyMeter::new(),
             topology,
+            candidates: Vec::new(),
         }
     }
 }
@@ -161,14 +182,14 @@ impl Scheduler for LatFifo {
     }
 
     fn issue_cycle(&mut self, _now: Cycle, sink: &mut dyn IssueSink) {
-        let mut candidates: Vec<(u64, Side, usize, Entry)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
         {
             let em = self.energy_model[Side::Int.index()];
             for (q, e) in self.int.heads() {
-                let nsrc = e.srcs.iter().flatten().count() as u64;
                 self.meter
-                    .add_events(Component::RegsReady, nsrc, em.regs_ready_read);
-                if e.srcs.iter().flatten().all(|&r| sink.is_ready(r)) {
+                    .add_events(Component::RegsReady, e.nsrc(), em.regs_ready_read);
+                if e.all_ready() {
                     candidates.push((e.id.0, Side::Int, q, e));
                 }
             }
@@ -176,16 +197,15 @@ impl Scheduler for LatFifo {
         {
             let em = self.energy_model[Side::Fp.index()];
             for (q, e) in self.fp.heads() {
-                let nsrc = e.srcs.iter().flatten().count() as u64;
                 self.meter
-                    .add_events(Component::RegsReady, nsrc, em.regs_ready_read);
-                if e.srcs.iter().flatten().all(|&r| sink.is_ready(r)) {
+                    .add_events(Component::RegsReady, e.nsrc(), em.regs_ready_read);
+                if e.all_ready() {
                     candidates.push((e.id.0, Side::Fp, q, e));
                 }
             }
         }
         candidates.sort_unstable_by_key(|c| c.0);
-        for (_, side, q, e) in candidates {
+        for &(_, side, q, e) in &candidates {
             if sink.try_issue(e.id, e.op, Some((side, q))) {
                 match side {
                     Side::Int => {
@@ -201,11 +221,14 @@ impl Scheduler for LatFifo {
                 self.meter.add(mux, pj);
             }
         }
+        self.candidates = candidates;
     }
 
     fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
         let em = self.energy_model[dst.class().index()];
         self.meter.add(Component::RegsReady, em.regs_ready_write);
+        self.int.wake(dst);
+        self.fp.wake(dst);
     }
 
     fn on_mispredict(&mut self) {
@@ -243,7 +266,7 @@ impl LatFifo {
 mod tests {
     use super::*;
     use crate::test_util::{fp_di, BoundedSink};
-    use diq_isa::{InstId, OpClass};
+    use diq_isa::OpClass;
 
     fn queues() -> LatQueues {
         LatQueues::new(2, 4)
@@ -270,22 +293,12 @@ mod tests {
     #[test]
     fn prefers_latest_eligible_tail() {
         let mut q = LatQueues::new(3, 4);
-        q.try_dispatch(&entry(1), 3).unwrap(); // queue 0 tail est 3
-        q.try_dispatch(&entry(2), 7).unwrap(); // queue 1 tail est 7 (3+1<=7 — wait, goes to q0!)
-                                               // est 7 is eligible behind est 3, so it lands in queue 0; redo with
-                                               // a fresh structure for a clean scenario.
-        let mut q = LatQueues::new(3, 4);
-        q.queues[0].push_back(Entry {
-            id: InstId(1),
-            op: OpClass::FpAdd,
-            srcs: [None, None],
-        });
-        q.tail_est[0] = Some(3);
-        q.queues[1].push_back(Entry {
-            id: InstId(2),
-            op: OpClass::FpAdd,
-            srcs: [None, None],
-        });
+        // Queue 0's tail estimated at 3, queue 1's at 7 (placed via the
+        // est-ordering: 3 first, then 7 goes behind it — so seed queue 1
+        // directly with a fresh dispatch at est 7 after filling queue 0 to
+        // make it ineligible is fiddly; instead set the tails explicitly).
+        q.try_dispatch(&entry(1), 3).unwrap(); // queue 0, tail est 3
+        q.try_dispatch(&entry(2), 2).unwrap(); // queue 1 (2 < 3+1), tail est 2
         q.tail_est[1] = Some(7);
         // est 9: both queues eligible; the later tail (7) wins.
         let placed = q.try_dispatch(&entry(3), 9).unwrap();
@@ -306,6 +319,18 @@ mod tests {
         q.try_dispatch(&entry(1), 5).unwrap();
         q.pop_head(0);
         assert_eq!(q.tail_est[0], None);
+    }
+
+    #[test]
+    fn wake_flips_fp_ready_bits() {
+        let mut q = queues();
+        q.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(5), [Some(4), None]), 3)
+            .unwrap();
+        let (_, head) = q.heads().next().unwrap();
+        assert!(!head.all_ready());
+        q.wake(PhysReg::new(diq_isa::RegClass::Fp, 4));
+        let (_, head) = q.heads().next().unwrap();
+        assert!(head.all_ready());
     }
 
     #[test]

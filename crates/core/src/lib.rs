@@ -38,9 +38,11 @@ mod fifo;
 mod fu;
 mod latfifo;
 mod mixbuff;
+pub mod reference;
 pub mod select;
 #[cfg(test)]
 pub(crate) mod test_util;
+mod wakeup;
 
 pub use cam::CamIssueQueue;
 pub use config::{QueueArrayConfig, SchedulerConfig};

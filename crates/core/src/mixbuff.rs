@@ -17,51 +17,46 @@
 //! * every cycle each queue selects at most **one** instruction — the
 //!   minimum of (2-bit code ∥ age) — and checks its operands in the
 //!   1-bit/register scoreboard; no CAM wakeup exists anywhere.
+//!
+//! The simulation of that selection is event-driven: entries are grouped
+//! per chain in age order, so a queue's selection scans its *chains* (the
+//! hardware's latency table) instead of every buffered entry — within a
+//! chain all entries share a code, so the chain's oldest member is the only
+//! possible winner. Readiness is tracked by per-tag consumer lists; energy
+//! is still charged per the physical per-cycle structure accesses.
 
 use crate::energy::{FifoEnergy, MixEnergy};
-use crate::fifo::FifoArray;
+use crate::fifo::{Entry, FifoArray};
 use crate::fu::FuTopology;
 use crate::select::{selection_key, LatencyCode};
+use crate::wakeup::{Slab, WakeupMap};
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{Cycle, InstId, LatencyConfig, OpClass, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
-
-/// One FP buffer entry.
-#[derive(Clone, Copy, Debug)]
-struct BuffEntry {
-    id: InstId,
-    op: OpClass,
-    srcs: [Option<PhysReg>; 2],
-    chain: usize,
-}
+use std::collections::VecDeque;
 
 /// Per-chain state within one queue.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, Default)]
 struct ChainState {
     /// Last *dispatched* instruction of the chain (the joinable end).
     last: Option<InstId>,
-    /// Instructions of this chain currently in the buffer.
-    count: usize,
     /// Absolute cycle when the last *issued* instruction's result is
     /// available (the latency-table counter, in absolute-time form).
     ready: Cycle,
-}
-
-impl ChainState {
-    const IDLE: ChainState = ChainState {
-        last: None,
-        count: 0,
-        ready: 0,
-    };
+    /// The chain's buffered instructions, oldest first (dispatch order).
+    members: VecDeque<u32>,
 }
 
 /// The FP buffer array with chains.
 #[derive(Clone, Debug)]
 struct MixQueues {
-    queues: Vec<Vec<BuffEntry>>,
+    slab: Slab<Entry>,
     capacity: usize,
     chains_per_queue: usize,
     chains: Vec<Vec<ChainState>>,
+    /// Entries currently buffered per queue (the RAM occupancy).
+    queue_len: Vec<usize>,
+    waiters: WakeupMap,
     /// FP arch reg (class-local index) → (queue, chain, producer).
     steer: Vec<Option<(usize, usize, InstId)>>,
     /// The paper's priority heuristic: instructions whose chain finishes
@@ -74,36 +69,45 @@ impl MixQueues {
     fn new(queues: usize, capacity: usize, chains_per_queue: usize, fresh_first: bool) -> Self {
         assert!(queues > 0 && capacity > 0 && chains_per_queue > 0);
         MixQueues {
-            queues: vec![Vec::with_capacity(capacity); queues],
+            slab: Slab::new(),
             capacity,
             chains_per_queue,
-            chains: vec![vec![ChainState::IDLE; chains_per_queue]; queues],
+            chains: vec![vec![ChainState::default(); chains_per_queue]; queues],
+            queue_len: vec![0; queues],
+            waiters: WakeupMap::new(),
             steer: vec![None; diq_isa::ARCH_REGS_PER_CLASS],
             fresh_first,
         }
     }
 
     fn len(&self) -> usize {
-        self.queues.iter().map(Vec::len).sum()
+        self.slab.len()
+    }
+
+    fn queues(&self) -> usize {
+        self.queue_len.len()
     }
 
     /// A chain is reallocatable when nothing of it remains in the buffer and
     /// its last issued instruction has finished.
     fn chain_free(&self, q: usize, c: usize, now: Cycle) -> bool {
         let ch = &self.chains[q][c];
-        ch.count == 0 && ch.ready <= now
+        ch.members.is_empty() && ch.ready <= now
     }
 
     fn place(&mut self, q: usize, c: usize, d: &DispatchInst) {
-        self.queues[q].push(BuffEntry {
-            id: d.id,
-            op: d.op,
-            srcs: d.srcs,
-            chain: c,
-        });
+        let entry = Entry::new(d);
+        let slot = self.slab.insert(entry);
+        for (i, ready) in entry.ready.iter().enumerate() {
+            if !ready {
+                self.waiters
+                    .listen(entry.srcs[i].expect("unready operand has a tag"), slot, i);
+            }
+        }
         let ch = &mut self.chains[q][c];
         ch.last = Some(d.id);
-        ch.count += 1;
+        ch.members.push_back(slot);
+        self.queue_len[q] += 1;
         if let Some(dst) = d.dst_arch {
             self.steer[dst.index()] = Some((q, c, d.id));
         }
@@ -119,7 +123,7 @@ impl MixQueues {
                 continue;
             }
             if let Some((q, c, pid)) = self.steer[src.index()] {
-                if self.chains[q][c].last == Some(pid) && self.queues[q].len() < self.capacity {
+                if self.chains[q][c].last == Some(pid) && self.queue_len[q] < self.capacity {
                     self.place(q, c, d);
                     return Ok(q);
                 }
@@ -128,8 +132,8 @@ impl MixQueues {
         // Lowest free chain id, interleaved across queues: (chain 0, q0),
         // (chain 0, q1), …, (chain 1, q0), … — balances busy chains.
         for c in 0..self.chains_per_queue {
-            for q in 0..self.queues.len() {
-                if self.queues[q].len() < self.capacity && self.chain_free(q, c, now) {
+            for q in 0..self.queues() {
+                if self.queue_len[q] < self.capacity && self.chain_free(q, c, now) {
                     // Reallocating the chain invalidates stale mappings
                     // still pointing at its previous life.
                     for s in self.steer.iter_mut() {
@@ -137,7 +141,7 @@ impl MixQueues {
                             *s = None;
                         }
                     }
-                    self.chains[q][c] = ChainState::IDLE;
+                    self.chains[q][c] = ChainState::default();
                     self.place(q, c, d);
                     return Ok(q);
                 }
@@ -150,32 +154,53 @@ impl MixQueues {
     /// selectable entries, or `None`. With `fresh_first` disabled the code
     /// still gates eligibility (a `11` chain cannot issue) but ties are
     /// broken purely by age — the ablation of the paper's heuristic.
-    fn select(&self, q: usize, now: Cycle) -> Option<(usize, BuffEntry)> {
-        self.queues[q]
+    ///
+    /// Entries of one chain share its latency code, so only each chain's
+    /// oldest member can hold the minimum key: the scan is over the latency
+    /// table, not the buffer.
+    fn select(&self, q: usize, now: Cycle) -> Option<(usize, Entry)> {
+        self.chains[q]
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| {
-                let code = LatencyCode::classify(self.chains[q][e.chain].ready, now);
+            .filter_map(|(c, ch)| {
+                let &front = ch.members.front()?;
+                let code = LatencyCode::classify(ch.ready, now);
                 code.selectable().then(|| {
+                    let age = self.slab.get(front).id.0;
                     let key = if self.fresh_first {
-                        selection_key(code, e.id.0)
+                        selection_key(code, age)
                     } else {
-                        e.id.0
+                        age
                     };
-                    (key, i, *e)
+                    (key, c)
                 })
             })
-            .min_by_key(|&(key, _, _)| key)
-            .map(|(_, i, e)| (i, e))
+            .min_by_key(|&(key, _)| key)
+            .map(|(_, c)| {
+                let front = *self.chains[q][c]
+                    .members
+                    .front()
+                    .expect("chain has a front");
+                (c, *self.slab.get(front))
+            })
     }
 
-    /// Removes entry `i` of queue `q` after issue and updates the chain
-    /// latency table with the instruction's result latency.
-    fn issue_at(&mut self, q: usize, i: usize, now: Cycle, result_lat: u64) {
-        let e = self.queues[q].swap_remove(i);
-        let ch = &mut self.chains[q][e.chain];
-        ch.count -= 1;
+    /// Removes the oldest member of chain `c` in queue `q` after issue and
+    /// updates the chain latency table with the instruction's result
+    /// latency.
+    fn issue_from(&mut self, q: usize, c: usize, now: Cycle, result_lat: u64) {
+        let ch = &mut self.chains[q][c];
+        let slot = ch.members.pop_front().expect("issue from empty chain");
         ch.ready = now + result_lat;
+        self.queue_len[q] -= 1;
+        self.slab.remove(slot);
+    }
+
+    fn wake(&mut self, tag: PhysReg) {
+        let slab = &mut self.slab;
+        self.waiters.wake(tag, |w| {
+            slab.get_mut(w.slot).ready[w.operand as usize] = true;
+        });
     }
 
     fn clear_steering(&mut self) {
@@ -206,6 +231,8 @@ pub struct MixBuff {
     mix_energy: MixEnergy,
     meter: EnergyMeter,
     topology: FuTopology,
+    candidates: Vec<(u64, usize, Entry)>,
+    winners: Vec<(u64, usize, usize, Entry)>,
 }
 
 impl MixBuff {
@@ -235,6 +262,8 @@ impl MixBuff {
             mix_energy: MixEnergy::new(fp.1, chains_per_queue, &tech),
             meter: EnergyMeter::new(),
             topology,
+            candidates: Vec::new(),
+            winners: Vec::new(),
         }
     }
 
@@ -276,20 +305,20 @@ impl Scheduler for MixBuff {
 
     fn issue_cycle(&mut self, now: Cycle, sink: &mut dyn IssueSink) {
         // Integer side: FIFO heads, as IssueFIFO.
-        let mut candidates: Vec<(u64, usize, crate::fifo::Entry)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.clear();
         {
             let em = self.energy_model[Side::Int.index()];
             for (q, e) in self.int.heads() {
-                let nsrc = e.srcs.iter().flatten().count() as u64;
                 self.meter
-                    .add_events(Component::RegsReady, nsrc, em.regs_ready_read);
-                if e.srcs.iter().flatten().all(|&r| sink.is_ready(r)) {
+                    .add_events(Component::RegsReady, e.nsrc(), em.regs_ready_read);
+                if e.all_ready() {
                     candidates.push((e.id.0, q, e));
                 }
             }
         }
         candidates.sort_unstable_by_key(|c| c.0);
-        for (_, q, e) in candidates {
+        for &(_, q, e) in &candidates {
             if sink.try_issue(e.id, e.op, Some((Side::Int, q))) {
                 self.int.pop_head(q);
                 let em = self.energy_model[Side::Int.index()];
@@ -298,12 +327,14 @@ impl Scheduler for MixBuff {
                 self.meter.add(mux, pj);
             }
         }
+        self.candidates = candidates;
 
         // FP side: one selection per queue per cycle.
         let em_fp = self.energy_model[Side::Fp.index()];
-        let mut winners: Vec<(u64, usize, usize, BuffEntry)> = Vec::new();
-        for q in 0..self.fp.queues.len() {
-            let occupancy = self.fp.queues[q].len();
+        let mut winners = std::mem::take(&mut self.winners);
+        winners.clear();
+        for q in 0..self.fp.queues() {
+            let occupancy = self.fp.queue_len[q];
             if occupancy == 0 {
                 // Empty queues power down their selection logic (the paper
                 // assumes this for MB_distr and the baseline alike).
@@ -319,33 +350,35 @@ impl Scheduler for MixBuff {
                     .select
                     .select_energy_pj(&TechParams::um100(), occupancy),
             );
-            if let Some((i, e)) = self.fp.select(q, now) {
-                winners.push((e.id.0, q, i, e));
+            if let Some((c, e)) = self.fp.select(q, now) {
+                winners.push((e.id.0, q, c, e));
             }
         }
         winners.sort_unstable_by_key(|w| w.0);
-        for (_, q, i, e) in winners {
+        for &(_, q, c, e) in &winners {
             // The selected instruction (one per queue) checks regs_ready.
-            let nsrc = e.srcs.iter().flatten().count() as u64;
             self.meter
-                .add_events(Component::RegsReady, nsrc, em_fp.regs_ready_read);
-            if !e.srcs.iter().flatten().all(|&r| sink.is_ready(r)) {
+                .add_events(Component::RegsReady, e.nsrc(), em_fp.regs_ready_read);
+            if !e.all_ready() {
                 continue; // delayed: retries with the 01 priority class
             }
             if sink.try_issue(e.id, e.op, Some((Side::Fp, q))) {
                 let lat = self.result_latency(e.op);
-                self.fp.issue_at(q, i, now, lat);
+                self.fp.issue_from(q, c, now, lat);
                 self.meter.add(Component::Buff, self.mix_energy.buff_read);
                 self.meter.add(Component::Reg, self.mix_energy.reg_write);
                 let (mux, pj) = em_fp.mux.event(e.op);
                 self.meter.add(mux, pj);
             }
         }
+        self.winners = winners;
     }
 
     fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
         let em = self.energy_model[dst.class().index()];
         self.meter.add(Component::RegsReady, em.regs_ready_write);
+        self.int.wake(dst);
+        self.fp.wake(dst);
     }
 
     fn on_mispredict(&mut self) {
@@ -375,6 +408,22 @@ mod tests {
         MixQueues::new(2, 4, 3, true)
     }
 
+    /// The chain ids of every buffered entry, queue-major then age order.
+    fn chain_ids(m: &MixQueues) -> Vec<usize> {
+        let mut out = Vec::new();
+        for q in 0..m.queues() {
+            let mut members: Vec<(u64, usize)> = m.chains[q]
+                .iter()
+                .enumerate()
+                .flat_map(|(c, ch)| ch.members.iter().map(move |&s| (s, c)))
+                .map(|(s, c)| (m.slab.get(s).id.0, c))
+                .collect();
+            members.sort_unstable();
+            out.extend(members.iter().map(|&(_, c)| c));
+        }
+        out
+    }
+
     #[test]
     fn chain_allocation_balances_queues() {
         // Paper: "chain 0 from queue 0, chain 0 from queue 1, chain 1 from
@@ -394,12 +443,7 @@ mod tests {
         }
         assert_eq!(placements, [0, 1, 0, 1, 0, 1]);
         // And the chains used were 0,0,1,1,2,2 in that order.
-        let chains: Vec<usize> = m
-            .queues
-            .iter()
-            .flat_map(|q| q.iter().map(|e| e.chain))
-            .collect();
-        assert_eq!(chains, [0, 1, 2, 0, 1, 2]);
+        assert_eq!(chain_ids(&m), [0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
@@ -412,8 +456,11 @@ mod tests {
             .try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [Some(4), None]), 0)
             .unwrap();
         assert_eq!(q1, q2);
-        let e: Vec<_> = m.queues[q1].iter().map(|e| e.chain).collect();
-        assert_eq!(e, [0, 0], "both instructions share chain 0");
+        assert_eq!(
+            m.chains[q1][0].members.len(),
+            2,
+            "both instructions share chain 0"
+        );
     }
 
     #[test]
@@ -427,14 +474,10 @@ mod tests {
         // A second consumer of r4 cannot join; it gets a fresh chain.
         m.try_dispatch(&fp_di(3, OpClass::FpAdd, Some(6), [Some(4), None]), 0)
             .unwrap();
-        let chains: Vec<usize> = m
-            .queues
-            .iter()
-            .flat_map(|q| q.iter().map(|e| e.chain))
-            .collect();
+        let chains = chain_ids(&m);
         // Two entries in chain 0 (queue 0) and one fresh chain 0 in queue 1.
         assert_eq!(chains.iter().filter(|&&c| c == 0).count(), 3);
-        assert_eq!(m.queues[1].len(), 1);
+        assert_eq!(m.queue_len[1], 1);
     }
 
     #[test]
@@ -455,9 +498,9 @@ mod tests {
         let mut m = MixQueues::new(1, 8, 1, true);
         m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
             .unwrap();
-        let (i, e) = m.select(0, 0).expect("selectable");
+        let (c, e) = m.select(0, 0).expect("selectable");
         assert_eq!(e.id, InstId(1));
-        m.issue_at(0, i, 0, 2); // result at cycle 2
+        m.issue_from(0, c, 0, 2); // result at cycle 2
         assert!(!m.chain_free(0, 0, 1), "still in flight");
         assert!(m.chain_free(0, 0, 2), "finished");
     }
@@ -512,15 +555,21 @@ mod tests {
     fn not_ready_winner_blocks_its_queue_this_cycle() {
         let cfg = ProcessorConfig::hpca2004();
         let mut s = crate::SchedulerConfig::mix_buff(4, 8, 1, 8, None).build(&cfg);
-        // Winner (oldest) reads p40 which is not ready; the younger one is
+        // Winner (oldest) reads pf40 which is not ready; the younger one is
         // ready but loses selection — nothing issues this cycle.
         s.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [Some(40), None]), 0)
             .unwrap();
         s.try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [None, None]), 0)
             .unwrap();
-        let mut sink = BoundedSink::ready_only(&[]);
+        let mut sink = BoundedSink::all_ready();
         s.issue_cycle(0, &mut sink);
         assert!(sink.issued.is_empty());
         assert_eq!(s.occupancy().1, 2);
+
+        // Once pf40 arrives, the winner issues.
+        s.on_result(PhysReg::new(diq_isa::RegClass::Fp, 40), 1);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(1, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
     }
 }

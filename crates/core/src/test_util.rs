@@ -34,10 +34,11 @@ fn make(
     }
 }
 
-/// A test sink with configurable readiness and unlimited functional units.
+/// A test sink with unlimited functional units. Readiness lives in the
+/// schedulers' own event-driven ready bits (set via `srcs_ready` at
+/// dispatch and `on_result` broadcasts), so the sink's scoreboard always
+/// answers "ready" — only the scan reference models still consult it.
 pub(crate) struct BoundedSink {
-    /// `None` = everything ready; otherwise the ready physical indices.
-    ready: Option<Vec<u16>>,
     /// Accepted instructions, in acceptance order.
     pub issued: Vec<InstId>,
     /// Maximum acceptances per call sequence.
@@ -49,26 +50,14 @@ pub(crate) struct BoundedSink {
 impl BoundedSink {
     pub(crate) fn all_ready() -> Self {
         BoundedSink {
-            ready: None,
             issued: Vec::new(),
             width: usize::MAX,
             from: Vec::new(),
         }
     }
 
-    pub(crate) fn ready_only(regs: &[u16]) -> Self {
-        BoundedSink {
-            ready: Some(regs.to_vec()),
-            issued: Vec::new(),
-            width: usize::MAX,
-            from: Vec::new(),
-        }
-    }
-
-    #[allow(dead_code)]
     pub(crate) fn with_width(width: usize) -> Self {
         BoundedSink {
-            ready: None,
             issued: Vec::new(),
             width,
             from: Vec::new(),
@@ -77,10 +66,8 @@ impl BoundedSink {
 }
 
 impl IssueSink for BoundedSink {
-    fn is_ready(&self, r: PhysReg) -> bool {
-        self.ready
-            .as_ref()
-            .is_none_or(|v| v.contains(&(r.index() as u16)))
+    fn is_ready(&self, _r: PhysReg) -> bool {
+        true
     }
 
     fn try_issue(&mut self, inst: InstId, _op: OpClass, queue: Option<(Side, usize)>) -> bool {

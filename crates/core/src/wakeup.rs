@@ -1,0 +1,188 @@
+//! The event-driven wakeup fast path: per-tag consumer lists and the entry
+//! slab the schemes store their queued instructions in.
+//!
+//! The paper's argument is about *step complexity*: a conventional CAM
+//! broadcasts every produced tag to every queue entry, while the distributed
+//! schemes touch only a constant amount of state per event. Before this
+//! module existed the simulator modelled every scheme the CAM way — each
+//! result (and each cycle's readiness check) scanned full entry vectors —
+//! so simulated wall-clock did not reflect the complexity the paper
+//! measures. Now each scheduler owns a [`WakeupMap`] (`tag → [waiter]`): a
+//! result broadcast is a [`WakeupEvent`] that touches only the entries
+//! actually listening for that tag.
+//!
+//! **Energy accounting stays broadcast-shaped.** The physical machine still
+//! drives the tag lines across every occupied bank and evaluates a
+//! comparator per unready operand; those costs are charged from counters the
+//! schemes maintain incrementally (occupied entries, unready operands,
+//! ready entries), so the meter readings are bit-identical to the scan
+//! implementation's — see `reference` for the frozen scan models and
+//! `tests/golden_stats.rs` for the proof.
+
+use diq_isa::PhysReg;
+
+/// One registered consumer: entry `slot` is waiting for its operand
+/// `operand` (0 or 1).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Waiter {
+    /// Slab slot of the waiting entry.
+    pub slot: u32,
+    /// Which of the entry's two operands the tag feeds.
+    pub operand: u8,
+}
+
+/// A result broadcast, as the event-driven simulation sees it: the produced
+/// tag plus the energy-relevant state of the structure at broadcast time.
+/// The simulation work is proportional to the *waiters*; the energy charge
+/// is proportional to the *physical* broadcast (banks driven, comparators
+/// listening), which the caller reads from its own counters.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WakeupEvent {
+    /// Occupied banks the tag lines were driven across.
+    pub banks: usize,
+    /// Enabled comparators (unready operands) that saw the broadcast.
+    pub comparators: usize,
+}
+
+/// Per-tag consumer lists for one scheduler structure, indexed by register
+/// class and physical index. Lists grow on demand and keep their capacity
+/// across drains, so steady-state broadcasts allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WakeupMap {
+    lists: [Vec<Vec<Waiter>>; 2],
+}
+
+impl WakeupMap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers entry `slot` as waiting on `tag` with operand `operand`.
+    pub(crate) fn listen(&mut self, tag: PhysReg, slot: u32, operand: usize) {
+        let lists = &mut self.lists[tag.class().index()];
+        let idx = tag.index();
+        if idx >= lists.len() {
+            lists.resize_with(idx + 1, Vec::new);
+        }
+        lists[idx].push(Waiter {
+            slot,
+            operand: operand as u8,
+        });
+    }
+
+    /// Drains the consumers of `tag`, calling `f` for each. The list keeps
+    /// its capacity for the tag's next life.
+    pub(crate) fn wake(&mut self, tag: PhysReg, mut f: impl FnMut(Waiter)) {
+        let lists = &mut self.lists[tag.class().index()];
+        let Some(list) = lists.get_mut(tag.index()) else {
+            return;
+        };
+        for w in list.drain(..) {
+            f(w);
+        }
+    }
+}
+
+/// A slab of queue entries with stable `u32` handles — the queues and the
+/// [`WakeupMap`] both refer to entries by slot, so entries never move while
+/// someone is listening for them.
+#[derive(Clone, Debug)]
+pub(crate) struct Slab<T> {
+    items: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            items: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn insert(&mut self, item: T) -> u32 {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            debug_assert!(self.items[slot as usize].is_none());
+            self.items[slot as usize] = Some(item);
+            slot
+        } else {
+            self.items.push(Some(item));
+            (self.items.len() - 1) as u32
+        }
+    }
+
+    pub(crate) fn remove(&mut self, slot: u32) -> T {
+        let item = self.items[slot as usize].take().expect("live slot");
+        self.free.push(slot);
+        self.len -= 1;
+        item
+    }
+
+    pub(crate) fn get(&self, slot: u32) -> &T {
+        self.items[slot as usize].as_ref().expect("live slot")
+    }
+
+    pub(crate) fn get_mut(&mut self, slot: u32) -> &mut T {
+        self.items[slot as usize].as_mut().expect("live slot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diq_isa::RegClass;
+
+    #[test]
+    fn slab_reuses_slots_and_tracks_len() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        let c = s.insert("c");
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(*s.get(b), "b");
+        *s.get_mut(c) = "c2";
+        assert_eq!(*s.get(c), "c2");
+    }
+
+    #[test]
+    fn wake_drains_only_the_tag_and_keeps_classes_apart() {
+        let mut m = WakeupMap::new();
+        let p40i = PhysReg::new(RegClass::Int, 40);
+        let p40f = PhysReg::new(RegClass::Fp, 40);
+        m.listen(p40i, 1, 0);
+        m.listen(p40i, 2, 1);
+        m.listen(p40f, 3, 0);
+        let mut woken = Vec::new();
+        m.wake(p40i, |w| woken.push((w.slot, w.operand)));
+        assert_eq!(woken, [(1, 0), (2, 1)]);
+        woken.clear();
+        m.wake(p40i, |w| woken.push((w.slot, w.operand)));
+        assert!(woken.is_empty(), "list drained");
+        m.wake(p40f, |w| woken.push((w.slot, w.operand)));
+        assert_eq!(woken, [(3, 0)], "FP class is a separate namespace");
+    }
+
+    #[test]
+    fn waking_an_unknown_tag_is_a_no_op() {
+        let mut m = WakeupMap::new();
+        m.wake(PhysReg::new(RegClass::Int, 159), |_| {
+            panic!("no waiters were registered")
+        });
+    }
+}

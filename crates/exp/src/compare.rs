@@ -98,6 +98,17 @@ impl RunSummary {
         s.push('\n');
         s
     }
+
+    /// Parses an exported `BENCH_<run>.json` back into a summary — how the
+    /// CI regression gate consumes the baseline artifact downloaded from
+    /// the latest `main` run.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, ExpError> {
+        serde_json::from_str(json).map_err(|e| ExpError::Spec(format!("bench summary: {e}")))
+    }
 }
 
 /// One matched coordinate in a two-run comparison.

@@ -45,14 +45,16 @@ mod point;
 mod runner;
 mod spec;
 mod store;
+mod throughput;
 
 pub use compare::{Comparison, PointDelta, RunSummary};
 pub use point::{fnv1a64, Point, PointResult};
-pub use runner::{run_indexed, sweep, sweep_as, SweepOutcome};
+pub use runner::{run_indexed, sweep, sweep_as, SweepOutcome, SweepSummary};
 pub use spec::{
     validate_run_name, ExperimentSpec, InstrCount, MachineKnobs, SchemeSel, WorkloadSel,
 };
 pub use store::{ManifestEntry, PointRecord, ResultStore, RunManifest};
+pub use throughput::{measure_e2e_ips, measure_point, ThroughputPoint, ThroughputSummary};
 
 use std::fmt;
 

@@ -3,6 +3,7 @@
 use crate::store::{ManifestEntry, PointRecord, ResultStore, RunManifest};
 use crate::{ExpError, ExperimentSpec, Point, PointResult};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `jobs` independent tasks on up to `threads` workers and returns
@@ -58,6 +59,25 @@ pub struct SweepOutcome {
     pub fresh: Vec<bool>,
 }
 
+/// The machine-readable counters of one sweep invocation — what
+/// `diq sweep --summary-json` emits so CI can assert on parsed fields
+/// instead of grepping human-readable output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Run name.
+    pub run: String,
+    /// Total grid points.
+    pub total: usize,
+    /// Points simulated by this invocation.
+    pub computed: usize,
+    /// Points served from the store.
+    pub cached: usize,
+    /// `100 * cached / total`.
+    pub cache_hit_pct: f64,
+    /// Store directory the results landed in.
+    pub store: String,
+}
+
 impl SweepOutcome {
     /// Total grid points.
     #[must_use]
@@ -73,6 +93,39 @@ impl SweepOutcome {
         } else {
             100.0 * self.cached as f64 / self.total() as f64
         }
+    }
+
+    /// The machine-readable summary (see [`SweepSummary`]).
+    #[must_use]
+    pub fn summary(&self, store: &ResultStore) -> SweepSummary {
+        SweepSummary {
+            run: self.run.clone(),
+            total: self.total(),
+            computed: self.computed,
+            cached: self.cached,
+            cache_hit_pct: self.cache_hit_pct(),
+            store: store.root().display().to_string(),
+        }
+    }
+}
+
+impl SweepSummary {
+    /// Pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("summaries serialize");
+        s.push('\n');
+        s
+    }
+
+    /// Parses an emitted summary (tests and tooling assert on the typed
+    /// fields rather than grepping sweep output).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, ExpError> {
+        serde_json::from_str(json).map_err(|e| ExpError::Spec(format!("sweep summary: {e}")))
     }
 }
 

@@ -1,0 +1,249 @@
+//! Simulator-throughput benchmarking: simulated instructions per second,
+//! event-driven versus the frozen scan reference, stored beside the IPC
+//! results as `BENCH_<run>.json`.
+//!
+//! IPC sweeps defend *fidelity*; this layer defends *simulator speed*. A
+//! [`ThroughputSummary`] records, per (scheme, workload) point, the wall
+//! clock and simulated-instructions/second of the event-driven scheduler
+//! and of the scan reference on the same trace — so the speedup of the
+//! wakeup fast path is a tracked artifact, not a one-off claim.
+
+use crate::ExpError;
+use diq_core::SchedulerConfig;
+use diq_isa::ProcessorConfig;
+use diq_pipeline::Simulator;
+use diq_workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured (scheme, workload) throughput point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Scheme label (e.g. `IQ_64_64`).
+    pub scheme: String,
+    /// Workload name.
+    pub benchmark: String,
+    /// Instructions simulated per measurement.
+    pub instructions: u64,
+    /// Committed IPC (identical under both implementations — asserted).
+    pub ipc: f64,
+    /// Wall milliseconds, frozen scan reference.
+    pub scan_wall_ms: f64,
+    /// Wall milliseconds, event-driven scheduler.
+    pub event_wall_ms: f64,
+    /// Simulated instructions per wall second, scan reference.
+    pub scan_ips: f64,
+    /// Simulated instructions per wall second, event-driven.
+    pub event_ips: f64,
+    /// `event_ips / scan_ips`. Conservative: the scan reference still rides
+    /// this PR's pipeline fast path (scratch buffers, ring inflight table,
+    /// O(loads+stores) LSQ), so this isolates the wakeup-map win alone.
+    pub speedup: f64,
+    /// End-to-end `diq run` instructions/sec of a *baseline* binary (e.g.
+    /// the pre-refactor commit), measured over the whole process — set when
+    /// the bench is given `DIQ_TP_BASELINE_BIN`.
+    #[serde(default)]
+    pub baseline_e2e_ips: Option<f64>,
+    /// End-to-end `diq run` instructions/sec of the current binary, same
+    /// measurement as `baseline_e2e_ips` (same startup and trace-generation
+    /// overheads on both sides).
+    #[serde(default)]
+    pub self_e2e_ips: Option<f64>,
+    /// `self_e2e_ips / baseline_e2e_ips`: the whole-tentpole speedup
+    /// (event-driven wakeup *plus* the pipeline allocation work).
+    #[serde(default)]
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+/// The `BENCH_<run>.json` payload of a throughput run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSummary {
+    /// Run name (the file is `BENCH_<run>.json`).
+    pub run: String,
+    /// What was measured, free-form.
+    #[serde(default)]
+    pub description: Option<String>,
+    /// Measured points, in measurement order.
+    pub points: Vec<ThroughputPoint>,
+    /// Geomean of per-point event-driven instructions/sec.
+    pub geomean_event_ips: Option<f64>,
+    /// Geomean of per-point speedups (event vs scan).
+    pub geomean_speedup: Option<f64>,
+    /// Geomean of per-point end-to-end speedups versus the baseline binary
+    /// (when measured).
+    #[serde(default)]
+    pub geomean_speedup_vs_baseline: Option<f64>,
+}
+
+/// Measures one point: runs the same pre-generated trace through the
+/// event-driven scheduler and the scan reference, times both, and panics if
+/// their `SimStats` diverge (the throughput claim is only meaningful for
+/// equivalent simulations).
+///
+/// # Panics
+///
+/// Panics when the two implementations disagree on any statistic.
+#[must_use]
+pub fn measure_point(
+    cfg: &ProcessorConfig,
+    scheme: &SchedulerConfig,
+    workload: &WorkloadSpec,
+    instructions: u64,
+) -> ThroughputPoint {
+    let trace: Vec<diq_isa::Inst> = diq_workload::TraceGenerator::new(workload)
+        .take(instructions as usize)
+        .collect();
+
+    let mut event_sim = Simulator::new(cfg, scheme);
+    event_sim.set_benchmark(&workload.name);
+    let t0 = Instant::now();
+    let event_stats = event_sim.run(trace.iter().copied(), instructions);
+    let event_wall = t0.elapsed();
+
+    let mut scan_sim = Simulator::with_scheduler(cfg, scheme.build_scan(cfg));
+    scan_sim.set_benchmark(&workload.name);
+    let t0 = Instant::now();
+    let scan_stats = scan_sim.run(trace.iter().copied(), instructions);
+    let scan_wall = t0.elapsed();
+
+    assert_eq!(
+        event_stats,
+        scan_stats,
+        "{} on {}: event and scan wakeup diverged — throughput numbers void",
+        scheme.label(),
+        workload.name
+    );
+
+    let ips = |wall: std::time::Duration| instructions as f64 / wall.as_secs_f64().max(1e-9);
+    ThroughputPoint {
+        scheme: scheme.label(),
+        benchmark: workload.name.clone(),
+        instructions,
+        ipc: event_stats.ipc(),
+        scan_wall_ms: scan_wall.as_secs_f64() * 1e3,
+        event_wall_ms: event_wall.as_secs_f64() * 1e3,
+        scan_ips: ips(scan_wall),
+        event_ips: ips(event_wall),
+        speedup: ips(event_wall) / ips(scan_wall),
+        baseline_e2e_ips: None,
+        self_e2e_ips: None,
+        speedup_vs_baseline: None,
+    }
+}
+
+/// Times one end-to-end `<bin> run <scheme> <benchmark> <n>` invocation and
+/// returns simulated instructions per wall second. Used to compare whole
+/// binaries (e.g. this PR against the pre-refactor commit) on an equal
+/// footing: process startup and trace generation land on both sides.
+///
+/// # Errors
+///
+/// The binary failing to spawn or exiting non-zero.
+pub fn measure_e2e_ips(
+    bin: &str,
+    scheme_label: &str,
+    benchmark: &str,
+    instructions: u64,
+) -> Result<f64, ExpError> {
+    let t0 = Instant::now();
+    let status = std::process::Command::new(bin)
+        .args(["run", scheme_label, benchmark, &instructions.to_string()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()?;
+    let wall = t0.elapsed();
+    if !status.success() {
+        return Err(ExpError::Spec(format!(
+            "`{bin} run {scheme_label} {benchmark} {instructions}` exited with {status}"
+        )));
+    }
+    Ok(instructions as f64 / wall.as_secs_f64().max(1e-9))
+}
+
+impl ThroughputSummary {
+    /// Aggregates measured points under a run name.
+    #[must_use]
+    pub fn from_points(
+        run: String,
+        description: Option<String>,
+        points: Vec<ThroughputPoint>,
+    ) -> Self {
+        let geomean_event_ips = diq_stats::geometric_mean(points.iter().map(|p| p.event_ips));
+        let geomean_speedup = diq_stats::geometric_mean(points.iter().map(|p| p.speedup));
+        let geomean_speedup_vs_baseline =
+            diq_stats::geometric_mean(points.iter().filter_map(|p| p.speedup_vs_baseline));
+        ThroughputSummary {
+            run,
+            description,
+            points,
+            geomean_event_ips,
+            geomean_speedup,
+            geomean_speedup_vs_baseline,
+        }
+    }
+
+    /// Pretty-printed JSON (the exported file's contents).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("summaries serialize");
+        s.push('\n');
+        s
+    }
+
+    /// Parses an exported summary.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, ExpError> {
+        serde_json::from_str(json).map_err(|e| ExpError::Spec(format!("throughput summary: {e}")))
+    }
+
+    /// Writes `BENCH_<run>.json` into `dir` (created if missing) — the same
+    /// naming convention and store directory `diq export` uses for IPC
+    /// summaries, so the performance trajectory lives in one place.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O.
+    pub fn write_to_store(&self, dir: impl AsRef<Path>) -> Result<PathBuf, ExpError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.run));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diq_workload::suite;
+
+    #[test]
+    fn measures_and_round_trips() {
+        let cfg = ProcessorConfig::hpca2004();
+        let p = measure_point(
+            &cfg,
+            &SchedulerConfig::iq_64_64(),
+            &suite::by_name("gzip").unwrap(),
+            2_000,
+        );
+        assert_eq!(p.instructions, 2_000);
+        assert!(p.ipc > 0.0);
+        assert!(p.event_ips > 0.0 && p.scan_ips > 0.0);
+
+        let s = ThroughputSummary::from_points("tp-test".into(), None, vec![p]);
+        assert!(s.geomean_speedup.unwrap() > 0.0);
+        let back = ThroughputSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+
+        let dir = std::env::temp_dir().join(format!("diq-tp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = s.write_to_store(&dir).unwrap();
+        assert!(path.ends_with("BENCH_tp-test.json"));
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

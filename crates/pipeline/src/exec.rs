@@ -8,17 +8,26 @@ use std::collections::BinaryHeap;
 
 use crate::rename::RenameState;
 
-/// Persistent functional-unit occupancy (unpipelined units block).
+/// Persistent functional-unit occupancy (unpipelined units block), plus the
+/// per-cycle "granted this cycle" scratch flags (reused, not reallocated).
 #[derive(Clone, Debug)]
 pub(crate) struct FuState {
     busy_until: Vec<Cycle>,
+    unit_used: Vec<bool>,
 }
 
 impl FuState {
     pub(crate) fn new(topology: &FuTopology) -> Self {
+        let units = topology.units().len();
         FuState {
-            busy_until: vec![0; topology.units().len()],
+            busy_until: vec![0; units],
+            unit_used: vec![false; units],
         }
+    }
+
+    /// Resets the per-cycle grant flags.
+    fn begin_cycle(&mut self) {
+        self.unit_used.fill(false);
     }
 }
 
@@ -31,16 +40,16 @@ pub(crate) struct Issued {
 
 /// The per-cycle [`IssueSink`]: enforces per-side issue width and
 /// functional-unit availability under the scheme's topology, and records
-/// what was accepted.
+/// what was accepted into a caller-owned scratch buffer (no per-cycle
+/// allocation).
 pub(crate) struct CycleSink<'a> {
     now: Cycle,
     rename: &'a RenameState,
     topology: &'a FuTopology,
     fu: &'a mut FuState,
-    unit_used: Vec<bool>,
     width_left: [usize; 2],
     latency_of: &'a dyn Fn(OpClass) -> u64,
-    pub accepted: Vec<Issued>,
+    pub accepted: &'a mut Vec<Issued>,
 }
 
 impl<'a> CycleSink<'a> {
@@ -51,17 +60,18 @@ impl<'a> CycleSink<'a> {
         fu: &'a mut FuState,
         width: (usize, usize),
         latency_of: &'a dyn Fn(OpClass) -> u64,
+        accepted: &'a mut Vec<Issued>,
     ) -> Self {
-        let units = fu.busy_until.len();
+        fu.begin_cycle();
+        accepted.clear();
         CycleSink {
             now,
             rename,
             topology,
             fu,
-            unit_used: vec![false; units],
             width_left: [width.0, width.1],
             latency_of,
-            accepted: Vec::new(),
+            accepted,
         }
     }
 }
@@ -76,16 +86,16 @@ impl IssueSink for CycleSink<'_> {
         if self.width_left[side.index()] == 0 {
             return false;
         }
-        let reachable = self.topology.reachable(op, queue);
+        let reachable = self.topology.reachable_range(op, queue);
         let Some(unit) = reachable
             .into_iter()
-            .find(|u| !self.unit_used[u.0] && self.fu.busy_until[u.0] <= self.now)
+            .find(|&u| !self.fu.unit_used[u] && self.fu.busy_until[u] <= self.now)
         else {
             return false;
         };
-        self.unit_used[unit.0] = true;
+        self.fu.unit_used[unit] = true;
         if op.is_unpipelined() {
-            self.fu.busy_until[unit.0] = self.now + (self.latency_of)(op);
+            self.fu.busy_until[unit] = self.now + (self.latency_of)(op);
         }
         self.width_left[side.index()] -= 1;
         self.accepted.push(Issued { id: inst, op });
@@ -104,10 +114,36 @@ pub(crate) enum EventKind {
     LoadAddrDone,
 }
 
+/// Calendar slots: must exceed the longest completion latency the machine
+/// schedules (worst main-memory access); rarer, farther events overflow
+/// into a heap.
+const WHEEL_SLOTS: usize = 1024;
+
 /// A time-ordered completion event queue.
-#[derive(Debug, Default)]
+///
+/// Implemented as a calendar wheel: events land in the slot of their due
+/// cycle (O(1) schedule), and each simulated cycle drains exactly one slot
+/// (O(events) — a per-slot sort restores the global `(cycle, id, kind)`
+/// order a binary heap would produce). Events farther out than the wheel
+/// go to a small overflow heap.
+#[derive(Debug)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<(Cycle, u64, EventKind)>>,
+    wheel: Vec<Vec<(u64, EventKind)>>,
+    /// Every event before this cycle has been drained.
+    floor: Cycle,
+    len: usize,
+    overflow: BinaryHeap<Reverse<(Cycle, u64, EventKind)>>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            floor: 0,
+            len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
 }
 
 impl EventQueue {
@@ -116,30 +152,54 @@ impl EventQueue {
     }
 
     pub(crate) fn schedule(&mut self, at: Cycle, id: InstId, kind: EventKind) {
-        self.heap.push(Reverse((at, id.0, kind)));
+        debug_assert!(at >= self.floor, "event scheduled in the past");
+        self.len += 1;
+        if (at - self.floor) < WHEEL_SLOTS as u64 {
+            self.wheel[(at as usize) % WHEEL_SLOTS].push((id.0, kind));
+        } else {
+            self.overflow.push(Reverse((at, id.0, kind)));
+        }
     }
 
-    /// Pops every event due at or before `now`.
-    pub(crate) fn due(&mut self, now: Cycle) -> Vec<(InstId, EventKind)> {
-        let mut out = Vec::new();
-        while let Some(&Reverse((at, id, kind))) = self.heap.peek() {
-            if at > now {
+    /// Pops every event due at or before `now` into `out` (cleared first),
+    /// in `(cycle, id, kind)` order — callers hand back the same scratch
+    /// buffer every cycle.
+    pub(crate) fn drain_due(&mut self, now: Cycle, out: &mut Vec<(InstId, EventKind)>) {
+        out.clear();
+        while self.floor <= now {
+            let t = self.floor;
+            let start = out.len();
+            let slot = &mut self.wheel[(t as usize) % WHEEL_SLOTS];
+            out.extend(slot.drain(..).map(|(id, kind)| (InstId(id), kind)));
+            while let Some(&Reverse((at, id, kind))) = self.overflow.peek() {
+                if at > t {
+                    break;
+                }
+                self.overflow.pop();
+                out.push((InstId(id), kind));
+            }
+            out[start..].sort_unstable_by_key(|&(id, kind)| (id.0, kind));
+            self.floor += 1;
+        }
+        self.len -= out.len();
+    }
+
+    /// Earliest pending event time (drain diagnostics; O(wheel)).
+    pub(crate) fn next_at(&self) -> Option<Cycle> {
+        let mut earliest = self.overflow.peek().map(|Reverse((at, _, _))| *at);
+        for dt in 0..WHEEL_SLOTS as u64 {
+            let t = self.floor + dt;
+            if !self.wheel[(t as usize) % WHEEL_SLOTS].is_empty() {
+                earliest = Some(earliest.map_or(t, |e| e.min(t)));
                 break;
             }
-            self.heap.pop();
-            out.push((InstId(id), kind));
         }
-        out
-    }
-
-    /// Earliest pending event time (drain diagnostics).
-    pub(crate) fn next_at(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse((at, _, _))| *at)
+        earliest
     }
 
     #[cfg(test)]
     pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -151,10 +211,12 @@ mod tests {
     #[test]
     fn event_queue_orders_by_time() {
         let mut q = EventQueue::new();
+        let mut due = Vec::new();
         q.schedule(5, InstId(1), EventKind::Complete);
         q.schedule(3, InstId(2), EventKind::Complete);
-        assert!(q.due(2).is_empty());
-        let due = q.due(5);
+        q.drain_due(2, &mut due);
+        assert!(due.is_empty());
+        q.drain_due(5, &mut due);
         assert_eq!(due.len(), 2);
         assert_eq!(due[0].0, InstId(2));
         assert!(q.is_empty());
@@ -169,7 +231,8 @@ mod tests {
         };
         let mut fu = FuState::new(&topo);
         let lat = |op: OpClass| cfg.lat.for_op(op);
-        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (2, 8), &lat);
+        let mut accepted = Vec::new();
+        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (2, 8), &lat, &mut accepted);
         assert!(sink.try_issue(InstId(1), OpClass::IntAlu, None));
         assert!(sink.try_issue(InstId(2), OpClass::IntAlu, None));
         // Integer width (2) exhausted.
@@ -188,20 +251,21 @@ mod tests {
         };
         let mut fu = FuState::new(&topo);
         let lat = |op: OpClass| cfg.lat.for_op(op);
+        let mut accepted = Vec::new();
         {
-            let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), &lat);
+            let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
             assert!(sink.try_issue(InstId(1), OpClass::IntDiv, Some((Side::Int, 0))));
         }
         {
             // Next cycle: queues 0 and 1 share the divider, still busy.
-            let mut sink = CycleSink::new(1, &rename, &topo, &mut fu, (8, 8), &lat);
+            let mut sink = CycleSink::new(1, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
             assert!(!sink.try_issue(InstId(2), OpClass::IntDiv, Some((Side::Int, 1))));
             // But the ALU of queue 1 is free.
             assert!(sink.try_issue(InstId(3), OpClass::IntAlu, Some((Side::Int, 1))));
         }
         {
             // After the 20-cycle divide, the unit frees.
-            let mut sink = CycleSink::new(20, &rename, &topo, &mut fu, (8, 8), &lat);
+            let mut sink = CycleSink::new(20, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
             assert!(sink.try_issue(InstId(4), OpClass::IntDiv, Some((Side::Int, 1))));
         }
     }
@@ -216,7 +280,8 @@ mod tests {
         };
         let mut fu = FuState::new(&topo);
         let lat = |op: OpClass| cfg.lat.for_op(op);
-        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), &lat);
+        let mut accepted = Vec::new();
+        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
         // FP queue pair (0,1) shares one adder: second add this cycle fails.
         assert!(sink.try_issue(InstId(1), OpClass::FpAdd, Some((Side::Fp, 0))));
         assert!(!sink.try_issue(InstId(2), OpClass::FpAdd, Some((Side::Fp, 1))));

@@ -51,8 +51,8 @@ use diq_branch::{BranchUnit, Prediction};
 use diq_core::{DispatchInst, FuTopology, Scheduler, SchedulerConfig};
 use diq_isa::{BranchInfo, Cycle, Inst, InstId, MemAccess, OpClass, PhysReg, ProcessorConfig};
 use diq_mem::MemoryHierarchy;
-use exec::{CycleSink, EventKind, EventQueue, FuState};
-use std::collections::{HashMap, VecDeque};
+use exec::{CycleSink, EventKind, EventQueue, FuState, Issued};
+use std::collections::VecDeque;
 
 /// An instruction sitting in the fetch queue.
 #[derive(Clone, Copy, Debug)]
@@ -94,6 +94,38 @@ struct Inflight {
 /// (always indicates a scheme/pipeline bug; surfaced loudly for tests).
 const DEADLOCK_LIMIT: u64 = 100_000;
 
+/// The in-flight instruction table, dispatch through commit.
+///
+/// Instruction ids are dense and monotonic, entries are inserted in id
+/// order at dispatch and removed in id order at commit — so the table is a
+/// ring indexed by `id - base`, replacing the former hash map on the
+/// hottest lookup path in the simulator.
+#[derive(Debug, Default)]
+struct InflightTable {
+    base: u64,
+    ring: VecDeque<Inflight>,
+}
+
+impl InflightTable {
+    fn get(&self, id: InstId) -> &Inflight {
+        &self.ring[(id.0 - self.base) as usize]
+    }
+
+    fn insert(&mut self, id: InstId, info: Inflight) {
+        if self.ring.is_empty() {
+            self.base = id.0;
+        }
+        debug_assert_eq!(id.0, self.base + self.ring.len() as u64, "dispatch order");
+        self.ring.push_back(info);
+    }
+
+    fn remove_oldest(&mut self, id: InstId) {
+        debug_assert_eq!(id.0, self.base, "commit order");
+        self.ring.pop_front();
+        self.base += 1;
+    }
+}
+
 /// The out-of-order core.
 pub struct Simulator {
     cfg: ProcessorConfig,
@@ -107,7 +139,7 @@ pub struct Simulator {
     events: EventQueue,
     rob: VecDeque<RobEntry>,
     fetch_queue: VecDeque<Fetched>,
-    inflight: HashMap<u64, Inflight>,
+    inflight: InflightTable,
     /// Stores whose address generation finished but whose data register is
     /// still pending.
     stores_waiting_data: Vec<(InstId, PhysReg)>,
@@ -120,14 +152,41 @@ pub struct Simulator {
     pending_fetch: Option<Inst>,
     last_commit_at: Cycle,
     stats: SimStats,
+    // Per-cycle scratch buffers, reused so the steady-state cycle loop
+    // allocates nothing.
+    due_scratch: Vec<(InstId, EventKind)>,
+    accepted_scratch: Vec<Issued>,
+    stores_done_scratch: Vec<InstId>,
+    pending_loads_scratch: Vec<(InstId, LoadAction)>,
+    /// Dispatch-stall counters, indexed by [`STALL_LABELS`]; folded into
+    /// `SimStats::stall_reasons` at the end of a run (a `BTreeMap` string
+    /// bump per stalled cycle is an allocation the hot loop can't afford).
+    stall_counts: [u64; STALL_LABELS.len()],
 }
+
+/// Stall-reason display labels, in counter-index order.
+const STALL_LABELS: [&str; 6] = [
+    "rob_full",
+    "no_phys_reg",
+    "queue_full",
+    "no_empty_queue",
+    "no_free_chain",
+    "iq_full",
+];
 
 impl Simulator {
     /// Builds a fresh machine with the given processor configuration and
     /// issue scheme.
     #[must_use]
     pub fn new(cfg: &ProcessorConfig, sched_cfg: &SchedulerConfig) -> Self {
-        let sched = sched_cfg.build(cfg);
+        Self::with_scheduler(cfg, sched_cfg.build(cfg))
+    }
+
+    /// Builds a fresh machine around an already-constructed scheduler —
+    /// how the golden tests run the frozen scan reference
+    /// ([`diq_core::reference`]) on the identical pipeline substrate.
+    #[must_use]
+    pub fn with_scheduler(cfg: &ProcessorConfig, sched: Box<dyn Scheduler>) -> Self {
         let topology = sched.fu_topology().clone();
         let fu = FuState::new(&topology);
         let stats = SimStats::new(sched.name(), "");
@@ -143,7 +202,7 @@ impl Simulator {
             events: EventQueue::new(),
             rob: VecDeque::with_capacity(cfg.rob_entries),
             fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
-            inflight: HashMap::new(),
+            inflight: InflightTable::default(),
             stores_waiting_data: Vec::new(),
             now: 0,
             next_id: 0,
@@ -153,11 +212,20 @@ impl Simulator {
             pending_fetch: None,
             last_commit_at: 0,
             stats,
+            due_scratch: Vec::new(),
+            accepted_scratch: Vec::new(),
+            stores_done_scratch: Vec::new(),
+            pending_loads_scratch: Vec::new(),
+            stall_counts: [0; STALL_LABELS.len()],
         }
     }
 
     /// Runs until `commit_target` instructions commit (or the trace drains,
     /// whichever comes first) and returns the statistics.
+    ///
+    /// The returned `SimStats` are *moved* out (the simulator's own counters
+    /// reset to zero) rather than cloned — a run's statistics are consumed
+    /// exactly once, and the histograms need not be copied.
     ///
     /// # Panics
     ///
@@ -190,7 +258,9 @@ impl Simulator {
             );
         }
         self.finalize_stats();
-        self.stats.clone()
+        self.stall_counts = [0; STALL_LABELS.len()];
+        let fresh = SimStats::new(&self.stats.scheme, &self.stats.benchmark);
+        std::mem::replace(&mut self.stats, fresh)
     }
 
     /// Names the workload in the produced statistics.
@@ -199,6 +269,11 @@ impl Simulator {
     }
 
     fn finalize_stats(&mut self) {
+        for (label, &n) in STALL_LABELS.iter().zip(&self.stall_counts) {
+            if n > 0 {
+                self.stats.stall_reasons.insert((*label).to_string(), n);
+            }
+        }
         self.stats.cycles = self.now;
         self.stats.branch = self.bp.stats();
         self.stats.il1 = self.mem.il1_stats();
@@ -249,7 +324,7 @@ impl Simulator {
             if let Some(prev) = head.prev_mapping {
                 self.rename.release(prev);
             }
-            self.inflight.remove(&head.id.0);
+            self.inflight.remove_oldest(head.id);
             self.stats.committed += 1;
             if head.is_fp {
                 self.stats.committed_fp += 1;
@@ -261,10 +336,12 @@ impl Simulator {
     // ---- writeback ----------------------------------------------------
 
     fn writeback_stage(&mut self) {
-        for (id, kind) in self.events.due(self.now) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.events.drain_due(self.now, &mut due);
+        for &(id, kind) in &due {
             match kind {
                 EventKind::Complete => {
-                    let info = self.inflight[&id.0];
+                    let info = *self.inflight.get(id);
                     if let Some(dst) = info.dst {
                         self.rename.set_ready(dst, self.now);
                         self.sched.on_result(dst, self.now);
@@ -285,7 +362,7 @@ impl Simulator {
                     }
                 }
                 EventKind::BranchResolve => {
-                    let info = self.inflight[&id.0];
+                    let info = *self.inflight.get(id);
                     let (actual, pred, mispredicted) = info.branch.expect("branch info present");
                     self.bp.resolve(info.pc, &pred, &actual);
                     if mispredicted {
@@ -303,10 +380,12 @@ impl Simulator {
                 }
             }
         }
+        self.due_scratch = due;
         // Stores whose data arrived this cycle (or earlier) complete now.
         if !self.stores_waiting_data.is_empty() {
             let now = self.now;
-            let mut done: Vec<InstId> = Vec::new();
+            let mut done = std::mem::take(&mut self.stores_done_scratch);
+            done.clear();
             self.stores_waiting_data.retain(|&(id, data)| {
                 if self.rename.is_ready(data, now) {
                     done.push(id);
@@ -315,18 +394,21 @@ impl Simulator {
                     true
                 }
             });
-            for id in done {
+            for &id in &done {
                 self.lsq.store_data_ready(id);
                 self.rob_entry_mut(id).completed = true;
             }
+            self.stores_done_scratch = done;
         }
     }
 
     // ---- memory -------------------------------------------------------
 
     fn memory_stage(&mut self) {
-        for id in self.lsq.pending_loads() {
-            match self.lsq.load_action(id) {
+        let mut pending = std::mem::take(&mut self.pending_loads_scratch);
+        self.lsq.pending_load_actions_into(&mut pending);
+        for &(id, action) in &pending {
+            match action {
                 LoadAction::Wait => {}
                 LoadAction::Forward => {
                     self.lsq.load_started(id, true);
@@ -334,7 +416,7 @@ impl Simulator {
                 }
                 LoadAction::Access => {
                     if self.mem.try_reserve_dl1_port(self.now) {
-                        let addr = self.inflight[&id.0].mem.expect("load has address").addr;
+                        let addr = self.inflight.get(id).mem.expect("load has address").addr;
                         let lat = self.mem.load_latency(addr);
                         self.lsq.load_started(id, false);
                         self.events
@@ -343,6 +425,7 @@ impl Simulator {
                 }
             }
         }
+        self.pending_loads_scratch = pending;
     }
 
     // ---- issue --------------------------------------------------------
@@ -350,7 +433,8 @@ impl Simulator {
     fn issue_stage(&mut self) {
         let lat_cfg = self.cfg.lat;
         let latency_of = move |op: OpClass| lat_cfg.for_op(op);
-        let accepted = {
+        let mut accepted = std::mem::take(&mut self.accepted_scratch);
+        {
             let mut sink = CycleSink::new(
                 self.now,
                 &self.rename,
@@ -358,12 +442,12 @@ impl Simulator {
                 &mut self.fu,
                 (self.cfg.issue_width_int, self.cfg.issue_width_fp),
                 &latency_of,
+                &mut accepted,
             );
             self.sched.issue_cycle(self.now, &mut sink);
-            sink.accepted
-        };
-        for issued in accepted {
-            let info = self.inflight[&issued.id.0];
+        }
+        for &issued in &accepted {
+            let info = *self.inflight.get(issued.id);
             // Dataflow checker: every source value must be available now.
             for src in info.srcs.into_iter().flatten() {
                 if !self.rename.is_ready(src, self.now) {
@@ -390,6 +474,7 @@ impl Simulator {
                 }
             }
         }
+        self.accepted_scratch = accepted;
     }
 
     // ---- dispatch / rename ---------------------------------------------
@@ -401,14 +486,14 @@ impl Simulator {
                 break;
             };
             if self.rob.len() >= self.cfg.rob_entries {
-                self.stats.bump_stall("rob_full");
+                self.stall_counts[0] += 1; // rob_full
                 stalled = true;
                 break;
             }
             let inst = fetched.inst;
             if let Some(dst) = inst.dst {
                 if self.rename.peek_allocate(dst.class()).is_none() {
-                    self.stats.bump_stall("no_phys_reg");
+                    self.stall_counts[1] += 1; // no_phys_reg
                     stalled = true;
                     break;
                 }
@@ -450,12 +535,12 @@ impl Simulator {
                 dst_arch: inst.dst,
             };
             if let Err(reason) = self.sched.try_dispatch(&di, self.now) {
-                self.stats.bump_stall(match reason {
-                    diq_core::DispatchStall::QueueFull => "queue_full",
-                    diq_core::DispatchStall::NoEmptyQueue => "no_empty_queue",
-                    diq_core::DispatchStall::NoFreeChain => "no_free_chain",
-                    diq_core::DispatchStall::Full => "iq_full",
-                });
+                self.stall_counts[match reason {
+                    diq_core::DispatchStall::QueueFull => 2,
+                    diq_core::DispatchStall::NoEmptyQueue => 3,
+                    diq_core::DispatchStall::NoFreeChain => 4,
+                    diq_core::DispatchStall::Full => 5,
+                }] += 1;
                 stalled = true;
                 break;
             }
@@ -483,7 +568,7 @@ impl Simulator {
                 );
             }
             self.inflight.insert(
-                fetched.id.0,
+                fetched.id,
                 Inflight {
                     op: inst.op,
                     dst: dst_peek,

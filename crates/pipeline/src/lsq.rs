@@ -38,10 +38,32 @@ struct LsqEntry {
     data_ready: bool,
 }
 
+/// A store's disambiguation-relevant state, mirrored from its entry so the
+/// per-cycle load scan touches stores only (not every queue entry).
+#[derive(Clone, Copy, Debug)]
+struct StoreInfo {
+    id: InstId,
+    dw: u64,
+    addr_known: bool,
+    data_ready: bool,
+}
+
 /// The load/store queue.
 #[derive(Clone, Debug, Default)]
 pub struct Lsq {
     entries: VecDeque<LsqEntry>,
+    /// Stores still in the queue, program order (mirror of `entries`).
+    stores: VecDeque<StoreInfo>,
+    /// Loads in the memory phase `(id, dword)`, program order.
+    pending: Vec<(InstId, u64)>,
+    /// Per-cycle scratch: `dword -> all matching older stores data-ready`.
+    match_scratch: Vec<(u64, bool)>,
+    /// Cached non-`Wait` actions for the current queue state; valid while
+    /// `actions_dirty` is false. Disambiguation outcomes only change when
+    /// an entry changes state, which is a per-instruction event — stalled
+    /// cycles reuse the cache instead of re-walking the queue.
+    cached_actions: Vec<(InstId, LoadAction)>,
+    actions_dirty: bool,
     /// Forwarding statistics.
     pub forwards: u64,
 }
@@ -76,13 +98,30 @@ impl Lsq {
             addr_known: false,
             data_ready: false,
         });
+        self.actions_dirty = true;
+        if is_store {
+            self.stores.push_back(StoreInfo {
+                id,
+                dw: dword(addr),
+                addr_known: false,
+                data_ready: false,
+            });
+        }
     }
 
+    /// Entries are in program order, so ids are sorted: binary search.
     fn entry_mut(&mut self, id: InstId) -> &mut LsqEntry {
-        self.entries
-            .iter_mut()
-            .find(|e| e.id == id)
-            .expect("LSQ entry exists")
+        let i = self.entries.partition_point(|e| e.id < id);
+        let e = &mut self.entries[i];
+        assert_eq!(e.id, id, "LSQ entry exists");
+        e
+    }
+
+    fn store_mut(&mut self, id: InstId) -> &mut StoreInfo {
+        let i = self.stores.partition_point(|s| s.id < id);
+        let s = &mut self.stores[i];
+        debug_assert_eq!(s.id, id);
+        s
     }
 
     /// A store finished address generation: younger loads can disambiguate
@@ -94,6 +133,8 @@ impl Lsq {
         if e.data_ready {
             e.state = MemState::Done;
         }
+        self.store_mut(id).addr_known = true;
+        self.actions_dirty = true;
     }
 
     /// A store's data value became available: younger matching loads can
@@ -105,6 +146,8 @@ impl Lsq {
         if e.addr_known {
             e.state = MemState::Done;
         }
+        self.store_mut(id).data_ready = true;
+        self.actions_dirty = true;
     }
 
     /// A load finished address generation: it enters the memory phase.
@@ -112,19 +155,38 @@ impl Lsq {
         let e = self.entry_mut(id);
         debug_assert!(!e.is_store);
         e.state = MemState::WaitMem;
+        let dw = dword(e.addr);
+        let pos = self.pending.partition_point(|&(pid, _)| pid < id);
+        self.pending.insert(pos, (id, dw));
+        self.actions_dirty = true;
     }
 
     /// Loads currently in the memory phase, oldest first.
     #[must_use]
     pub fn pending_loads(&self) -> Vec<InstId> {
-        self.entries
-            .iter()
-            .filter(|e| !e.is_store && e.state == MemState::WaitMem)
-            .map(|e| e.id)
-            .collect()
+        let mut out = Vec::new();
+        self.pending_loads_into(&mut out);
+        out
     }
 
-    /// Decides what load `id` may do this cycle.
+    /// [`pending_loads`](Self::pending_loads) into a reused buffer
+    /// (cleared first). Diagnostic/test view — the simulator's per-cycle
+    /// path is [`pending_load_actions_into`](Self::pending_load_actions_into).
+    pub fn pending_loads_into(&self, out: &mut Vec<InstId>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|e| !e.is_store && e.state == MemState::WaitMem)
+                .map(|e| e.id),
+        );
+    }
+
+    /// Decides what load `id` may do this cycle, by scanning every older
+    /// queue entry — the straightforward reference form of the
+    /// disambiguation rules. The simulator uses the equivalent (and much
+    /// cheaper) [`pending_load_actions_into`](Self::pending_load_actions_into);
+    /// a unit test asserts the two agree, so keep them in lockstep.
     ///
     /// # Panics
     ///
@@ -169,12 +231,83 @@ impl Lsq {
             self.forwards += 1;
         }
         self.entry_mut(id).state = MemState::Done;
+        let pos = self.pending.partition_point(|&(pid, _)| pid < id);
+        debug_assert_eq!(self.pending.get(pos).map(|&(pid, _)| pid), Some(id));
+        self.pending.remove(pos);
+        self.actions_dirty = true;
     }
 
     /// Removes the (oldest) entry at commit.
     pub fn pop(&mut self, id: InstId) {
         debug_assert_eq!(self.entries.front().map(|e| e.id), Some(id));
-        self.entries.pop_front();
+        let e = self.entries.pop_front().expect("LSQ entry at commit");
+        if e.is_store {
+            debug_assert_eq!(self.stores.front().map(|s| s.id), Some(id));
+            self.stores.pop_front();
+            self.actions_dirty = true;
+        }
+    }
+
+    /// This cycle's `Forward`/`Access` actions (loads that can do work —
+    /// `Wait`s are omitted), oldest first, into a reused buffer (cleared
+    /// first).
+    ///
+    /// Equivalent to calling [`load_action`](Self::load_action) per pending
+    /// load, but computed in one merge walk over the pending loads and the
+    /// store mirror — O(loads + stores) instead of O(loads x queue length)
+    /// — and cached across cycles: outcomes only change when an entry
+    /// changes state, so stalled cycles cost O(actionable loads).
+    pub fn pending_load_actions_into(&mut self, out: &mut Vec<(InstId, LoadAction)>) {
+        out.clear();
+        if self.actions_dirty {
+            self.recompute_actions();
+            self.actions_dirty = false;
+        }
+        out.extend_from_slice(&self.cached_actions);
+    }
+
+    fn recompute_actions(&mut self) {
+        self.cached_actions.clear();
+        if self.pending.is_empty() {
+            return;
+        }
+        self.match_scratch.clear();
+        let mut unknown = false;
+        let mut si = 0;
+        for &(lid, ldw) in &self.pending {
+            // Fold in stores older than this load: one pass total, since
+            // both lists are in program order. Once an unknown store
+            // address is crossed, every younger load waits — stop early.
+            while si < self.stores.len() && self.stores[si].id < lid {
+                let st = self.stores[si];
+                if !st.addr_known {
+                    unknown = true;
+                    break;
+                }
+                match self.match_scratch.iter_mut().find(|(dw, _)| *dw == st.dw) {
+                    Some((_, all_ready)) => *all_ready &= st.data_ready,
+                    None => self.match_scratch.push((st.dw, st.data_ready)),
+                }
+                si += 1;
+            }
+            if unknown {
+                // An older store's address is unknown: conservative wait
+                // for this and every younger load.
+                break;
+            }
+            match self
+                .match_scratch
+                .iter()
+                .find(|&&(dw, _)| dw == ldw)
+                .map(|&(_, all_ready)| all_ready)
+            {
+                // A matching older store with its value: forward. Any
+                // matching older store still missing its value: wait.
+                Some(true) => self.cached_actions.push((lid, LoadAction::Forward)),
+                Some(false) => {}
+                None => self.cached_actions.push((lid, LoadAction::Access)),
+            }
+        }
     }
 
     /// Live entries (diagnostics).
@@ -263,5 +396,109 @@ mod tests {
         lsq.load_addr_done(InstId(5));
         lsq.load_addr_done(InstId(3));
         assert_eq!(lsq.pending_loads(), vec![InstId(3), InstId(5)]);
+    }
+
+    /// The per-cycle merge walk must agree with the reference
+    /// `load_action` scan: same actions, `Wait`s omitted, program order.
+    fn assert_actions_match_reference(lsq: &mut Lsq) {
+        let expected: Vec<(InstId, LoadAction)> = lsq
+            .pending_loads()
+            .into_iter()
+            .map(|id| (id, lsq.load_action(id)))
+            .filter(|&(_, a)| a != LoadAction::Wait)
+            .collect();
+        let mut actual = Vec::new();
+        lsq.pending_load_actions_into(&mut actual);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn merge_walk_matches_reference_scan_through_a_store_lifecycle() {
+        let mut lsq = Lsq::new();
+        // Stores at two dwords bracketing three loads, plus an aliasing
+        // younger store that must not matter.
+        lsq.push(InstId(1), true, 0x100); // matches load 3
+        lsq.push(InstId(2), true, 0x200); // unknown addr blocks loads 4, 6
+        lsq.push(InstId(3), false, 0x104); // same dword as store 1
+        lsq.push(InstId(4), false, 0x300); // independent
+        lsq.push(InstId(6), false, 0x200); // matches store 2
+        lsq.push(InstId(7), true, 0x300); // younger than every load
+        for id in [3, 4, 6] {
+            lsq.load_addr_done(InstId(id));
+        }
+        // Store 1 known but unready; store 2 fully unknown: everything
+        // after store 1's match check still waits on store 2's address.
+        lsq.store_addr_done(InstId(1));
+        assert_actions_match_reference(&mut lsq);
+        // Store 2's address arrives: load 4 can access, load 6 still waits
+        // for store 2's data, load 3 for store 1's.
+        lsq.store_addr_done(InstId(2));
+        assert_actions_match_reference(&mut lsq);
+        let mut actions = Vec::new();
+        lsq.pending_load_actions_into(&mut actions);
+        assert_eq!(actions, vec![(InstId(4), LoadAction::Access)]);
+        // Data arrives: both matched loads forward.
+        lsq.store_data_ready(InstId(1));
+        lsq.store_data_ready(InstId(2));
+        assert_actions_match_reference(&mut lsq);
+        let mut actions = Vec::new();
+        lsq.pending_load_actions_into(&mut actions);
+        assert_eq!(
+            actions,
+            vec![
+                (InstId(3), LoadAction::Forward),
+                (InstId(4), LoadAction::Access),
+                (InstId(6), LoadAction::Forward),
+            ]
+        );
+    }
+
+    #[test]
+    fn any_unready_matching_store_blocks_even_with_a_ready_younger_match() {
+        // Two stores to the same dword: the older one has no data yet. The
+        // reference scan aborts at the first unready match; the merge
+        // walk's all-matches-ready AND must agree (Wait, not Forward).
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), true, 0x100);
+        lsq.push(InstId(2), true, 0x100);
+        lsq.push(InstId(3), false, 0x100);
+        lsq.store_addr_done(InstId(1));
+        lsq.store_addr_done(InstId(2));
+        lsq.store_data_ready(InstId(2));
+        lsq.load_addr_done(InstId(3));
+        assert_eq!(lsq.load_action(InstId(3)), LoadAction::Wait);
+        assert_actions_match_reference(&mut lsq);
+        let mut actions = Vec::new();
+        lsq.pending_load_actions_into(&mut actions);
+        assert!(actions.is_empty(), "blocked load must not surface");
+    }
+
+    #[test]
+    fn action_cache_invalidates_on_every_state_change() {
+        let mut lsq = Lsq::new();
+        lsq.push(InstId(1), true, 0x100);
+        lsq.push(InstId(2), false, 0x100);
+        lsq.load_addr_done(InstId(2));
+        let mut actions = Vec::new();
+        // Unknown store address: nothing actionable (and now cached).
+        lsq.pending_load_actions_into(&mut actions);
+        assert!(actions.is_empty());
+        lsq.pending_load_actions_into(&mut actions);
+        assert!(actions.is_empty(), "cached answer is stable");
+        // Each mutation must be visible through the cache.
+        lsq.store_addr_done(InstId(1));
+        assert_actions_match_reference(&mut lsq);
+        lsq.store_data_ready(InstId(1));
+        lsq.pending_load_actions_into(&mut actions);
+        assert_eq!(actions, vec![(InstId(2), LoadAction::Forward)]);
+        lsq.load_started(InstId(2), true);
+        lsq.pending_load_actions_into(&mut actions);
+        assert!(actions.is_empty(), "started load leaves the pending set");
+        // Committing the store invalidates too (no stale match survives).
+        lsq.pop(InstId(1));
+        lsq.push(InstId(9), false, 0x100);
+        lsq.load_addr_done(InstId(9));
+        lsq.pending_load_actions_into(&mut actions);
+        assert_eq!(actions, vec![(InstId(9), LoadAction::Access)]);
     }
 }

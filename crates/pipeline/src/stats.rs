@@ -8,7 +8,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Everything a simulation run reports.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is exact — including every energy meter's `f64`s — because
+/// the golden and property tests assert the event-driven wakeup path is
+/// *bit-identical* to the scan reference, not merely close.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimStats {
     /// Scheme label (e.g. `MB_distr`).
     pub scheme: String,
@@ -100,10 +104,6 @@ impl SimStats {
         } else {
             self.energy_pj() / self.cycles as f64
         }
-    }
-
-    pub(crate) fn bump_stall(&mut self, reason: &'static str) {
-        *self.stall_reasons.entry(reason.to_string()).or_insert(0) += 1;
     }
 }
 

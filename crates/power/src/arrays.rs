@@ -119,6 +119,7 @@ impl SelectSpec {
     /// internal nodes proportionally to the active requesters plus a small
     /// leakage-like floor for the tree itself.
     #[must_use]
+    #[inline]
     pub fn select_energy_pj(&self, t: &TechParams, active: usize) -> f64 {
         let tree_nodes = (self.candidates.max(1) as f64) / 3.0; // radix-4 tree node count
         t.arbiter_cell_energy_pj * (active as f64 + 0.25 * tree_nodes)

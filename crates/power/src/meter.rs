@@ -57,6 +57,7 @@ pub const ALL_COMPONENTS: [Component; 12] = [
 ];
 
 impl Component {
+    #[inline]
     fn idx(self) -> usize {
         ALL_COMPONENTS
             .iter()
@@ -117,12 +118,14 @@ impl EnergyMeter {
     }
 
     /// Adds `pj` picojoules to `component`.
+    #[inline]
     pub fn add(&mut self, component: Component, pj: f64) {
         debug_assert!(pj >= 0.0, "negative energy");
         self.pj[component.idx()] += pj;
     }
 
     /// Adds `events × pj_per_event` to `component`.
+    #[inline]
     pub fn add_events(&mut self, component: Component, events: u64, pj_per_event: f64) {
         self.add(component, events as f64 * pj_per_event);
     }

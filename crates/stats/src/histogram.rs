@@ -48,6 +48,7 @@ impl Histogram {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         let idx = (value as usize).min(self.buckets.len() - 1);
         self.buckets[idx] += 1;

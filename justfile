@@ -23,16 +23,28 @@ sweep spec="experiments/paper_matrix.json":
     cargo run --release -- sweep {{spec}}
 
 # The CI resume check, locally: sweep a tiny grid twice, the second pass must
-# be 100% cache hits, then export the summary JSON.
+# be 100% cache hits (asserted on the machine-readable summary, as CI does),
+# then export the summary JSON.
 sweep-smoke:
     cargo build --release
-    ./target/release/diq sweep experiments/ci_smoke.json --store ci-results
-    ./target/release/diq sweep experiments/ci_smoke.json --store ci-results | grep "100.0% cache hits"
+    ./target/release/diq sweep experiments/ci_smoke.json --store ci-results --summary-json ci-results/first.json
+    ./target/release/diq sweep experiments/ci_smoke.json --store ci-results --summary-json ci-results/second.json
+    jq -e '.computed == 0 and .cached == .total and .cache_hit_pct == 100' ci-results/second.json
     ./target/release/diq export ci-smoke --store ci-results
 
-# Gate run B against baseline run A (exits 1 past the IPC threshold).
+# Gate run B against baseline run A (exits 1 past the IPC threshold). Either
+# side may be a stored run name or a path to an exported BENCH_*.json.
 compare a b threshold="2":
     cargo run --release -- compare {{a}} {{b}} --threshold {{threshold}}
+
+# Simulator-throughput benchmark: simulated instrs/sec per scheme, the
+# event-driven wakeup vs the frozen scan reference, appended to the local
+# store as BENCH_throughput.json — the same measurement CI's artifacts
+# track. Set DIQ_TP_BASELINE_BIN to a `diq` built from an older commit to
+# also record end-to-end speedup versus that binary.
+bench-throughput:
+    cargo build --release
+    cargo bench -p diq-bench --bench throughput
 
 # One fast end-to-end pass over the bench targets' machinery: compile all
 # 19 bench executables and run the two headline ones at a tiny budget.

@@ -46,13 +46,14 @@ fn usage() -> ! {
          diq run <scheme> <benchmark> [instructions]\n  \
          diq figure <id>\n  \
          diq figures\n  \
-         diq sweep <spec.json> [--store DIR] [--threads N] [--name RUN]\n  \
+         diq sweep <spec.json> [--store DIR] [--threads N] [--name RUN] [--summary-json FILE|-]\n  \
          diq compare <run-a> <run-b> [--store DIR] [--threshold PCT]\n  \
          diq export <run> [--store DIR] [--out FILE]\n\n\
          Instruction counts accept 100k/5M/1G suffixes, here and in DIQ_INSTRS\n\
          (the per-benchmark count for figures). The result store defaults to\n\
          ./results; `diq compare` exits 1 when run-b's geomean IPC regresses\n\
-         more than the threshold (default 2%) against run-a."
+         more than the threshold (default 2%) against run-a. Either compare\n\
+         side may be a stored run name or a path to an exported BENCH_*.json."
     );
     std::process::exit(2);
 }
@@ -123,7 +124,7 @@ fn cmd_run(args: &[String]) {
 }
 
 fn cmd_sweep(args: &[String]) {
-    let (positional, flags) = parse_flags(args, &["store", "threads", "name"]);
+    let (positional, flags) = parse_flags(args, &["store", "threads", "name", "summary-json"]);
     let [spec_path] = positional.as_slice() else {
         usage();
     };
@@ -167,6 +168,17 @@ fn cmd_sweep(args: &[String]) {
         outcome.cache_hit_pct(),
         store.root().display(),
     );
+    // Machine-readable counters: CI asserts on parsed fields, not on the
+    // human lines above (which may change shape as grids grow).
+    if let Some(path) = flags.get("summary-json") {
+        let json = outcome.summary(&store).to_json();
+        match path.as_str() {
+            "-" => print!("{json}"),
+            path => {
+                std::fs::write(path, &json).unwrap_or_else(|e| fail(format!("write `{path}`: {e}")))
+            }
+        }
+    }
 }
 
 fn cmd_compare(args: &[String]) {
@@ -183,8 +195,20 @@ fn cmd_compare(args: &[String]) {
         None => 2.0,
     };
     let store = open_store(&flags);
-    let a = RunSummary::build(&store, run_a).unwrap_or_else(|e| fail(e));
-    let b = RunSummary::build(&store, run_b).unwrap_or_else(|e| fail(e));
+    // A side can be a stored run name or a path to an exported
+    // `BENCH_<run>.json` (how CI gates against the artifact of the latest
+    // `main` run without sharing a store).
+    let load = |name: &str| -> RunSummary {
+        if std::path::Path::new(name).is_file() {
+            let json = std::fs::read_to_string(name)
+                .unwrap_or_else(|e| fail(format!("read `{name}`: {e}")));
+            RunSummary::from_json(&json).unwrap_or_else(|e| fail(format!("`{name}`: {e}")))
+        } else {
+            RunSummary::build(&store, name).unwrap_or_else(|e| fail(e))
+        }
+    };
+    let a = load(run_a);
+    let b = load(run_b);
     let cmp = Comparison::between(&a, &b).unwrap_or_else(|e| fail(e));
     println!(
         "{} -> {} ({} matched points)",

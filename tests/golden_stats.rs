@@ -1,0 +1,110 @@
+//! Golden equivalence test for the event-driven wakeup refactor.
+//!
+//! The schedulers in `diq-core` simulate wakeup/select event-driven
+//! (per-tag consumer lists, ready lists, per-chain selection) while the
+//! frozen scan implementations in `diq_core::reference` model the same
+//! hardware by re-scanning full entry vectors every cycle. These tests run
+//! the *same* trace through both on the identical pipeline substrate and
+//! assert the complete `SimStats` — cycles, IPC numerators, stall
+//! breakdowns, occupancy histograms, and every `f64` of the energy meters —
+//! are **bit-for-bit identical**. Physical energy accounting is decoupled
+//! from simulation work, not changed by it.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::{SimStats, Simulator};
+use diq::sched::SchedulerConfig;
+use diq::workload::suite;
+
+fn run_both(sched: &SchedulerConfig, bench: &str, n: u64) -> (SimStats, SimStats) {
+    let cfg = ProcessorConfig::hpca2004();
+    let spec = suite::by_name(bench).unwrap();
+    let trace = spec.generate(n as usize);
+
+    let mut fast = Simulator::new(&cfg, sched);
+    fast.set_benchmark(bench);
+    let fast_stats = fast.run(trace.clone(), n);
+
+    let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+    scan.set_benchmark(bench);
+    let scan_stats = scan.run(trace, n);
+
+    (fast_stats, scan_stats)
+}
+
+fn assert_identical(sched: &SchedulerConfig, bench: &str, n: u64) {
+    let (fast, scan) = run_both(sched, bench, n);
+    // Spot-check the load-bearing fields with readable failures before the
+    // full struct equality (which covers everything, floats included).
+    assert_eq!(
+        fast.cycles,
+        scan.cycles,
+        "{}/{bench}: cycles",
+        sched.label()
+    );
+    assert_eq!(
+        fast.stall_reasons,
+        scan.stall_reasons,
+        "{}/{bench}: stall breakdown",
+        sched.label()
+    );
+    for (c, pj) in fast.energy.breakdown() {
+        assert!(
+            scan.energy.get(c) == pj,
+            "{}/{bench}: {c} energy {} (event) vs {} (scan)",
+            sched.label(),
+            pj,
+            scan.energy.get(c)
+        );
+    }
+    assert_eq!(
+        fast,
+        scan,
+        "{}/{bench}: full SimStats must be bit-identical",
+        sched.label()
+    );
+    assert_eq!(fast.checker_violations, 0, "{}/{bench}", sched.label());
+}
+
+/// Every registered scheme over the `ci_smoke` grid (gzip + swim at 2k
+/// instructions) — the acceptance grid for the refactor.
+#[test]
+fn every_registered_scheme_is_bit_identical_on_the_ci_smoke_grid() {
+    for sched in SchedulerConfig::known() {
+        for bench in ["gzip", "swim"] {
+            assert_identical(&sched, bench, 2_000);
+        }
+    }
+}
+
+/// Longer horizon on the headline schemes: mispredict steering-table
+/// clears, chain reuse, FP store data on the integer side, cache misses —
+/// the slow paths all get exercised at 20k instructions.
+#[test]
+fn headline_schemes_stay_identical_on_longer_mixed_runs() {
+    for sched in [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+        SchedulerConfig::lat_fifo(16, 16, 8, 16),
+    ] {
+        for bench in ["mcf", "art", "equake"] {
+            assert_identical(&sched, bench, 20_000);
+        }
+    }
+}
+
+/// Tiny geometries hit the stall paths (full queues, exhausted chains)
+/// constantly; they must stall identically too.
+#[test]
+fn tiny_geometries_stall_identically() {
+    for sched in [
+        SchedulerConfig::cam(8, 8, 2),
+        SchedulerConfig::issue_fifo(2, 2, 2, 2),
+        SchedulerConfig::lat_fifo(2, 2, 2, 2),
+        SchedulerConfig::mix_buff(2, 2, 2, 4, Some(2)),
+    ] {
+        for bench in ["gzip", "swim"] {
+            assert_identical(&sched, bench, 3_000);
+        }
+    }
+}
