@@ -88,6 +88,13 @@ impl HybridPredictor {
         self.ghr
     }
 
+    /// Overwrites the global history register (wrong-path recovery restores
+    /// the checkpointed history; the component tables are only written at
+    /// resolution, so they need no repair).
+    pub fn set_ghr(&mut self, ghr: u64) {
+        self.ghr = ghr;
+    }
+
     /// Predicts the direction of the conditional branch at `pc`, updating
     /// the history speculatively.
     pub(crate) fn predict(&mut self, pc: u64) -> (bool, HybridToken) {
@@ -137,8 +144,10 @@ impl HybridPredictor {
         }
 
         if pred.taken != taken {
-            // Fetch stalled after the mispredict, so no younger predictions
-            // polluted the history: rebuild it exactly.
+            // Rebuild the history exactly from the prediction-time snapshot.
+            // In the stall model no younger prediction polluted it; in the
+            // wrong-path model the pipeline restored the branch's checkpoint
+            // before calling resolve, so the same repair is exact there too.
             self.ghr = (pred.ghr_snapshot << 1) | u64::from(taken);
         }
     }

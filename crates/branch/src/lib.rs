@@ -6,10 +6,15 @@
 //!
 //! The pipeline asks for a [`Prediction`] at fetch and reports the
 //! architectural outcome at branch resolution via
-//! [`BranchUnit::resolve`]. Because the simulator does not execute
-//! wrong-path instructions (fetch stalls on a misprediction until the branch
-//! resolves), the global history register can be repaired exactly at
-//! resolution from the snapshot carried inside the prediction token.
+//! [`BranchUnit::resolve`]. In the stall model the global history register
+//! is repaired exactly at resolution from the snapshot carried inside the
+//! prediction token; in the wrong-path model ([`ProcessorConfig::wrong_path`]
+//! on) wrong-path predictions additionally shift the GHR and push/pop the
+//! RAS, so the pipeline takes a [`BranchCheckpoint`] at each mispredicted
+//! branch and [restores](BranchUnit::restore) it at resolution before the
+//! same exact repair runs.
+//!
+//! [`ProcessorConfig::wrong_path`]: diq_isa::ProcessorConfig
 //!
 //! # Example
 //!
@@ -55,6 +60,19 @@ pub struct Prediction {
     used_gshare: bool,
     bimodal_taken: bool,
     gshare_taken: bool,
+}
+
+/// Snapshot of the speculatively-written front-end predictor state — the
+/// global history register and the return-address stack — taken right after
+/// a mispredicted branch's prediction and restored at its resolution, so
+/// wrong-path predictions (which shift the GHR and push/pop the RAS) leave
+/// no trace on the correct path. The direction tables and the BTB are only
+/// written at resolution of correct-path branches, so they need no
+/// checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchCheckpoint {
+    ghr: u64,
+    ras: Vec<u64>,
 }
 
 /// Aggregate accuracy statistics of a [`BranchUnit`].
@@ -108,6 +126,20 @@ impl BranchUnit {
     /// stack.
     pub fn predict(&mut self, pc: u64, kind: BranchKind) -> Prediction {
         self.stats.lookups += 1;
+        self.predict_uncounted(pc, kind)
+    }
+
+    /// [`predict`](Self::predict) for a **wrong-path** branch: identical
+    /// speculative state updates (GHR shift, RAS push/pop — all undone by
+    /// the recovery checkpoint), but the lookup is not counted in
+    /// [`BranchStats`]. Wrong-path branches can never resolve, so counting
+    /// them would pad the accuracy denominator with unresolvable lookups
+    /// and make stall-vs-speculation accuracy incomparable.
+    pub fn predict_wrong_path(&mut self, pc: u64, kind: BranchKind) -> Prediction {
+        self.predict_uncounted(pc, kind)
+    }
+
+    fn predict_uncounted(&mut self, pc: u64, kind: BranchKind) -> Prediction {
         match kind {
             BranchKind::Conditional => {
                 let (taken, tok) = self.hybrid.predict(pc);
@@ -182,6 +214,34 @@ impl BranchUnit {
     #[must_use]
     pub fn stats(&self) -> BranchStats {
         self.stats
+    }
+
+    /// Checkpoints the speculatively-written state (GHR + RAS) for
+    /// wrong-path recovery. Take it immediately after
+    /// [`predict`](Self::predict) of the mispredicted branch, so the
+    /// snapshot already contains that branch's own speculative effects.
+    #[must_use]
+    pub fn checkpoint(&self) -> BranchCheckpoint {
+        BranchCheckpoint {
+            ghr: self.hybrid.ghr(),
+            ras: self.ras.snapshot(),
+        }
+    }
+
+    /// [`checkpoint`](Self::checkpoint) into a reused slot: the RAS buffer
+    /// keeps its capacity, so recurring mispredicts allocate nothing.
+    pub fn checkpoint_into(&self, cp: &mut BranchCheckpoint) {
+        cp.ghr = self.hybrid.ghr();
+        self.ras.snapshot_into(&mut cp.ras);
+    }
+
+    /// Restores a [`checkpoint`](Self::checkpoint), discarding every
+    /// wrong-path prediction's effect on the GHR and RAS. Call it *before*
+    /// [`resolve`](Self::resolve) of the recovering branch — resolve's own
+    /// history repair then behaves exactly as in the stall model.
+    pub fn restore(&mut self, cp: &BranchCheckpoint) {
+        self.hybrid.set_ghr(cp.ghr);
+        self.ras.restore(&cp.ras);
     }
 }
 

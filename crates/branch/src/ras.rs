@@ -58,6 +58,26 @@ impl ReturnAddressStack {
         self.stack.len()
     }
 
+    /// Snapshot of the live entries, oldest first (checkpoint support).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.stack.clone()
+    }
+
+    /// [`snapshot`](Self::snapshot) into a reused buffer (cleared first) —
+    /// the per-mispredict checkpoint path allocates nothing steady-state.
+    pub fn snapshot_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.stack);
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot), discarding the current
+    /// contents (wrong-path recovery).
+    pub fn restore(&mut self, snapshot: &[u64]) {
+        self.stack.clear();
+        self.stack.extend_from_slice(snapshot);
+    }
+
     /// Whether the stack is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -29,6 +29,7 @@ use diq_power::{Component, EnergyMeter, TechParams};
 struct CamEntry {
     id: InstId,
     op: OpClass,
+    srcs: [Option<PhysReg>; 2],
     ready: [bool; 2],
     /// Position in `CamArray::ready` while all operands are ready.
     ready_pos: u32,
@@ -53,6 +54,8 @@ struct CamArray {
     unready_ops: usize,
     capacity: usize,
     bank_entries: usize,
+    /// Squash scratch (doomed slots), reused across recoveries.
+    doomed: Vec<u32>,
 }
 
 impl CamArray {
@@ -65,6 +68,7 @@ impl CamArray {
             unready_ops: 0,
             capacity,
             bank_entries: capacity.div_ceil(banks),
+            doomed: Vec::new(),
         }
     }
 
@@ -82,6 +86,7 @@ impl CamArray {
         let slot = self.slab.insert(CamEntry {
             id: d.id,
             op: d.op,
+            srcs: d.srcs,
             ready,
             ready_pos: u32::MAX,
         });
@@ -111,6 +116,37 @@ impl CamArray {
             self.slab.get_mut(moved).ready_pos = pos as u32;
         }
         e
+    }
+
+    /// Removes every entry with `id >= from` (wrong-path squash),
+    /// deregistering its wakeup consumers so no ghost wakeup can fire.
+    /// The doomed-slot scratch is reused, so recurring recoveries allocate
+    /// nothing steady-state.
+    fn squash(&mut self, from: InstId) {
+        let mut doomed = std::mem::take(&mut self.doomed);
+        doomed.clear();
+        doomed.extend(
+            self.slab
+                .iter()
+                .filter(|(_, e)| e.id >= from)
+                .map(|(slot, _)| slot),
+        );
+        for &slot in &doomed {
+            if self.slab.get(slot).all_ready() {
+                // On the ready list: `remove` unlinks it.
+                self.remove(slot);
+            } else {
+                let e = self.slab.remove(slot);
+                for (i, ready) in e.ready.iter().enumerate() {
+                    if !ready {
+                        self.waiters
+                            .unlisten(e.srcs[i].expect("unready operand has a tag"), slot);
+                        self.unready_ops -= 1;
+                    }
+                }
+            }
+        }
+        self.doomed = doomed;
     }
 
     /// Delivers `tag` to every listening comparator and reports the
@@ -287,6 +323,11 @@ impl Scheduler for CamIssueQueue {
 
     fn on_mispredict(&mut self) {
         // The baseline has no steering tables.
+    }
+
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
     }
 
     fn occupancy(&self) -> (usize, usize) {

@@ -193,6 +193,31 @@ impl FifoArray {
         });
     }
 
+    /// Wrong-path squash: entries within a FIFO are in dispatch (age) order,
+    /// so the doomed entries are a suffix of each queue — pop them from the
+    /// back, deregistering their wakeup consumers. The steering table is
+    /// wiped (recovery clears Qrename, as on any mispredict) and each
+    /// queue's tail identity is re-anchored on the surviving tail.
+    pub(crate) fn squash(&mut self, from: InstId) {
+        for q in 0..self.queues.len() {
+            while let Some(&back) = self.queues[q].back() {
+                if self.slab.get(back).id < from {
+                    break;
+                }
+                self.queues[q].pop_back();
+                let e = self.slab.remove(back);
+                for (i, ready) in e.ready.iter().enumerate() {
+                    if !ready {
+                        self.waiters
+                            .unlisten(e.srcs[i].expect("unready operand has a tag"), back);
+                    }
+                }
+            }
+            self.tail_id[q] = self.queues[q].back().map(|&s| self.slab.get(s).id);
+        }
+        self.clear_steering();
+    }
+
     /// Clears the steering table (mispredict recovery, as in the paper).
     pub(crate) fn clear_steering(&mut self) {
         self.steer.iter_mut().for_each(|s| *s = None);
@@ -329,6 +354,11 @@ impl Scheduler for IssueFifo {
     fn on_mispredict(&mut self) {
         self.int.clear_steering();
         self.fp.clear_steering();
+    }
+
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
     }
 
     fn occupancy(&self) -> (usize, usize) {

@@ -15,7 +15,7 @@ use crate::fifo::{Entry, FifoArray};
 use crate::fu::FuTopology;
 use crate::wakeup::{Slab, WakeupMap};
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
-use diq_isa::{Cycle, PhysReg, ProcessorConfig};
+use diq_isa::{Cycle, InstId, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
 use std::collections::VecDeque;
 
@@ -24,6 +24,10 @@ use std::collections::VecDeque;
 struct LatQueues {
     slab: Slab<Entry>,
     queues: Vec<VecDeque<u32>>,
+    /// Each entry's issue estimate, parallel to `queues` — placement only
+    /// needs the tails', but a wrong-path squash must re-anchor `tail_est`
+    /// on whatever entry survives as the new tail.
+    ests: Vec<VecDeque<Cycle>>,
     waiters: WakeupMap,
     capacity: usize,
     /// Estimated issue cycle of each queue's tail (`None` when empty).
@@ -36,6 +40,7 @@ impl LatQueues {
         LatQueues {
             slab: Slab::new(),
             queues: vec![VecDeque::with_capacity(capacity); queues],
+            ests: vec![VecDeque::with_capacity(capacity); queues],
             waiters: WakeupMap::new(),
             capacity,
             tail_est: vec![None; queues],
@@ -68,17 +73,41 @@ impl LatQueues {
             }
         }
         self.queues[q].push_back(slot);
+        self.ests[q].push_back(est);
         self.tail_est[q] = Some(est);
         Ok(q)
     }
 
     fn pop_head(&mut self, q: usize) -> Entry {
         let slot = self.queues[q].pop_front().expect("pop from empty queue");
+        self.ests[q].pop_front();
         let e = self.slab.remove(slot);
         if self.queues[q].is_empty() {
             self.tail_est[q] = None;
         }
         e
+    }
+
+    /// Wrong-path squash: drop the doomed suffix of each queue and restore
+    /// `tail_est` from the surviving tail's recorded estimate.
+    fn squash(&mut self, from: InstId) {
+        for q in 0..self.queues.len() {
+            while let Some(&back) = self.queues[q].back() {
+                if self.slab.get(back).id < from {
+                    break;
+                }
+                self.queues[q].pop_back();
+                self.ests[q].pop_back();
+                let e = self.slab.remove(back);
+                for (i, ready) in e.ready.iter().enumerate() {
+                    if !ready {
+                        self.waiters
+                            .unlisten(e.srcs[i].expect("unready operand has a tag"), back);
+                    }
+                }
+            }
+            self.tail_est[q] = self.ests[q].back().copied();
+        }
     }
 
     fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
@@ -235,6 +264,14 @@ impl Scheduler for LatFifo {
         self.int.clear_steering();
         // FP placement uses estimates, not register steering; nothing to
         // clear there (estimates are heuristic and survive mispredictions).
+    }
+
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
+        // The issue-time estimator keeps whatever the wrong path taught it:
+        // it is a heuristic table indexed by architectural register, exactly
+        // like a real latency predictor polluted by squashed work.
     }
 
     fn occupancy(&self) -> (usize, usize) {

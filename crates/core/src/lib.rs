@@ -158,8 +158,11 @@ pub trait IssueSink {
 /// 2. [`issue_cycle`](Scheduler::issue_cycle) once (issue/select);
 /// 3. [`try_dispatch`](Scheduler::try_dispatch) for each instruction leaving
 ///    rename, in program order, stopping at the first `Err` (dispatch);
-/// 4. [`on_mispredict`](Scheduler::on_mispredict) when a mispredicted branch
-///    resolves (clears the steering tables, as the paper prescribes).
+/// 4. when a mispredicted branch resolves:
+///    [`squash`](Scheduler::squash) to discard the wrong-path entries (a
+///    no-op under the stall model, where wrong-path instructions are never
+///    dispatched), then [`on_mispredict`](Scheduler::on_mispredict) to clear
+///    the register-to-queue steering tables, as the paper prescribes.
 pub trait Scheduler {
     /// Short display name (`IQ_64_64`, `IF_distr`, `MB_distr`, …).
     fn name(&self) -> &str;
@@ -180,9 +183,22 @@ pub trait Scheduler {
     fn on_result(&mut self, dst: PhysReg, now: Cycle);
 
     /// A mispredicted branch resolved: clear the register-to-queue steering
-    /// tables (they may be stale). Queue contents are unaffected — the
-    /// simulator never dispatches wrong-path instructions.
+    /// tables (they may be stale). Queue contents are unaffected; wrong-path
+    /// entries are removed by the separate [`squash`](Scheduler::squash)
+    /// call, which the pipeline issues first.
     fn on_mispredict(&mut self);
+
+    /// Wrong-path squash: removes every queued entry with `id >= from` (the
+    /// instructions fetched past a mispredicted branch) and forgets any
+    /// wakeup consumers they registered — no ghost wakeup may fire for a
+    /// squashed entry. Tail/steering metadata is reset so later dispatches
+    /// cannot chain onto squashed producers.
+    ///
+    /// Recovery itself charges no issue-queue energy: the paper's activity
+    /// model prices wakeup/selection/queue accesses, and the wrong-path
+    /// entries already paid for theirs while they were live — which is
+    /// exactly the speculative-work cost the wrong-path model surfaces.
+    fn squash(&mut self, from: InstId);
 
     /// Current (integer, FP) entry counts.
     fn occupancy(&self) -> (usize, usize);

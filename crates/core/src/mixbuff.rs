@@ -203,6 +203,45 @@ impl MixQueues {
         });
     }
 
+    /// Wrong-path squash: chain members are kept in age order, so the
+    /// doomed entries are a suffix of each chain. Chain latency state
+    /// (`ready`) survives — an already-issued wrong-path instruction keeps
+    /// its unit busy exactly as in hardware. The mapping table is wiped by
+    /// the `on_mispredict` that recovery also performs.
+    fn squash(&mut self, from: InstId) {
+        for q in 0..self.queues() {
+            for c in 0..self.chains_per_queue {
+                let mut touched = false;
+                while let Some(&back) = self.chains[q][c].members.back() {
+                    if self.slab.get(back).id < from {
+                        break;
+                    }
+                    self.chains[q][c].members.pop_back();
+                    self.queue_len[q] -= 1;
+                    touched = true;
+                    let e = self.slab.remove(back);
+                    for (i, ready) in e.ready.iter().enumerate() {
+                        if !ready {
+                            self.waiters
+                                .unlisten(e.srcs[i].expect("unready operand has a tag"), back);
+                        }
+                    }
+                }
+                if touched {
+                    // The last *surviving* buffered member anchors the chain;
+                    // with the mapping table wiped below, this only matters
+                    // once a later dispatch re-targets the chain.
+                    let last = self.chains[q][c]
+                        .members
+                        .back()
+                        .map(|&s| self.slab.get(s).id);
+                    self.chains[q][c].last = last;
+                }
+            }
+        }
+        self.clear_steering();
+    }
+
     fn clear_steering(&mut self) {
         self.steer.iter_mut().for_each(|s| *s = None);
     }
@@ -384,6 +423,11 @@ impl Scheduler for MixBuff {
     fn on_mispredict(&mut self) {
         self.int.clear_steering();
         self.fp.clear_steering();
+    }
+
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
     }
 
     fn occupancy(&self) -> (usize, usize) {

@@ -11,6 +11,11 @@
 //! bit-for-bit equal.
 //!
 //! Do not "improve" this module; its value is that it does not change.
+//! (One sanctioned extension: when the `Scheduler` trait grew a
+//! `squash(from)` operation for wrong-path speculation, each scan model
+//! gained the straightforward scan-shaped implementation — remove every
+//! entry with `id >= from` — so the equivalence proof covers speculation
+//! mode as well. The pre-existing cycle behaviour is untouched.)
 
 use crate::energy::{CamEnergy, FifoEnergy, MixEnergy};
 use crate::estimate::IssueTimeEstimator;
@@ -262,6 +267,11 @@ impl Scheduler for ScanCam {
 
     fn on_mispredict(&mut self) {}
 
+    fn squash(&mut self, from: InstId) {
+        self.int.entries.retain(|e| e.id < from);
+        self.fp.entries.retain(|e| e.id < from);
+    }
+
     fn occupancy(&self) -> (usize, usize) {
         (self.int.entries.len(), self.fp.entries.len())
     }
@@ -385,6 +395,18 @@ impl FifoArray {
         self.steer.iter_mut().for_each(|s| *s = None);
         self.tail_reg.iter_mut().for_each(|s| *s = None);
     }
+
+    /// Wrong-path squash: drop the doomed suffix of each (age-ordered)
+    /// queue, re-anchor the tail identity, wipe the steering table.
+    fn squash(&mut self, from: InstId) {
+        for q in 0..self.queues.len() {
+            while self.queues[q].back().is_some_and(|e| e.id >= from) {
+                self.queues[q].pop_back();
+            }
+            self.tail_id[q] = self.queues[q].back().map(|e| e.id);
+        }
+        self.clear_steering();
+    }
 }
 
 // ---- IssueFIFO --------------------------------------------------------
@@ -481,6 +503,11 @@ impl Scheduler for ScanIssueFifo {
         self.fp.clear_steering();
     }
 
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
+    }
+
     fn occupancy(&self) -> (usize, usize) {
         (self.int.len(), self.fp.len())
     }
@@ -499,6 +526,9 @@ impl Scheduler for ScanIssueFifo {
 #[derive(Clone, Debug)]
 struct LatQueues {
     queues: Vec<VecDeque<Entry>>,
+    /// Per-entry issue estimates, parallel to `queues` (squash support:
+    /// the surviving tail's estimate re-anchors `tail_est`).
+    ests: Vec<VecDeque<Cycle>>,
     capacity: usize,
     tail_est: Vec<Option<Cycle>>,
 }
@@ -508,6 +538,7 @@ impl LatQueues {
         assert!(queues > 0 && capacity > 0);
         LatQueues {
             queues: vec![VecDeque::with_capacity(capacity); queues],
+            ests: vec![VecDeque::with_capacity(capacity); queues],
             capacity,
             tail_est: vec![None; queues],
         }
@@ -532,16 +563,28 @@ impl LatQueues {
             op: d.op,
             srcs: d.srcs,
         });
+        self.ests[q].push_back(est);
         self.tail_est[q] = Some(est);
         Ok(q)
     }
 
     fn pop_head(&mut self, q: usize) -> Entry {
         let e = self.queues[q].pop_front().expect("pop from empty queue");
+        self.ests[q].pop_front();
         if self.queues[q].is_empty() {
             self.tail_est[q] = None;
         }
         e
+    }
+
+    fn squash(&mut self, from: InstId) {
+        for q in 0..self.queues.len() {
+            while self.queues[q].back().is_some_and(|e| e.id >= from) {
+                self.queues[q].pop_back();
+                self.ests[q].pop_back();
+            }
+            self.tail_est[q] = self.ests[q].back().copied();
+        }
     }
 
     fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
@@ -672,6 +715,11 @@ impl Scheduler for ScanLatFifo {
 
     fn on_mispredict(&mut self) {
         self.int.clear_steering();
+    }
+
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
     }
 
     fn occupancy(&self) -> (usize, usize) {
@@ -812,6 +860,37 @@ impl MixQueues {
         let ch = &mut self.chains[q][e.chain];
         ch.count -= 1;
         ch.ready = now + result_lat;
+    }
+
+    /// Wrong-path squash: drop doomed entries and re-anchor each touched
+    /// chain's `last` on its newest surviving buffered member (matching the
+    /// event-driven model's age-ordered chain suffix removal). Chain
+    /// latency state (`ready`) survives, as in hardware.
+    fn squash(&mut self, from: InstId) {
+        for q in 0..self.queues.len() {
+            let mut touched = vec![false; self.chains_per_queue];
+            let entries = std::mem::take(&mut self.queues[q]);
+            let mut kept = Vec::with_capacity(entries.len());
+            for e in entries {
+                if e.id >= from {
+                    touched[e.chain] = true;
+                    self.chains[q][e.chain].count -= 1;
+                } else {
+                    kept.push(e);
+                }
+            }
+            self.queues[q] = kept;
+            for (c, t) in touched.into_iter().enumerate() {
+                if t {
+                    self.chains[q][c].last = self.queues[q]
+                        .iter()
+                        .filter(|e| e.chain == c)
+                        .map(|e| e.id)
+                        .max();
+                }
+            }
+        }
+        self.clear_steering();
     }
 
     fn clear_steering(&mut self) {
@@ -961,6 +1040,11 @@ impl Scheduler for ScanMixBuff {
     fn on_mispredict(&mut self) {
         self.int.clear_steering();
         self.fp.clear_steering();
+    }
+
+    fn squash(&mut self, from: InstId) {
+        self.int.squash(from);
+        self.fp.squash(from);
     }
 
     fn occupancy(&self) -> (usize, usize) {

@@ -81,6 +81,17 @@ impl WakeupMap {
             f(w);
         }
     }
+
+    /// Removes every waiter registered by `slot` under `tag` (wrong-path
+    /// squash: a removed entry must leave no ghost consumer behind, or a
+    /// later broadcast of the recycled tag would wake a dead — or worse, a
+    /// reused — slot).
+    pub(crate) fn unlisten(&mut self, tag: PhysReg, slot: u32) {
+        let lists = &mut self.lists[tag.class().index()];
+        if let Some(list) = lists.get_mut(tag.index()) {
+            list.retain(|w| w.slot != slot);
+        }
+    }
 }
 
 /// A slab of queue entries with stable `u32` handles — the queues and the
@@ -137,6 +148,14 @@ impl<T> Slab<T> {
 
     pub(crate) fn get_mut(&mut self, slot: u32) -> &mut T {
         self.items[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// Iterates the live entries as `(slot, &item)` (squash scans).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
+        self.items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| item.as_ref().map(|t| (i as u32, t)))
     }
 }
 

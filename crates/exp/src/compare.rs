@@ -305,6 +305,8 @@ mod tests {
             energy_breakdown: vec![("fifo".into(), energy)],
             lsq_forwards: 0,
             checker_violations: 0,
+            wrong_path_issued: 0,
+            wrong_path_squashed: 0,
         }
     }
 

@@ -79,13 +79,23 @@ impl Point {
 
     /// Runs the simulation for this point. Streaming: the trace is generated
     /// on the fly, so memory use is independent of `instructions`.
+    ///
+    /// With the machine's `wrong_path` knob on, the point runs through
+    /// [`Simulator::run_program`] so fetch can follow mispredicted paths
+    /// into the PC-addressable program; otherwise the legacy stall model
+    /// consumes a plain trace stream.
     #[must_use]
     pub fn execute(&self) -> SimStats {
         let mut sim = Simulator::new(&self.machine, &self.scheme);
         sim.set_benchmark(&self.workload.name);
-        let trace =
-            diq_workload::TraceGenerator::new(&self.workload).take(self.instructions as usize);
-        sim.run(trace, self.instructions)
+        if self.machine.wrong_path {
+            let mut program = diq_workload::TraceGenerator::new(&self.workload);
+            sim.run_program(&mut program, self.instructions)
+        } else {
+            let trace =
+                diq_workload::TraceGenerator::new(&self.workload).take(self.instructions as usize);
+            sim.run(trace, self.instructions)
+        }
     }
 }
 
@@ -130,6 +140,13 @@ pub struct PointResult {
     pub lsq_forwards: u64,
     /// Dataflow-checker violations (must be 0).
     pub checker_violations: u64,
+    /// Wrong-path instructions issued (zero under the stall model).
+    #[serde(default)]
+    pub wrong_path_issued: u64,
+    /// Wrong-path instructions squashed at recoveries (zero under the stall
+    /// model).
+    #[serde(default)]
+    pub wrong_path_squashed: u64,
 }
 
 impl PointResult {
@@ -159,6 +176,8 @@ impl PointResult {
                 .collect(),
             lsq_forwards: stats.lsq_forwards,
             checker_violations: stats.checker_violations,
+            wrong_path_issued: stats.wrong_path_issued,
+            wrong_path_squashed: stats.wrong_path_squashed,
         }
     }
 }

@@ -190,6 +190,11 @@ pub struct MachineKnobs {
     /// Main-memory first-chunk latency (cycles).
     #[serde(default)]
     pub mem_first_chunk: Option<u64>,
+    /// Execute down the wrong path after mispredictions (checkpoint/squash
+    /// recovery) instead of stalling fetch. See DESIGN.md "Wrong-path
+    /// speculation".
+    #[serde(default)]
+    pub wrong_path: Option<bool>,
 }
 
 impl MachineKnobs {
@@ -239,6 +244,9 @@ impl MachineKnobs {
         if let Some(v) = self.mem_first_chunk {
             cfg.mem.main.first_chunk = v;
         }
+        if let Some(v) = self.wrong_path {
+            cfg.wrong_path = v;
+        }
         cfg
     }
 
@@ -275,6 +283,9 @@ impl MachineKnobs {
             if let Some(v) = v {
                 parts.push(format!("{tag}={v}"));
             }
+        }
+        if let Some(v) = self.wrong_path {
+            parts.push(format!("wp={}", if v { "on" } else { "off" }));
         }
         if parts.is_empty() {
             "table1".to_string()
@@ -361,7 +372,7 @@ impl ExperimentSpec {
             "workloads",
             "machines",
         ];
-        const MACHINE_FIELDS: [&str; 15] = [
+        const MACHINE_FIELDS: [&str; 16] = [
             "label",
             "fetch_width",
             "decode_width",
@@ -377,6 +388,7 @@ impl ExperimentSpec {
             "dl1_latency",
             "l2_latency",
             "mem_first_chunk",
+            "wrong_path",
         ];
         fn check_keys(v: &Value, allowed: &[&str], what: &str) -> Result<(), String> {
             let Value::Map(m) = v else {
@@ -543,6 +555,37 @@ mod tests {
             ..knobs
         };
         assert_eq!(named.display_label(), "narrow");
+    }
+
+    #[test]
+    fn wrong_path_knob_applies_and_labels() {
+        let knobs = MachineKnobs {
+            wrong_path: Some(true),
+            ..MachineKnobs::default()
+        };
+        let cfg = knobs.apply(&ProcessorConfig::hpca2004());
+        assert!(cfg.wrong_path);
+        assert_eq!(knobs.display_label(), "wp=on");
+        // The off position is explicit, not merely absent.
+        let off = MachineKnobs {
+            wrong_path: Some(false),
+            ..MachineKnobs::default()
+        };
+        assert!(!off.apply(&ProcessorConfig::hpca2004()).wrong_path);
+        assert_eq!(off.display_label(), "wp=off");
+        // Speculation-mode machines expand in experiment grids.
+        let spec = ExperimentSpec::from_json(
+            r#"{"name":"wp","instructions":[100],"schemes":["MB_distr"],
+                "workloads":["gzip"],
+                "machines":[{}, {"label":"wrongpath","wrong_path":true}]}"#,
+        )
+        .unwrap();
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(!points[0].machine.wrong_path);
+        assert!(points[1].machine.wrong_path);
+        assert_eq!(points[1].machine_label, "wrongpath");
+        assert_ne!(points[0].key(), points[1].key(), "the knob is identity");
     }
 
     #[test]

@@ -280,6 +280,8 @@ mod tests {
                 energy_breakdown: vec![("fifo".into(), 100.0), ("select".into(), 23.5)],
                 lsq_forwards: 7,
                 checker_violations: 0,
+                wrong_path_issued: 0,
+                wrong_path_squashed: 0,
             },
         }
     }

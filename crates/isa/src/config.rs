@@ -273,6 +273,12 @@ pub struct ProcessorConfig {
     /// Extra pipeline stages between a misprediction being detected at
     /// branch execution and corrected instructions entering the fetch queue.
     pub mispredict_redirect: u64,
+    /// Execute down the wrong path after a misprediction (fetch follows the
+    /// predicted path, rename/ROB/LSQ/schedulers squash at resolution)
+    /// instead of stalling fetch until the branch resolves. `false` is the
+    /// legacy stall model; see DESIGN.md "Wrong-path speculation".
+    #[serde(default)]
+    pub wrong_path: bool,
     /// Operation latencies.
     pub lat: LatencyConfig,
     /// Shared functional-unit pool (baseline machine).
@@ -326,6 +332,7 @@ impl Default for ProcessorConfig {
             phys_int_regs: 256 + 32,
             phys_fp_regs: 256 + 32,
             mispredict_redirect: 2,
+            wrong_path: false,
             lat: LatencyConfig::default(),
             fus: FuPoolConfig::default(),
             mem: MemHierConfig::default(),

@@ -2,7 +2,7 @@
 //! and the completion event queue.
 
 use diq_core::{FuTopology, IssueSink, Side};
-use diq_isa::{Cycle, InstId, OpClass, PhysReg};
+use diq_isa::{Cycle, InstId, LatencyConfig, OpClass, PhysReg};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -41,14 +41,15 @@ pub(crate) struct Issued {
 /// The per-cycle [`IssueSink`]: enforces per-side issue width and
 /// functional-unit availability under the scheme's topology, and records
 /// what was accepted into a caller-owned scratch buffer (no per-cycle
-/// allocation).
+/// allocation). Latencies come from the [`LatencyConfig`] held by value —
+/// a direct table lookup, not a dynamic call, on the issue hot path.
 pub(crate) struct CycleSink<'a> {
     now: Cycle,
     rename: &'a RenameState,
     topology: &'a FuTopology,
     fu: &'a mut FuState,
     width_left: [usize; 2],
-    latency_of: &'a dyn Fn(OpClass) -> u64,
+    lat: LatencyConfig,
     pub accepted: &'a mut Vec<Issued>,
 }
 
@@ -59,7 +60,7 @@ impl<'a> CycleSink<'a> {
         topology: &'a FuTopology,
         fu: &'a mut FuState,
         width: (usize, usize),
-        latency_of: &'a dyn Fn(OpClass) -> u64,
+        lat: LatencyConfig,
         accepted: &'a mut Vec<Issued>,
     ) -> Self {
         fu.begin_cycle();
@@ -70,7 +71,7 @@ impl<'a> CycleSink<'a> {
             topology,
             fu,
             width_left: [width.0, width.1],
-            latency_of,
+            lat,
             accepted,
         }
     }
@@ -95,7 +96,7 @@ impl IssueSink for CycleSink<'_> {
         };
         self.fu.unit_used[unit] = true;
         if op.is_unpipelined() {
-            self.fu.busy_until[unit] = self.now + (self.latency_of)(op);
+            self.fu.busy_until[unit] = self.now + self.lat.for_op(op);
         }
         self.width_left[side.index()] -= 1;
         self.accepted.push(Issued { id: inst, op });
@@ -126,13 +127,21 @@ const WHEEL_SLOTS: usize = 1024;
 /// (O(events) — a per-slot sort restores the global `(cycle, id, kind)`
 /// order a binary heap would produce). Events farther out than the wheel
 /// go to a small overflow heap.
+///
+/// Each event carries the dispatch `token` of the instruction it belongs
+/// to. A wrong-path squash cannot reach into the wheel to cancel events; it
+/// instead truncates the in-flight table, and the drain consumer compares
+/// the token against the table — a mismatch means the event's instruction
+/// was squashed (and its id possibly reissued to a correct-path successor),
+/// so the event is dead. Without speculation every token matches and the
+/// behaviour is exactly the pre-token queue's.
 #[derive(Debug)]
 pub(crate) struct EventQueue {
-    wheel: Vec<Vec<(u64, EventKind)>>,
+    wheel: Vec<Vec<(u64, u64, EventKind)>>,
     /// Every event before this cycle has been drained.
     floor: Cycle,
     len: usize,
-    overflow: BinaryHeap<Reverse<(Cycle, u64, EventKind)>>,
+    overflow: BinaryHeap<Reverse<(Cycle, u64, EventKind, u64)>>,
 }
 
 impl Default for EventQueue {
@@ -151,34 +160,37 @@ impl EventQueue {
         Self::default()
     }
 
-    pub(crate) fn schedule(&mut self, at: Cycle, id: InstId, kind: EventKind) {
+    pub(crate) fn schedule(&mut self, at: Cycle, id: InstId, token: u64, kind: EventKind) {
         debug_assert!(at >= self.floor, "event scheduled in the past");
         self.len += 1;
         if (at - self.floor) < WHEEL_SLOTS as u64 {
-            self.wheel[(at as usize) % WHEEL_SLOTS].push((id.0, kind));
+            self.wheel[(at as usize) % WHEEL_SLOTS].push((id.0, token, kind));
         } else {
-            self.overflow.push(Reverse((at, id.0, kind)));
+            self.overflow.push(Reverse((at, id.0, kind, token)));
         }
     }
 
     /// Pops every event due at or before `now` into `out` (cleared first),
     /// in `(cycle, id, kind)` order — callers hand back the same scratch
     /// buffer every cycle.
-    pub(crate) fn drain_due(&mut self, now: Cycle, out: &mut Vec<(InstId, EventKind)>) {
+    pub(crate) fn drain_due(&mut self, now: Cycle, out: &mut Vec<(InstId, u64, EventKind)>) {
         out.clear();
         while self.floor <= now {
             let t = self.floor;
             let start = out.len();
             let slot = &mut self.wheel[(t as usize) % WHEEL_SLOTS];
-            out.extend(slot.drain(..).map(|(id, kind)| (InstId(id), kind)));
-            while let Some(&Reverse((at, id, kind))) = self.overflow.peek() {
+            out.extend(
+                slot.drain(..)
+                    .map(|(id, token, kind)| (InstId(id), token, kind)),
+            );
+            while let Some(&Reverse((at, id, kind, token))) = self.overflow.peek() {
                 if at > t {
                     break;
                 }
                 self.overflow.pop();
-                out.push((InstId(id), kind));
+                out.push((InstId(id), token, kind));
             }
-            out[start..].sort_unstable_by_key(|&(id, kind)| (id.0, kind));
+            out[start..].sort_unstable_by_key(|&(id, token, kind)| (id.0, kind, token));
             self.floor += 1;
         }
         self.len -= out.len();
@@ -186,7 +198,7 @@ impl EventQueue {
 
     /// Earliest pending event time (drain diagnostics; O(wheel)).
     pub(crate) fn next_at(&self) -> Option<Cycle> {
-        let mut earliest = self.overflow.peek().map(|Reverse((at, _, _))| *at);
+        let mut earliest = self.overflow.peek().map(|Reverse((at, _, _, _))| *at);
         for dt in 0..WHEEL_SLOTS as u64 {
             let t = self.floor + dt;
             if !self.wheel[(t as usize) % WHEEL_SLOTS].is_empty() {
@@ -212,8 +224,8 @@ mod tests {
     fn event_queue_orders_by_time() {
         let mut q = EventQueue::new();
         let mut due = Vec::new();
-        q.schedule(5, InstId(1), EventKind::Complete);
-        q.schedule(3, InstId(2), EventKind::Complete);
+        q.schedule(5, InstId(1), 0, EventKind::Complete);
+        q.schedule(3, InstId(2), 0, EventKind::Complete);
         q.drain_due(2, &mut due);
         assert!(due.is_empty());
         q.drain_due(5, &mut due);
@@ -230,9 +242,8 @@ mod tests {
             pool: FuPoolConfig::default(),
         };
         let mut fu = FuState::new(&topo);
-        let lat = |op: OpClass| cfg.lat.for_op(op);
         let mut accepted = Vec::new();
-        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (2, 8), &lat, &mut accepted);
+        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (2, 8), cfg.lat, &mut accepted);
         assert!(sink.try_issue(InstId(1), OpClass::IntAlu, None));
         assert!(sink.try_issue(InstId(2), OpClass::IntAlu, None));
         // Integer width (2) exhausted.
@@ -250,22 +261,24 @@ mod tests {
             fp_queues: 2,
         };
         let mut fu = FuState::new(&topo);
-        let lat = |op: OpClass| cfg.lat.for_op(op);
         let mut accepted = Vec::new();
         {
-            let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
+            let mut sink =
+                CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), cfg.lat, &mut accepted);
             assert!(sink.try_issue(InstId(1), OpClass::IntDiv, Some((Side::Int, 0))));
         }
         {
             // Next cycle: queues 0 and 1 share the divider, still busy.
-            let mut sink = CycleSink::new(1, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
+            let mut sink =
+                CycleSink::new(1, &rename, &topo, &mut fu, (8, 8), cfg.lat, &mut accepted);
             assert!(!sink.try_issue(InstId(2), OpClass::IntDiv, Some((Side::Int, 1))));
             // But the ALU of queue 1 is free.
             assert!(sink.try_issue(InstId(3), OpClass::IntAlu, Some((Side::Int, 1))));
         }
         {
             // After the 20-cycle divide, the unit frees.
-            let mut sink = CycleSink::new(20, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
+            let mut sink =
+                CycleSink::new(20, &rename, &topo, &mut fu, (8, 8), cfg.lat, &mut accepted);
             assert!(sink.try_issue(InstId(4), OpClass::IntDiv, Some((Side::Int, 1))));
         }
     }
@@ -279,9 +292,8 @@ mod tests {
             fp_queues: 2,
         };
         let mut fu = FuState::new(&topo);
-        let lat = |op: OpClass| cfg.lat.for_op(op);
         let mut accepted = Vec::new();
-        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), &lat, &mut accepted);
+        let mut sink = CycleSink::new(0, &rename, &topo, &mut fu, (8, 8), cfg.lat, &mut accepted);
         // FP queue pair (0,1) shares one adder: second add this cycle fails.
         assert!(sink.try_issue(InstId(1), OpClass::FpAdd, Some((Side::Fp, 0))));
         assert!(!sink.try_issue(InstId(2), OpClass::FpAdd, Some((Side::Fp, 1))));

@@ -14,9 +14,19 @@
 //! latency *L* by an instruction issued at cycle *T* can feed a dependent
 //! issuing at cycle *T + L* — a full bypass network.
 //!
-//! Mispredicted branches stall fetch until they resolve (the simulator does
-//! not execute wrong-path instructions; see DESIGN.md), then redirect after
-//! the configured penalty.
+//! Mispredicted branches are handled by one of two models, selected by
+//! [`ProcessorConfig::wrong_path`]:
+//!
+//! * **stall** (legacy, the default): fetch stalls until the branch
+//!   resolves, then redirects after the configured penalty — the issue
+//!   queues only ever see correct-path work;
+//! * **wrong-path speculation** ([`Simulator::run_program`]): fetch follows
+//!   the predicted path into the PC-addressable synthetic program
+//!   ([`diq_workload::TraceGenerator`]), wrong-path instructions rename,
+//!   dispatch, issue and pay energy like any others, and resolution
+//!   checkpoint-restores the front end (generator, GHR/RAS) while the ROB,
+//!   rename map, LSQ and scheduler squash every younger entry. See
+//!   DESIGN.md "Wrong-path speculation".
 //!
 //! # Example
 //!
@@ -47,10 +57,13 @@ pub use lsq::{LoadAction, Lsq};
 pub use rename::RenameState;
 pub use stats::SimStats;
 
-use diq_branch::{BranchUnit, Prediction};
+use diq_branch::{BranchCheckpoint, BranchUnit, Prediction};
 use diq_core::{DispatchInst, FuTopology, Scheduler, SchedulerConfig};
-use diq_isa::{BranchInfo, Cycle, Inst, InstId, MemAccess, OpClass, PhysReg, ProcessorConfig};
+use diq_isa::{
+    ArchReg, BranchInfo, Cycle, Inst, InstId, MemAccess, OpClass, PhysReg, ProcessorConfig,
+};
 use diq_mem::MemoryHierarchy;
+use diq_workload::{TraceCheckpoint, TraceGenerator};
 use exec::{CycleSink, EventKind, EventQueue, FuState, Issued};
 use std::collections::VecDeque;
 
@@ -61,6 +74,8 @@ struct Fetched {
     inst: Inst,
     pred: Option<Prediction>,
     mispredicted: bool,
+    /// Fetched past an unresolved mispredicted branch (speculation mode).
+    wrong_path: bool,
 }
 
 /// Reorder-buffer entry.
@@ -80,6 +95,9 @@ struct RobEntry {
 struct Inflight {
     op: OpClass,
     dst: Option<PhysReg>,
+    /// Architectural destination (wrong-path recovery unwinds the rename
+    /// map through it).
+    dst_arch: Option<ArchReg>,
     srcs: [Option<PhysReg>; 2],
     mem: Option<MemAccess>,
     branch: Option<(BranchInfo, Prediction, bool)>,
@@ -88,6 +106,14 @@ struct Inflight {
     /// complete until the data exists.
     store_data: Option<PhysReg>,
     pc: u64,
+    /// Dispatched past an unresolved mispredicted branch.
+    wrong_path: bool,
+    /// Already left the issue queue.
+    issued: bool,
+    /// Globally unique dispatch sequence number. Completion events carry
+    /// it; after a squash reuses instruction ids for the correct path, a
+    /// stale event's token no longer matches and the event is dead.
+    token: u64,
 }
 
 /// Cycles without a commit after which the simulator declares deadlock
@@ -111,6 +137,14 @@ impl InflightTable {
         &self.ring[(id.0 - self.base) as usize]
     }
 
+    fn get_mut(&mut self, id: InstId) -> &mut Inflight {
+        &mut self.ring[(id.0 - self.base) as usize]
+    }
+
+    fn contains(&self, id: InstId) -> bool {
+        id.0 >= self.base && id.0 < self.base + self.ring.len() as u64
+    }
+
     fn insert(&mut self, id: InstId, info: Inflight) {
         if self.ring.is_empty() {
             self.base = id.0;
@@ -123,6 +157,73 @@ impl InflightTable {
         debug_assert_eq!(id.0, self.base, "commit order");
         self.ring.pop_front();
         self.base += 1;
+    }
+
+    /// Drops every entry with `id >= from` (wrong-path squash). Ids stay
+    /// dense: recovery rewinds the simulator's id counter to `from`, so the
+    /// correct path reuses the squashed range.
+    fn truncate_from(&mut self, from: InstId) {
+        let keep = from.0.saturating_sub(self.base) as usize;
+        self.ring.truncate(keep);
+    }
+}
+
+/// Front-end checkpoint for the single outstanding correct-path
+/// misprediction: once fetch turns down the wrong path, every younger
+/// instruction is wrong-path too, so at most one recovery point exists at a
+/// time.
+struct Recovery {
+    branch: InstId,
+    gen: TraceCheckpoint,
+    bp: BranchCheckpoint,
+}
+
+/// What fetch pulls instructions from: a plain trace iterator (no
+/// wrong-path capability — mispredictions stall, as in the legacy model)
+/// or the PC-addressable synthetic program, which can be checkpointed,
+/// redirected down a wrong path, and restored.
+enum Source<'a, I: Iterator<Item = Inst>> {
+    Trace(&'a mut I),
+    Program(&'a mut TraceGenerator),
+}
+
+impl<I: Iterator<Item = Inst>> Source<'_, I> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        match self {
+            Source::Trace(it) => it.next(),
+            Source::Program(p) => p.next(),
+        }
+    }
+
+    /// Whether this source supports wrong-path fetch.
+    fn speculative(&self) -> bool {
+        matches!(self, Source::Program(_))
+    }
+
+    fn checkpoint(&self) -> Option<TraceCheckpoint> {
+        match self {
+            Source::Trace(_) => None,
+            Source::Program(p) => Some(p.checkpoint()),
+        }
+    }
+
+    /// Refreshes a reused checkpoint slot in place (no allocation).
+    fn checkpoint_into(&self, cp: &mut TraceCheckpoint) {
+        if let Source::Program(p) = self {
+            p.checkpoint_into(cp);
+        }
+    }
+
+    fn restore(&mut self, cp: &TraceCheckpoint) {
+        if let Source::Program(p) = self {
+            p.restore(cp);
+        }
+    }
+
+    fn enter_wrong_path(&mut self, pc: u64) {
+        if let Source::Program(p) = self {
+            p.enter_wrong_path(pc);
+        }
     }
 }
 
@@ -151,10 +252,25 @@ pub struct Simulator {
     /// Instruction whose I-cache line is still in flight.
     pending_fetch: Option<Inst>,
     last_commit_at: Cycle,
+    /// Fetch is currently on the wrong path (speculation mode).
+    wrong_path_mode: bool,
+    /// The outstanding misprediction's recovery point, if any.
+    recovery: Option<Recovery>,
+    /// Retired recovery point kept for its buffers: the next mispredict
+    /// checkpoints into it instead of allocating (mispredicts recur every
+    /// few dozen instructions on branchy codes).
+    spare_recovery: Option<Recovery>,
+    /// Monotone dispatch counter feeding [`Inflight::token`]; never reset.
+    dispatch_seq: u64,
+    /// Correct-path instructions pulled from a speculative source; fetch
+    /// stops at [`Self::fetch_budget`] so `run_program` drains like a
+    /// finite trace.
+    correct_fetched: u64,
+    fetch_budget: u64,
     stats: SimStats,
     // Per-cycle scratch buffers, reused so the steady-state cycle loop
     // allocates nothing.
-    due_scratch: Vec<(InstId, EventKind)>,
+    due_scratch: Vec<(InstId, u64, EventKind)>,
     accepted_scratch: Vec<Issued>,
     stores_done_scratch: Vec<InstId>,
     pending_loads_scratch: Vec<(InstId, LoadAction)>,
@@ -211,6 +327,12 @@ impl Simulator {
             last_fetch_line: u64::MAX,
             pending_fetch: None,
             last_commit_at: 0,
+            wrong_path_mode: false,
+            recovery: None,
+            spare_recovery: None,
+            dispatch_seq: 0,
+            correct_fetched: 0,
+            fetch_budget: u64::MAX,
             stats,
             due_scratch: Vec::new(),
             accepted_scratch: Vec::new(),
@@ -236,9 +358,43 @@ impl Simulator {
         I: IntoIterator<Item = Inst>,
     {
         let mut trace = trace.into_iter();
+        self.fetch_budget = u64::MAX; // the iterator bounds itself
+        self.run_inner(Source::Trace(&mut trace), commit_target)
+    }
+
+    /// Runs `commit_target` instructions of the PC-addressable synthetic
+    /// `program` — the entry point for wrong-path speculation
+    /// ([`ProcessorConfig::wrong_path`]).
+    ///
+    /// Fetch follows the predicted path: on a misprediction the program is
+    /// checkpointed and entered at the predicted target, wrong-path
+    /// instructions flow through rename/dispatch/issue (occupying queues
+    /// and paying wakeup/selection energy), and resolution restores the
+    /// checkpoint and squashes every younger entry. Exactly `commit_target`
+    /// correct-path instructions are fetched and committed, so the machine
+    /// drains at the end just as [`run`](Self::run) does on a finite trace.
+    /// With `wrong_path` off this is equivalent to running the generated
+    /// trace through [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scheduling deadlock, as [`run`](Self::run) does.
+    pub fn run_program(&mut self, program: &mut TraceGenerator, commit_target: u64) -> SimStats {
+        self.correct_fetched = 0;
+        self.fetch_budget = commit_target;
+        self.run_inner(
+            Source::Program::<std::iter::Empty<Inst>>(program),
+            commit_target,
+        )
+    }
+
+    fn run_inner<I>(&mut self, mut src: Source<'_, I>, commit_target: u64) -> SimStats
+    where
+        I: Iterator<Item = Inst>,
+    {
         let mut trace_done = false;
         while self.stats.committed < commit_target {
-            self.cycle(&mut trace, &mut trace_done);
+            self.cycle(&mut src, &mut trace_done);
             if trace_done
                 && self.rob.is_empty()
                 && self.fetch_queue.is_empty()
@@ -268,6 +424,13 @@ impl Simulator {
         self.stats.benchmark = name.to_string();
     }
 
+    /// Current (integer, FP) scheduler occupancy — after a drained run both
+    /// must be zero, wrong-path squashes included (tests assert this).
+    #[must_use]
+    pub fn queue_occupancy(&self) -> (usize, usize) {
+        self.sched.occupancy()
+    }
+
     fn finalize_stats(&mut self) {
         for (label, &n) in STALL_LABELS.iter().zip(&self.stall_counts) {
             if n > 0 {
@@ -289,16 +452,16 @@ impl Simulator {
         &mut self.rob[idx]
     }
 
-    fn cycle<I>(&mut self, trace: &mut I, trace_done: &mut bool)
+    fn cycle<I>(&mut self, src: &mut Source<'_, I>, trace_done: &mut bool)
     where
         I: Iterator<Item = Inst>,
     {
         self.commit_stage();
-        self.writeback_stage();
+        self.writeback_stage(src);
         self.memory_stage();
         self.issue_stage();
         self.dispatch_stage();
-        self.fetch_stage(trace, trace_done);
+        self.fetch_stage(src, trace_done);
         let (oi, of) = self.sched.occupancy();
         self.stats.occupancy_int.record(oi as u64);
         self.stats.occupancy_fp.record(of as u64);
@@ -335,10 +498,20 @@ impl Simulator {
 
     // ---- writeback ----------------------------------------------------
 
-    fn writeback_stage(&mut self) {
+    fn writeback_stage<I>(&mut self, src: &mut Source<'_, I>)
+    where
+        I: Iterator<Item = Inst>,
+    {
         let mut due = std::mem::take(&mut self.due_scratch);
         self.events.drain_due(self.now, &mut due);
-        for &(id, kind) in &due {
+        for &(id, token, kind) in &due {
+            // A token mismatch means the instruction this event belonged to
+            // was squashed (and its id possibly reissued on the correct
+            // path): the event is dead. Without speculation every token
+            // matches.
+            if !self.inflight.contains(id) || self.inflight.get(id).token != token {
+                continue;
+            }
             match kind {
                 EventKind::Complete => {
                     let info = *self.inflight.get(id);
@@ -364,16 +537,36 @@ impl Simulator {
                 EventKind::BranchResolve => {
                     let info = *self.inflight.get(id);
                     let (actual, pred, mispredicted) = info.branch.expect("branch info present");
-                    self.bp.resolve(info.pc, &pred, &actual);
-                    if mispredicted {
-                        self.sched.on_mispredict();
-                        self.stats.mispredict_redirects += 1;
-                        self.fetch_stalled_until = self
-                            .fetch_stalled_until
-                            .max(self.now + 1 + self.cfg.mispredict_redirect);
-                        self.waiting_mispredict = false;
+                    if info.wrong_path {
+                        // A wrong-path branch has no architectural outcome:
+                        // it neither trains the predictor nor redirects
+                        // fetch; it completes and waits to be squashed.
+                        self.rob_entry_mut(id).completed = true;
+                    } else {
+                        if mispredicted {
+                            if let Some(rec) = self.recovery.take() {
+                                debug_assert_eq!(rec.branch, id, "one outstanding recovery");
+                                // Restore the front end to the state right
+                                // after this branch's prediction, then
+                                // squash everything younger.
+                                self.bp.restore(&rec.bp);
+                                src.restore(&rec.gen);
+                                self.recover(id);
+                                // Keep the buffers for the next mispredict.
+                                self.spare_recovery = Some(rec);
+                            }
+                        }
+                        self.bp.resolve(info.pc, &pred, &actual);
+                        if mispredicted {
+                            self.sched.on_mispredict();
+                            self.stats.mispredict_redirects += 1;
+                            self.fetch_stalled_until = self
+                                .fetch_stalled_until
+                                .max(self.now + 1 + self.cfg.mispredict_redirect);
+                            self.waiting_mispredict = false;
+                        }
+                        self.rob_entry_mut(id).completed = true;
                     }
-                    self.rob_entry_mut(id).completed = true;
                 }
                 EventKind::LoadAddrDone => {
                     self.lsq.load_addr_done(id);
@@ -402,6 +595,64 @@ impl Simulator {
         }
     }
 
+    // ---- mispredict recovery ------------------------------------------
+
+    /// Squashes everything younger than the resolving mispredicted
+    /// `branch`: the fetch queue (all wrong-path by construction), the ROB
+    /// suffix (unwinding the rename map youngest-first), the in-flight
+    /// table, the LSQ, and the scheduler's queues. The instruction-id
+    /// counter rewinds so the refetched correct path reuses the squashed id
+    /// range; stale completion events die by token mismatch.
+    fn recover(&mut self, branch: InstId) {
+        let from = InstId(branch.0 + 1);
+        // Everything still in the fetch queue was fetched past the branch.
+        debug_assert!(self.fetch_queue.iter().all(|f| f.wrong_path));
+        let flushed = self.fetch_queue.len() as u64;
+        self.fetch_queue.clear();
+        // Abandon any wrong-path I-line in flight, and with it the fetch
+        // stall it imposed (the caller applies the redirect penalty).
+        self.pending_fetch = None;
+        self.fetch_stalled_until = self.fetch_stalled_until.min(self.now);
+        let mut rob_squashed = 0u64;
+        while self.rob.back().is_some_and(|e| e.id >= from) {
+            let e = self.rob.pop_back().expect("checked");
+            let info = *self.inflight.get(e.id);
+            debug_assert!(info.wrong_path, "only wrong-path entries squash");
+            if let Some(arch) = info.dst_arch {
+                let new = info.dst.expect("renamed destination");
+                let prev = e.prev_mapping.expect("previous mapping recorded");
+                self.rename.unallocate(arch, new, prev);
+            }
+            rob_squashed += 1;
+        }
+        self.inflight.truncate_from(from);
+        self.lsq.squash(from);
+        self.stores_waiting_data.retain(|&(id, _)| id < from);
+        self.sched.squash(from);
+        self.next_id = from.0;
+        self.wrong_path_mode = false;
+        self.waiting_mispredict = false;
+        self.stats.wrong_path_squashed += flushed + rob_squashed;
+        self.stats.squash_depth.record(rob_squashed);
+        // Post-recovery invariant: the scheduler holds exactly the
+        // surviving dispatched-but-unissued instructions.
+        #[cfg(debug_assertions)]
+        {
+            let (oi, of) = self.sched.occupancy();
+            let unissued = self
+                .rob
+                .iter()
+                .filter(|e| !self.inflight.get(e.id).issued)
+                .count();
+            debug_assert_eq!(
+                oi + of,
+                unissued,
+                "scheduler occupancy diverged from ROB after squash ({})",
+                self.sched.name()
+            );
+        }
+    }
+
     // ---- memory -------------------------------------------------------
 
     fn memory_stage(&mut self) {
@@ -411,16 +662,20 @@ impl Simulator {
             match action {
                 LoadAction::Wait => {}
                 LoadAction::Forward => {
+                    let token = self.inflight.get(id).token;
                     self.lsq.load_started(id, true);
-                    self.events.schedule(self.now + 1, id, EventKind::Complete);
+                    self.events
+                        .schedule(self.now + 1, id, token, EventKind::Complete);
                 }
                 LoadAction::Access => {
                     if self.mem.try_reserve_dl1_port(self.now) {
-                        let addr = self.inflight.get(id).mem.expect("load has address").addr;
+                        let info = self.inflight.get(id);
+                        let addr = info.mem.expect("load has address").addr;
+                        let token = info.token;
                         let lat = self.mem.load_latency(addr);
                         self.lsq.load_started(id, false);
                         self.events
-                            .schedule(self.now + lat, id, EventKind::Complete);
+                            .schedule(self.now + lat, id, token, EventKind::Complete);
                     }
                 }
             }
@@ -431,8 +686,6 @@ impl Simulator {
     // ---- issue --------------------------------------------------------
 
     fn issue_stage(&mut self) {
-        let lat_cfg = self.cfg.lat;
-        let latency_of = move |op: OpClass| lat_cfg.for_op(op);
         let mut accepted = std::mem::take(&mut self.accepted_scratch);
         {
             let mut sink = CycleSink::new(
@@ -441,36 +694,58 @@ impl Simulator {
                 &self.topology,
                 &mut self.fu,
                 (self.cfg.issue_width_int, self.cfg.issue_width_fp),
-                &latency_of,
+                self.cfg.lat,
                 &mut accepted,
             );
             self.sched.issue_cycle(self.now, &mut sink);
         }
         for &issued in &accepted {
-            let info = *self.inflight.get(issued.id);
+            let info = {
+                let entry = self.inflight.get_mut(issued.id);
+                entry.issued = true;
+                *entry
+            };
             // Dataflow checker: every source value must be available now.
+            // Wrong-path instructions obey the same physical readiness
+            // rules; architectural correctness is only ever judged against
+            // the correct path, which is all that survives to commit.
             for src in info.srcs.into_iter().flatten() {
                 if !self.rename.is_ready(src, self.now) {
                     self.stats.checker_violations += 1;
                 }
             }
             self.stats.issued += 1;
+            if info.wrong_path {
+                self.stats.wrong_path_issued += 1;
+            }
             let lat = self.cfg.lat.for_op(issued.op);
             match issued.op {
                 OpClass::Branch => {
-                    self.events
-                        .schedule(self.now + lat, issued.id, EventKind::BranchResolve);
+                    self.events.schedule(
+                        self.now + lat,
+                        issued.id,
+                        info.token,
+                        EventKind::BranchResolve,
+                    );
                 }
                 OpClass::Load => {
-                    self.events
-                        .schedule(self.now + lat, issued.id, EventKind::LoadAddrDone);
+                    self.events.schedule(
+                        self.now + lat,
+                        issued.id,
+                        info.token,
+                        EventKind::LoadAddrDone,
+                    );
                 }
                 _ => {
                     // Stores complete after address generation (data was
                     // ready at issue); arithmetic completes after its unit
                     // latency.
-                    self.events
-                        .schedule(self.now + lat, issued.id, EventKind::Complete);
+                    self.events.schedule(
+                        self.now + lat,
+                        issued.id,
+                        info.token,
+                        EventKind::Complete,
+                    );
                 }
             }
         }
@@ -567,11 +842,17 @@ impl Simulator {
                     inst.mem.unwrap().addr,
                 );
             }
+            if fetched.wrong_path {
+                self.stats.wrong_path_dispatched += 1;
+            }
+            let token = self.dispatch_seq;
+            self.dispatch_seq += 1;
             self.inflight.insert(
                 fetched.id,
                 Inflight {
                     op: inst.op,
                     dst: dst_peek,
+                    dst_arch: inst.dst,
                     srcs,
                     mem: inst.mem,
                     branch: inst.branch.map(|b| {
@@ -583,6 +864,9 @@ impl Simulator {
                     }),
                     store_data: if is_store { renamed[1] } else { None },
                     pc: inst.pc,
+                    wrong_path: fetched.wrong_path,
+                    issued: false,
+                    token,
                 },
             );
         }
@@ -593,13 +877,14 @@ impl Simulator {
 
     // ---- fetch ----------------------------------------------------------
 
-    fn fetch_stage<I>(&mut self, trace: &mut I, trace_done: &mut bool)
+    fn fetch_stage<I>(&mut self, src: &mut Source<'_, I>, trace_done: &mut bool)
     where
         I: Iterator<Item = Inst>,
     {
         if self.waiting_mispredict || self.now < self.fetch_stalled_until {
             return;
         }
+        let speculating = self.cfg.wrong_path && src.speculative();
         let line_shift = self.cfg.mem.il1.line_bytes.trailing_zeros();
         for _ in 0..self.cfg.fetch_width {
             if self.fetch_queue.len() >= self.cfg.fetch_queue {
@@ -608,10 +893,25 @@ impl Simulator {
             let inst = match self.pending_fetch.take() {
                 Some(i) => i,
                 None => {
-                    let Some(i) = trace.next() else {
+                    // A speculative source is an infinite program: the
+                    // budget of correct-path instructions plays the role a
+                    // finite trace's end plays, so the machine drains.
+                    // Wrong-path pulls are free — they are replayed from
+                    // the checkpoint, not consumed.
+                    if src.speculative()
+                        && !self.wrong_path_mode
+                        && self.correct_fetched >= self.fetch_budget
+                    {
+                        *trace_done = true;
+                        break;
+                    }
+                    let Some(i) = src.next_inst() else {
                         *trace_done = true;
                         break;
                     };
+                    if src.speculative() && !self.wrong_path_mode {
+                        self.correct_fetched += 1;
+                    }
                     i
                 }
             };
@@ -634,19 +934,66 @@ impl Simulator {
                 inst,
                 pred: None,
                 mispredicted: false,
+                wrong_path: self.wrong_path_mode,
             };
             let mut taken = false;
             if let Some(actual) = inst.branch {
-                let pred = self.bp.predict(inst.pc, actual.kind);
-                let correct = pred.taken == actual.taken
-                    && (!actual.taken || pred.target == Some(actual.target));
-                fetched.pred = Some(pred);
-                fetched.mispredicted = !correct;
                 taken = actual.taken;
+                if self.wrong_path_mode {
+                    // A wrong-path branch has no architectural outcome to
+                    // be wrong about; fetch keeps following the synthetic
+                    // program's own path, and the lookup stays out of the
+                    // accuracy statistics (it can never resolve).
+                    fetched.pred = Some(self.bp.predict_wrong_path(inst.pc, actual.kind));
+                } else {
+                    let pred = self.bp.predict(inst.pc, actual.kind);
+                    fetched.pred = Some(pred);
+                    let correct = pred.taken == actual.taken
+                        && (!actual.taken || pred.target == Some(actual.target));
+                    fetched.mispredicted = !correct;
+                }
             }
             let mispredicted = fetched.mispredicted;
+            let pred = fetched.pred;
+            if fetched.wrong_path {
+                self.stats.wrong_path_fetched += 1;
+            }
             self.fetch_queue.push_back(fetched);
             if mispredicted {
+                if speculating {
+                    let pred = pred.expect("branch predicted");
+                    // Where the machine *believes* execution continues.
+                    let wrong_pc = if pred.taken {
+                        pred.target
+                    } else {
+                        Some(inst.pc + 4)
+                    };
+                    if let Some(pc) = wrong_pc {
+                        // Reuse the previous recovery point's buffers when
+                        // one exists (steady state allocates nothing).
+                        let rec = match self.spare_recovery.take() {
+                            Some(mut rec) => {
+                                rec.branch = id;
+                                src.checkpoint_into(&mut rec.gen);
+                                self.bp.checkpoint_into(&mut rec.bp);
+                                rec
+                            }
+                            None => Recovery {
+                                branch: id,
+                                gen: src.checkpoint().expect("speculative source"),
+                                bp: self.bp.checkpoint(),
+                            },
+                        };
+                        self.recovery = Some(rec);
+                        src.enter_wrong_path(pc);
+                        self.wrong_path_mode = true;
+                        // The redirect ends this cycle's fetch group.
+                        break;
+                    }
+                    // Predicted taken with no BTB/RAS target: the front end
+                    // has no address to speculate to — stall, as hardware
+                    // would.
+                }
                 // Fetch has no correct-path instructions until resolution.
                 self.waiting_mispredict = true;
                 break;

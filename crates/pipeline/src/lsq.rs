@@ -237,6 +237,22 @@ impl Lsq {
         self.actions_dirty = true;
     }
 
+    /// Wrong-path squash: removes every entry with `id >= from` (a suffix —
+    /// entries are pushed in program order) from the queue, the store
+    /// mirror, and the pending-load set. Forwarding that already happened
+    /// to/from wrong-path entries stays counted: the speculative work was
+    /// really performed.
+    pub fn squash(&mut self, from: InstId) {
+        while self.entries.back().is_some_and(|e| e.id >= from) {
+            self.entries.pop_back();
+        }
+        while self.stores.back().is_some_and(|s| s.id >= from) {
+            self.stores.pop_back();
+        }
+        self.pending.retain(|&(id, _)| id < from);
+        self.actions_dirty = true;
+    }
+
     /// Removes the (oldest) entry at commit.
     pub fn pop(&mut self, id: InstId) {
         debug_assert_eq!(self.entries.front().map(|e| e.id), Some(id));

@@ -94,6 +94,31 @@ impl RenameState {
         self.free[prev.class().index()].push_back(prev.index() as u16);
     }
 
+    /// Undoes one [`allocate`](Self::allocate) during wrong-path recovery:
+    /// remaps `dst` back to `prev` and returns `new` to the *front* of the
+    /// free list.
+    ///
+    /// Recovery walks the squashed ROB suffix youngest-first, so after the
+    /// walk the map and the free list are bit-identical to a checkpoint
+    /// taken at the mispredicted branch — pushing to the front restores the
+    /// exact allocation order (correct-path commits may have appended
+    /// releases to the back in the meantime; those legitimately stay).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `dst` is not currently mapped to `new` — the
+    /// youngest-first walk guarantees it is.
+    pub fn unallocate(&mut self, dst: ArchReg, new: PhysReg, prev: PhysReg) {
+        let ci = dst.class().index();
+        debug_assert_eq!(
+            self.map[ci][dst.index()],
+            new.index() as u16,
+            "unallocate out of order"
+        );
+        self.map[ci][dst.index()] = prev.index() as u16;
+        self.free[ci].push_front(new.index() as u16);
+    }
+
     /// Marks a physical register's value available from `cycle` on.
     pub fn set_ready(&mut self, r: PhysReg, cycle: Cycle) {
         self.ready[r.class().index()][r.index()] = cycle;
@@ -159,6 +184,25 @@ mod tests {
         let peeked = s.peek_allocate(RegClass::Int).unwrap();
         let (alloc, _) = s.allocate(ArchReg::int(9));
         assert_eq!(peeked, alloc);
+    }
+
+    #[test]
+    fn unallocate_restores_map_and_free_order() {
+        let mut s = state();
+        let r5 = ArchReg::int(5);
+        let r6 = ArchReg::int(6);
+        let (n5, p5) = s.allocate(r5);
+        let (n6, p6) = s.allocate(r6);
+        // Youngest first, as recovery walks the ROB suffix.
+        s.unallocate(r6, n6, p6);
+        s.unallocate(r5, n5, p5);
+        assert_eq!(s.lookup(r5).index(), 5);
+        assert_eq!(s.lookup(r6).index(), 6);
+        // The free list hands out the same registers in the same order as
+        // if the allocations never happened.
+        assert_eq!(s.peek_allocate(RegClass::Int).unwrap(), n5);
+        let _ = s.allocate(r5);
+        assert_eq!(s.peek_allocate(RegClass::Int).unwrap(), n6);
     }
 
     #[test]

@@ -53,6 +53,22 @@ pub struct SimStats {
     /// Dataflow-checker violations (an instruction issued before a source
     /// was ready). Must be zero; exposed so tests can assert it.
     pub checker_violations: u64,
+    /// Wrong-path instructions fetched (speculation mode only; always zero
+    /// under the legacy stall model).
+    pub wrong_path_fetched: u64,
+    /// Wrong-path instructions that reached rename/dispatch (and therefore
+    /// occupied issue-queue, ROB and LSQ entries).
+    pub wrong_path_dispatched: u64,
+    /// Wrong-path instructions that issued — speculative wakeup/selection
+    /// work whose energy the meters include.
+    pub wrong_path_issued: u64,
+    /// Wrong-path instructions discarded at mispredict recoveries (fetch
+    /// queue and ROB combined; every wrong-path instruction is eventually
+    /// squashed).
+    pub wrong_path_squashed: u64,
+    /// Per-recovery squash depth: how many wrong-path instructions had
+    /// dispatched (occupied the ROB) when the mispredicted branch resolved.
+    pub squash_depth: Histogram,
 }
 
 impl SimStats {
@@ -76,6 +92,11 @@ impl SimStats {
             occupancy_fp: Histogram::new(257),
             lsq_forwards: 0,
             checker_violations: 0,
+            wrong_path_fetched: 0,
+            wrong_path_dispatched: 0,
+            wrong_path_issued: 0,
+            wrong_path_squashed: 0,
+            squash_depth: Histogram::new(257),
         }
     }
 
@@ -130,6 +151,17 @@ impl fmt::Display for SimStats {
             100.0 * self.branch.accuracy(),
             100.0 * self.dl1.miss_rate(),
             self.dispatch_stall_cycles
-        )
+        )?;
+        if self.wrong_path_fetched > 0 {
+            writeln!(
+                f,
+                "  wrong path: {} fetched, {} dispatched, {} issued, {} squashed",
+                self.wrong_path_fetched,
+                self.wrong_path_dispatched,
+                self.wrong_path_issued,
+                self.wrong_path_squashed
+            )?;
+        }
+        Ok(())
     }
 }

@@ -36,6 +36,6 @@ mod profile;
 mod spec;
 pub mod suite;
 
-pub use gen::TraceGenerator;
+pub use gen::{TraceCheckpoint, TraceGenerator};
 pub use profile::TraceProfile;
 pub use spec::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};

@@ -37,6 +37,14 @@ sweep-smoke:
 compare a b threshold="2":
     cargo run --release -- compare {{a}} {{b}} --threshold {{threshold}}
 
+# Stall model vs. real wrong-path speculation: per-scheme IPC/energy and
+# the wrong-path energy share on a branchy SPECint model (quick table via
+# the example), plus the resumable two-machine sweep grid for the full
+# comparison (results land in ./results; `diq export speculation` after).
+bench-speculation bench="gcc":
+    cargo run --release --example wrong_path {{bench}}
+    cargo run --release -- sweep experiments/speculation.json
+
 # Simulator-throughput benchmark: simulated instrs/sec per scheme, the
 # event-driven wakeup vs the frozen scan reference, appended to the local
 # store as BENCH_throughput.json — the same measurement CI's artifacts

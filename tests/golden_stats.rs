@@ -13,7 +13,7 @@
 use diq::isa::ProcessorConfig;
 use diq::pipeline::{SimStats, Simulator};
 use diq::sched::SchedulerConfig;
-use diq::workload::suite;
+use diq::workload::{suite, TraceGenerator};
 
 fn run_both(sched: &SchedulerConfig, bench: &str, n: u64) -> (SimStats, SimStats) {
     let cfg = ProcessorConfig::hpca2004();
@@ -27,6 +27,27 @@ fn run_both(sched: &SchedulerConfig, bench: &str, n: u64) -> (SimStats, SimStats
     let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
     scan.set_benchmark(bench);
     let scan_stats = scan.run(trace, n);
+
+    (fast_stats, scan_stats)
+}
+
+/// Same comparison with wrong-path speculation enabled: both sides run the
+/// PC-addressable program through `run_program`, so fetch follows predicted
+/// paths and every scheme's `squash` is exercised.
+fn run_both_speculating(sched: &SchedulerConfig, bench: &str, n: u64) -> (SimStats, SimStats) {
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.wrong_path = true;
+    let spec = suite::by_name(bench).unwrap();
+
+    let mut fast = Simulator::new(&cfg, sched);
+    fast.set_benchmark(bench);
+    let mut program = TraceGenerator::new(&spec);
+    let fast_stats = fast.run_program(&mut program, n);
+
+    let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+    scan.set_benchmark(bench);
+    let mut program = TraceGenerator::new(&spec);
+    let scan_stats = scan.run_program(&mut program, n);
 
     (fast_stats, scan_stats)
 }
@@ -107,4 +128,118 @@ fn tiny_geometries_stall_identically() {
             assert_identical(&sched, bench, 3_000);
         }
     }
+}
+
+fn assert_identical_speculating(sched: &SchedulerConfig, bench: &str, n: u64) {
+    let (fast, scan) = run_both_speculating(sched, bench, n);
+    assert_eq!(
+        fast.cycles,
+        scan.cycles,
+        "{}/{bench} (wrong-path): cycles",
+        sched.label()
+    );
+    for (c, pj) in fast.energy.breakdown() {
+        assert!(
+            scan.energy.get(c) == pj,
+            "{}/{bench} (wrong-path): {c} energy {} (event) vs {} (scan)",
+            sched.label(),
+            pj,
+            scan.energy.get(c)
+        );
+    }
+    assert_eq!(
+        fast,
+        scan,
+        "{}/{bench} (wrong-path): full SimStats must be bit-identical",
+        sched.label()
+    );
+    assert_eq!(fast.checker_violations, 0, "{}/{bench}", sched.label());
+    assert_eq!(
+        fast.committed,
+        n,
+        "{}/{bench}: commits the full budget",
+        sched.label()
+    );
+}
+
+/// The acceptance grid with speculation **enabled**: every registered
+/// scheme's event-driven `squash` must be observationally identical to the
+/// frozen scan reference's — cycles, stall breakdowns, wrong-path counters,
+/// squash-depth histograms, and every energy `f64`, bit for bit.
+#[test]
+fn every_registered_scheme_is_bit_identical_with_speculation_on() {
+    for sched in SchedulerConfig::known() {
+        for bench in ["gzip", "swim"] {
+            assert_identical_speculating(&sched, bench, 2_000);
+        }
+    }
+}
+
+/// Branchy SPECint at a longer horizon drives deep and frequent squashes
+/// through the headline schemes.
+#[test]
+fn headline_schemes_stay_identical_speculating_on_branchy_runs() {
+    for sched in [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+        SchedulerConfig::lat_fifo(16, 16, 8, 16),
+    ] {
+        for bench in ["gcc", "mcf"] {
+            assert_identical_speculating(&sched, bench, 10_000);
+        }
+    }
+}
+
+/// Tiny geometries + speculation: wrong-path work collides with full-queue
+/// stalls, and squash must leave the stall machinery consistent.
+#[test]
+fn tiny_geometries_squash_identically() {
+    for sched in [
+        SchedulerConfig::cam(8, 8, 2),
+        SchedulerConfig::issue_fifo(2, 2, 2, 2),
+        SchedulerConfig::lat_fifo(2, 2, 2, 2),
+        SchedulerConfig::mix_buff(2, 2, 2, 4, Some(2)),
+    ] {
+        for bench in ["gzip", "gcc"] {
+            assert_identical_speculating(&sched, bench, 3_000);
+        }
+    }
+}
+
+/// A branchy workload must actually exercise the wrong path (nonzero
+/// speculative work), and the legacy stall model must stay exactly what it
+/// was — the off position of the knob reproduces the old golden numbers,
+/// which the stall-model tests above pin.
+#[test]
+fn speculation_produces_wrong_path_work_and_the_off_switch_is_exact() {
+    let sched = SchedulerConfig::mb_distr();
+    let (fast, _) = run_both_speculating(&sched, "gcc", 5_000);
+    assert!(fast.wrong_path_fetched > 0, "no wrong-path fetches on gcc");
+    assert!(fast.wrong_path_dispatched > 0);
+    assert!(fast.wrong_path_issued > 0, "no wrong-path issues on gcc");
+    assert!(fast.wrong_path_squashed > 0);
+    assert!(fast.squash_depth.count() > 0, "squash depths recorded");
+
+    // Off position: run_program with the knob off must equal the legacy
+    // trace-driven run bit for bit (same machine, same stream — the budget
+    // plumbing may not perturb the stall model by even one cycle).
+    let cfg = ProcessorConfig::hpca2004();
+    assert!(!cfg.wrong_path, "stall model is the default");
+    let spec = suite::by_name("gcc").unwrap();
+    let mut legacy = Simulator::new(&cfg, &sched);
+    legacy.set_benchmark("gcc");
+    let legacy_stats = legacy.run(spec.generate(5_000), 5_000);
+    assert_eq!(legacy_stats.wrong_path_fetched, 0);
+    assert_eq!(legacy_stats.wrong_path_squashed, 0);
+    assert_eq!(legacy_stats.squash_depth.count(), 0);
+
+    let mut off = Simulator::new(&cfg, &sched);
+    off.set_benchmark("gcc");
+    let mut program = TraceGenerator::new(&spec);
+    let off_stats = off.run_program(&mut program, 5_000);
+    assert_eq!(
+        off_stats, legacy_stats,
+        "run_program with wrong_path off must be bit-identical to run()"
+    );
 }

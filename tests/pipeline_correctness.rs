@@ -4,7 +4,7 @@
 use diq::isa::ProcessorConfig;
 use diq::pipeline::Simulator;
 use diq::sched::SchedulerConfig;
-use diq::workload::{kernels, suite};
+use diq::workload::{kernels, suite, TraceGenerator};
 
 fn all_schemes() -> Vec<SchedulerConfig> {
     vec![
@@ -77,6 +77,74 @@ fn identical_trace_identical_schemes_identical_results() {
         sim.run(spec.generate(2_000), 2_000).cycles
     };
     assert_eq!(run(), run());
+}
+
+/// Squash invariants under real wrong-path speculation. Tests run with
+/// debug assertions on, which arms the pipeline's post-recovery invariant:
+/// after **every** mispredict recovery, scheduler occupancy equals the
+/// ROB's surviving dispatched-but-unissued entries (`recover()` in
+/// diq-pipeline). On top of that, this asserts end-state invariants per
+/// scheme: the full budget commits, the dataflow checker is clean (it
+/// verifies issue-time readiness on both paths; architectural state is
+/// only ever judged against the correct path, which is all that commits),
+/// wrong-path work really happened and was all squashed, and the queues
+/// drain to empty.
+#[test]
+fn speculation_squash_invariants_hold_for_every_scheme() {
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.wrong_path = true;
+    let n = 3_000u64;
+    for bench in ["gcc", "eon", "art"] {
+        let spec = suite::by_name(bench).unwrap();
+        for sched in all_schemes() {
+            let mut sim = Simulator::new(&cfg, &sched);
+            sim.set_benchmark(bench);
+            let mut program = TraceGenerator::new(&spec);
+            let stats = sim.run_program(&mut program, n);
+            assert_eq!(stats.committed, n, "{bench} under {}", sched.label());
+            assert_eq!(
+                stats.checker_violations,
+                0,
+                "{bench} under {}: issued before ready",
+                sched.label()
+            );
+            // Every wrong-path instruction fetched is eventually squashed;
+            // none commits.
+            assert_eq!(
+                stats.wrong_path_fetched,
+                stats.wrong_path_squashed,
+                "{bench} under {}: wrong-path accounting must balance",
+                sched.label()
+            );
+            assert_eq!(
+                stats.issued,
+                stats.committed + stats.wrong_path_issued,
+                "{bench} under {}: issues split into committed + squashed",
+                sched.label()
+            );
+            assert_eq!(
+                sim.queue_occupancy(),
+                (0, 0),
+                "{bench} under {}: queues must drain",
+                sched.label()
+            );
+            // One squash-depth sample per wrong-path recovery. Mispredicted
+            // branches without a known target stall instead of speculating,
+            // so recoveries are a subset of redirects.
+            assert!(
+                stats.squash_depth.count() <= stats.mispredict_redirects,
+                "{bench} under {}: more recoveries than redirects",
+                sched.label()
+            );
+            if stats.wrong_path_fetched > 0 {
+                assert!(
+                    stats.squash_depth.count() > 0,
+                    "{bench} under {}: wrong-path work implies recoveries",
+                    sched.label()
+                );
+            }
+        }
+    }
 }
 
 #[test]

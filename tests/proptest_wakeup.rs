@@ -8,7 +8,7 @@
 use diq::isa::ProcessorConfig;
 use diq::pipeline::Simulator;
 use diq::sched::SchedulerConfig;
-use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};
+use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, TraceGenerator, WorkloadSpec};
 use proptest::prelude::*;
 
 /// A random but always-valid workload spec (the shape used by the scheme
@@ -102,6 +102,50 @@ proptest! {
                 sched.label()
             );
             prop_assert_eq!(fast_stats.checker_violations, 0, "{}", sched.label());
+        }
+    }
+
+    /// The same property with wrong-path speculation enabled. The workload
+    /// shapes draw branch noise up to 0.3, so mispredicts (and therefore
+    /// squashes at effectively random instruction ids) are frequent; every
+    /// scheme must stay bit-identical to its scan reference, commit the
+    /// full budget, and drain its queues to empty.
+    #[test]
+    fn scan_and_event_wakeup_agree_with_speculation_on(spec in arb_workload()) {
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.wrong_path = true;
+        let n = 600u64;
+        for sched in SchedulerConfig::known() {
+            let mut fast = Simulator::new(&cfg, &sched);
+            fast.set_benchmark(&spec.name);
+            let mut program = TraceGenerator::new(&spec);
+            let fast_stats = fast.run_program(&mut program, n);
+
+            let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+            scan.set_benchmark(&spec.name);
+            let mut program = TraceGenerator::new(&spec);
+            let scan_stats = scan.run_program(&mut program, n);
+
+            prop_assert_eq!(
+                &fast_stats,
+                &scan_stats,
+                "{}: SimStats diverge with speculation on",
+                sched.label()
+            );
+            prop_assert_eq!(fast_stats.checker_violations, 0, "{}", sched.label());
+            prop_assert_eq!(fast_stats.committed, n, "{}", sched.label());
+            prop_assert_eq!(
+                fast.queue_occupancy(),
+                (0, 0),
+                "{}: queues failed to drain after squashes",
+                sched.label()
+            );
+            prop_assert_eq!(
+                scan.queue_occupancy(),
+                (0, 0),
+                "{}: scan queues failed to drain",
+                sched.label()
+            );
         }
     }
 }
