@@ -33,6 +33,9 @@ struct CamEntry {
     ready: [bool; 2],
     /// Position in `CamArray::ready` while all operands are ready.
     ready_pos: u32,
+    /// Issued on a speculative operand and kept in place until the miss
+    /// cancel returns it to waiting (load-hit speculation).
+    held: bool,
 }
 
 impl CamEntry {
@@ -89,6 +92,7 @@ impl CamArray {
             srcs: d.srcs,
             ready,
             ready_pos: u32::MAX,
+            held: false,
         });
         for (i, src) in d.srcs.iter().enumerate() {
             if !ready[i] {
@@ -110,12 +114,63 @@ impl CamArray {
     /// Removes an issued entry (it is necessarily on the ready list).
     fn remove(&mut self, slot: u32) -> CamEntry {
         let e = self.slab.remove(slot);
-        let pos = e.ready_pos as usize;
+        self.unlink_ready(e.ready_pos);
+        e
+    }
+
+    /// Drops the ready-list link at `pos`, fixing the moved tail's
+    /// back-pointer.
+    fn unlink_ready(&mut self, pos: u32) {
+        let pos = pos as usize;
         self.ready.swap_remove(pos);
         if let Some(&moved) = self.ready.get(pos) {
             self.slab.get_mut(moved).ready_pos = pos as u32;
         }
-        e
+    }
+
+    /// An entry issued on a speculative operand: it leaves the selection
+    /// candidates but keeps its queue slot (the hardware does not
+    /// deallocate until the load is known to hit), waiting for the cancel.
+    fn hold(&mut self, slot: u32) {
+        let pos = self.slab.get(slot).ready_pos;
+        self.unlink_ready(pos);
+        let e = self.slab.get_mut(slot);
+        e.ready_pos = u32::MAX;
+        e.held = true;
+    }
+
+    /// Miss cancel for `tag`: every entry whose operand `tag` looked ready
+    /// reverts to waiting and re-listens for the real broadcast; held
+    /// entries return to normal queued state. A scan per cancel is fine —
+    /// cancels happen once per L1 miss, not per cycle.
+    fn cancel(&mut self, tag: PhysReg) {
+        let mut doomed = std::mem::take(&mut self.doomed);
+        doomed.clear();
+        doomed.extend(
+            self.slab
+                .iter()
+                .filter(|(_, e)| e.srcs.contains(&Some(tag)))
+                .map(|(slot, _)| slot),
+        );
+        for &slot in &doomed {
+            let e = *self.slab.get(slot);
+            let was_selectable = e.all_ready() && !e.held;
+            let mut flipped = false;
+            for (i, src) in e.srcs.iter().enumerate() {
+                if *src == Some(tag) && e.ready[i] {
+                    self.slab.get_mut(slot).ready[i] = false;
+                    self.waiters.listen(tag, slot, i);
+                    self.unready_ops += 1;
+                    flipped = true;
+                }
+            }
+            if was_selectable && flipped {
+                self.unlink_ready(self.slab.get(slot).ready_pos);
+                self.slab.get_mut(slot).ready_pos = u32::MAX;
+            }
+            self.slab.get_mut(slot).held = false;
+        }
+        self.doomed = doomed;
     }
 
     /// Removes every entry with `id >= from` (wrong-path squash),
@@ -132,7 +187,11 @@ impl CamArray {
                 .map(|(slot, _)| slot),
         );
         for &slot in &doomed {
-            if self.slab.get(slot).all_ready() {
+            if self.slab.get(slot).held {
+                // Held after a speculative issue: off the ready list, with
+                // no registered waiters (its bits still read ready).
+                self.slab.remove(slot);
+            } else if self.slab.get(slot).all_ready() {
                 // On the ready list: `remove` unlinks it.
                 self.remove(slot);
             } else {
@@ -279,12 +338,18 @@ impl Scheduler for CamIssueQueue {
                 Side::Int => &mut self.int,
                 Side::Fp => &mut self.fp,
             };
-            let op = array.slab.get(slot).op;
-            if sink.try_issue(InstId(age), op, None) {
-                array.remove(slot);
+            let e = *array.slab.get(slot);
+            if sink.try_issue(InstId(age), e.op, None) {
+                // Both passes of a speculative issue pay the entry read and
+                // the operand muxing; only a confirmed issue frees the slot.
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    array.hold(slot);
+                } else {
+                    array.remove(slot);
+                }
                 self.meter
                     .add(Component::Buff, self.energy_model.entry_read);
-                let (mux, pj) = self.energy_model.mux.event(op);
+                let (mux, pj) = self.energy_model.mux.event(e.op);
                 self.meter.add(mux, pj);
             }
         }
@@ -328,6 +393,18 @@ impl Scheduler for CamIssueQueue {
     fn squash(&mut self, from: InstId) {
         self.int.squash(from);
         self.fp.squash(from);
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        // Mirror the broadcast routing of `on_result`: the cancel reaches
+        // every array the speculative wakeup reached.
+        match tag.class() {
+            RegClass::Int => self.int.cancel(tag),
+            RegClass::Fp => {
+                self.fp.cancel(tag);
+                self.int.cancel(tag);
+            }
+        }
     }
 
     fn occupancy(&self) -> (usize, usize) {
@@ -461,6 +538,54 @@ mod tests {
         let mut sink = BoundedSink::all_ready();
         s.issue_cycle(1, &mut sink);
         assert_eq!(sink.issued, vec![InstId(1)]);
+    }
+
+    #[test]
+    fn speculative_issue_holds_then_cancel_rewakes_and_reissues() {
+        let mut s = queue();
+        let tag = diq_isa::PhysReg::new(RegClass::Int, 40);
+        let mut consumer = di(1, OpClass::IntAlu, Some(3), [Some(40), None]);
+        consumer.srcs_ready = [false, true];
+        s.try_dispatch(&consumer, 0).unwrap();
+        // Speculative wakeup: the tag broadcasts, the consumer issues —
+        // but the operand is flagged speculative, so the entry is held.
+        s.on_result(tag, 1);
+        let mut sink = BoundedSink::all_ready();
+        sink.spec = vec![tag];
+        s.issue_cycle(1, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        assert_eq!(s.occupancy(), (1, 0), "held entry keeps its slot");
+        // Miss cancel: the entry reverts to waiting; nothing selectable.
+        s.cancel(tag);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(2, &mut sink);
+        assert!(sink.issued.is_empty(), "cancelled consumer must re-listen");
+        // True fill: the re-listening consumer wakes and issues for real.
+        s.on_result(tag, 3);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(3, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        assert_eq!(s.occupancy(), (0, 0), "confirmed issue frees the slot");
+    }
+
+    #[test]
+    fn cancel_reverts_queued_consumers_that_never_issued() {
+        // An entry whose operand looked ready at dispatch (spec window open
+        // during rename) but which never issued must also revert on cancel.
+        let mut s = queue();
+        let tag = diq_isa::PhysReg::new(RegClass::Int, 41);
+        let mut inst = di(1, OpClass::IntAlu, Some(3), [Some(41), None]);
+        inst.srcs_ready = [true, true]; // dispatch saw spec readiness
+        s.try_dispatch(&inst, 0).unwrap();
+        s.cancel(tag);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(1, &mut sink);
+        assert!(sink.issued.is_empty(), "spec-ready-at-dispatch reverted");
+        s.on_result(tag, 2);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(2, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)], "real broadcast re-wakes");
+        assert_eq!(s.occupancy(), (0, 0));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub(crate) struct Entry {
     pub op: OpClass,
     pub srcs: [Option<PhysReg>; 2],
     pub ready: [bool; 2],
+    /// Issued on a speculative operand and kept in its slot until the miss
+    /// cancel returns it to waiting (load-hit speculation). A held head is
+    /// invisible to selection.
+    pub held: bool,
 }
 
 impl Entry {
@@ -38,6 +42,7 @@ impl Entry {
             op: d.op,
             srcs: d.srcs,
             ready,
+            held: false,
         }
     }
 
@@ -76,6 +81,9 @@ pub(crate) struct FifoArray {
     tail_reg: Vec<Option<ArchReg>>,
     /// Per queue: the tail instruction.
     tail_id: Vec<Option<InstId>>,
+    /// Cancel scratch (`(slot, operand)` pairs), reused across miss
+    /// cancels so recurring misses allocate nothing steady-state.
+    cancel_scratch: Vec<(u32, usize)>,
 }
 
 impl FifoArray {
@@ -90,6 +98,7 @@ impl FifoArray {
             steer: vec![None; 2 * diq_isa::ARCH_REGS_PER_CLASS],
             tail_reg: vec![None; queues],
             tail_id: vec![None; queues],
+            cancel_scratch: Vec::new(),
         }
     }
 
@@ -161,12 +170,48 @@ impl FifoArray {
         Ok(q)
     }
 
-    /// Head candidates: `(queue, entry)` for each non-empty queue.
+    /// Head candidates: `(queue, entry)` for each non-empty queue whose
+    /// head is not held after a speculative issue (a held head neither
+    /// polls the scoreboard nor competes for selection — it already left
+    /// through the issue port and is waiting for its load to be confirmed
+    /// or cancelled).
     pub(crate) fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter_map(|(q, fifo)| fifo.front().map(|&slot| (q, *self.slab.get(slot))))
+        self.queues.iter().enumerate().filter_map(|(q, fifo)| {
+            fifo.front()
+                .map(|&slot| *self.slab.get(slot))
+                .filter(|e| !e.held)
+                .map(|e| (q, e))
+        })
+    }
+
+    /// Marks the head of queue `q` as held after a speculative issue: it
+    /// keeps its slot (dispatch still sees a full entry) but stops being a
+    /// selection candidate until [`cancel`](Self::cancel) reverts it.
+    pub(crate) fn hold_head(&mut self, q: usize) {
+        let &slot = self.queues[q].front().expect("hold on empty FIFO");
+        self.slab.get_mut(slot).held = true;
+    }
+
+    /// Miss cancel for `tag`: every entry whose operand `tag` looked ready
+    /// reverts to waiting and re-listens for the real broadcast; held
+    /// entries become normal queued entries again. Runs once per L1 miss.
+    pub(crate) fn cancel(&mut self, tag: PhysReg) {
+        let mut todo = std::mem::take(&mut self.cancel_scratch);
+        todo.clear();
+        for (slot, e) in self.slab.iter() {
+            for (i, src) in e.srcs.iter().enumerate() {
+                if *src == Some(tag) && e.ready[i] {
+                    todo.push((slot, i));
+                }
+            }
+        }
+        for &(slot, i) in &todo {
+            let e = self.slab.get_mut(slot);
+            e.ready[i] = false;
+            e.held = false;
+            self.waiters.listen(tag, slot, i);
+        }
+        self.cancel_scratch = todo;
     }
 
     /// Removes the head of queue `q` after it issued.
@@ -335,7 +380,13 @@ impl Scheduler for IssueFifo {
         for &(_, side, q, e) in &candidates {
             if sink.try_issue(e.id, e.op, Some((side, q))) {
                 let em = self.energy_model[side.index()];
-                self.array(side).pop_head(q);
+                // A speculative issue keeps the entry in place (held) for
+                // the possible replay; both passes pay the FIFO read.
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.array(side).hold_head(q);
+                } else {
+                    self.array(side).pop_head(q);
+                }
                 self.meter.add(Component::Fifo, em.fifo_read);
                 let (mux, pj) = em.mux.event(e.op);
                 self.meter.add(mux, pj);
@@ -359,6 +410,11 @@ impl Scheduler for IssueFifo {
     fn squash(&mut self, from: InstId) {
         self.int.squash(from);
         self.fp.squash(from);
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        self.int.cancel(tag);
+        self.fp.cancel(tag);
     }
 
     fn occupancy(&self) -> (usize, usize) {
@@ -507,6 +563,43 @@ mod tests {
         let (_, head) = a.heads().next().unwrap();
         assert_eq!(head.id, InstId(2));
         assert!(head.all_ready(), "buried entry collected its wakeup");
+    }
+
+    #[test]
+    fn held_head_blocks_its_queue_until_cancel_then_reissues() {
+        let cfg = ProcessorConfig::hpca2004();
+        let mut s = crate::SchedulerConfig::issue_fifo(4, 4, 4, 4).build(&cfg);
+        let tag = PhysReg::new(diq_isa::RegClass::Int, 10);
+        // A consumer of the speculating load, and its own dependent queued
+        // behind it (same chain — steered to the same FIFO).
+        let mut head = di(1, OpClass::IntAlu, Some(3), [Some(10), None]);
+        head.srcs_ready = [false, true];
+        s.try_dispatch(&head, 0).unwrap();
+        s.try_dispatch(&di(2, OpClass::IntAlu, Some(4), [Some(3), None]), 0)
+            .unwrap();
+        // Speculative wakeup → the head issues and is held in place.
+        s.on_result(tag, 1);
+        let mut sink = BoundedSink::all_ready();
+        sink.spec = vec![tag];
+        s.issue_cycle(1, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        assert_eq!(s.occupancy().0, 2, "held head keeps its slot");
+        // While held, the queue is blocked: no candidate at all.
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(2, &mut sink);
+        assert!(sink.issued.is_empty(), "held head is invisible");
+        // Cancel, then the true fill: the head re-wakes and issues for
+        // real, unblocking its dependent.
+        s.cancel(tag);
+        s.on_result(tag, 3);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(3, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        s.on_result(PhysReg::new(diq_isa::RegClass::Int, 3), 4);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(4, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(2)]);
+        assert_eq!(s.occupancy(), (0, 0));
     }
 
     #[test]

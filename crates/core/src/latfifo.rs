@@ -32,6 +32,8 @@ struct LatQueues {
     capacity: usize,
     /// Estimated issue cycle of each queue's tail (`None` when empty).
     tail_est: Vec<Option<Cycle>>,
+    /// Cancel scratch, reused so recurring misses allocate nothing.
+    cancel_scratch: Vec<(u32, usize)>,
 }
 
 impl LatQueues {
@@ -44,6 +46,7 @@ impl LatQueues {
             waiters: WakeupMap::new(),
             capacity,
             tail_est: vec![None; queues],
+            cancel_scratch: Vec::new(),
         }
     }
 
@@ -111,10 +114,40 @@ impl LatQueues {
     }
 
     fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter_map(|(q, fifo)| fifo.front().map(|&slot| (q, *self.slab.get(slot))))
+        self.queues.iter().enumerate().filter_map(|(q, fifo)| {
+            fifo.front()
+                .map(|&slot| *self.slab.get(slot))
+                .filter(|e| !e.held)
+                .map(|e| (q, e))
+        })
+    }
+
+    /// Marks the head of queue `q` as held after a speculative issue (see
+    /// [`FifoArray::hold_head`](crate::fifo) for the protocol).
+    fn hold_head(&mut self, q: usize) {
+        let &slot = self.queues[q].front().expect("hold on empty queue");
+        self.slab.get_mut(slot).held = true;
+    }
+
+    /// Miss cancel for `tag`: revert speculative readiness, re-listen, and
+    /// return held entries to normal queued state.
+    fn cancel(&mut self, tag: PhysReg) {
+        let mut todo = std::mem::take(&mut self.cancel_scratch);
+        todo.clear();
+        for (slot, e) in self.slab.iter() {
+            for (i, src) in e.srcs.iter().enumerate() {
+                if *src == Some(tag) && e.ready[i] {
+                    todo.push((slot, i));
+                }
+            }
+        }
+        for &(slot, i) in &todo {
+            let e = self.slab.get_mut(slot);
+            e.ready[i] = false;
+            e.held = false;
+            self.waiters.listen(tag, slot, i);
+        }
+        self.cancel_scratch = todo;
     }
 
     fn wake(&mut self, tag: PhysReg) {
@@ -236,13 +269,16 @@ impl Scheduler for LatFifo {
         candidates.sort_unstable_by_key(|c| c.0);
         for &(_, side, q, e) in &candidates {
             if sink.try_issue(e.id, e.op, Some((side, q))) {
-                match side {
-                    Side::Int => {
+                let spec = e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r));
+                match (side, spec) {
+                    (Side::Int, false) => {
                         self.int.pop_head(q);
                     }
-                    Side::Fp => {
+                    (Side::Int, true) => self.int.hold_head(q),
+                    (Side::Fp, false) => {
                         self.fp.pop_head(q);
                     }
+                    (Side::Fp, true) => self.fp.hold_head(q),
                 }
                 let em = self.energy_model[side.index()];
                 self.meter.add(Component::Fifo, em.fifo_read);
@@ -272,6 +308,13 @@ impl Scheduler for LatFifo {
         // The issue-time estimator keeps whatever the wrong path taught it:
         // it is a heuristic table indexed by architectural register, exactly
         // like a real latency predictor polluted by squashed work.
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        self.int.cancel(tag);
+        self.fp.cancel(tag);
+        // The estimator likewise keeps its hit-assuming estimate — it is
+        // exactly the predictor whose misprediction the replay pays for.
     }
 
     fn occupancy(&self) -> (usize, usize) {

@@ -142,6 +142,18 @@ pub trait IssueSink {
     /// `regs_ready` scoreboard of the paper).
     fn is_ready(&self, r: PhysReg) -> bool;
 
+    /// Whether `r` is ready only *speculatively* — a missing load's tag
+    /// broadcast at the predicted L1-hit latency
+    /// (`ProcessorConfig::load_hit_speculation`). An instruction that
+    /// issues while any operand is speculative must be **held** in its
+    /// queue slot rather than removed: the pipeline will either confirm the
+    /// hit (never, in the current protocol — only misses speculate) or run
+    /// [`Scheduler::cancel`] so the entry re-listens and re-issues at the
+    /// true fill. Defaults to `false` (no speculation).
+    fn is_spec_ready(&self, _r: PhysReg) -> bool {
+        false
+    }
+
     /// Requests issue of `inst` (operation `op`) from queue `queue` (`None`
     /// for the monolithic baseline). Returns `false` when issue width or the
     /// required functional unit is exhausted; the instruction then stays
@@ -162,7 +174,12 @@ pub trait IssueSink {
 ///    [`squash`](Scheduler::squash) to discard the wrong-path entries (a
 ///    no-op under the stall model, where wrong-path instructions are never
 ///    dispatched), then [`on_mispredict`](Scheduler::on_mispredict) to clear
-///    the register-to-queue steering tables, as the paper prescribes.
+///    the register-to-queue steering tables, as the paper prescribes;
+/// 5. under load-hit speculation, when a speculated load turns out to
+///    miss: [`cancel`](Scheduler::cancel) with the load's tag — entries
+///    that consumed the speculative wakeup revert to waiting and held
+///    entries return to queued state; the true fill later arrives through
+///    the ordinary [`on_result`](Scheduler::on_result).
 pub trait Scheduler {
     /// Short display name (`IQ_64_64`, `IF_distr`, `MB_distr`, …).
     fn name(&self) -> &str;
@@ -199,6 +216,21 @@ pub trait Scheduler {
     /// entries already paid for theirs while they were live — which is
     /// exactly the speculative-work cost the wrong-path model surfaces.
     fn squash(&mut self, from: InstId);
+
+    /// A speculative wakeup of `tag` turned out wrong (the load missed):
+    /// every queued entry whose operand `tag` looked ready goes back to
+    /// waiting — its ready state reverts and it re-listens for the tag's
+    /// *real* broadcast — and entries **held** after a speculative issue
+    /// (see [`IssueSink::is_spec_ready`]) return to normal queued state so
+    /// the true fill can select and issue them a second time.
+    ///
+    /// The cancel itself charges no issue-queue energy: the paper's
+    /// activity model prices broadcasts and selections, and both the
+    /// speculative pass and the replay pass pay those in full through the
+    /// ordinary [`on_result`](Scheduler::on_result)/selection paths —
+    /// which is exactly the replay tax the load-hit-speculation model
+    /// surfaces.
+    fn cancel(&mut self, tag: PhysReg);
 
     /// Current (integer, FP) entry counts.
     fn occupancy(&self) -> (usize, usize);

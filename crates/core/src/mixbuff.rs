@@ -63,6 +63,8 @@ struct MixQueues {
     /// *this* cycle beat instructions that became ready earlier but were
     /// delayed. `false` selects purely oldest-first (the ablation).
     fresh_first: bool,
+    /// Cancel scratch, reused so recurring misses allocate nothing.
+    cancel_scratch: Vec<(u32, usize)>,
 }
 
 impl MixQueues {
@@ -77,6 +79,7 @@ impl MixQueues {
             waiters: WakeupMap::new(),
             steer: vec![None; diq_isa::ARCH_REGS_PER_CLASS],
             fresh_first,
+            cancel_scratch: Vec::new(),
         }
     }
 
@@ -164,6 +167,12 @@ impl MixQueues {
             .enumerate()
             .filter_map(|(c, ch)| {
                 let &front = ch.members.front()?;
+                if self.slab.get(front).held {
+                    // The chain's oldest member issued speculatively and
+                    // awaits its load's confirmation or cancel; the chain
+                    // cannot advance past it.
+                    return None;
+                }
                 let code = LatencyCode::classify(ch.ready, now);
                 code.selectable().then(|| {
                     let age = self.slab.get(front).id.0;
@@ -183,6 +192,39 @@ impl MixQueues {
                     .expect("chain has a front");
                 (c, *self.slab.get(front))
             })
+    }
+
+    /// Marks the front of chain `c` in queue `q` as held after a
+    /// speculative issue: the entry keeps its buffer slot and the chain
+    /// latency table is *not* advanced — that happens at the confirmed
+    /// (replayed) issue.
+    fn hold(&mut self, q: usize, c: usize) {
+        let &front = self.chains[q][c]
+            .members
+            .front()
+            .expect("hold on empty chain");
+        self.slab.get_mut(front).held = true;
+    }
+
+    /// Miss cancel for `tag`: revert speculative readiness, re-listen, and
+    /// return held entries to normal buffered state.
+    fn cancel(&mut self, tag: PhysReg) {
+        let mut todo = std::mem::take(&mut self.cancel_scratch);
+        todo.clear();
+        for (slot, e) in self.slab.iter() {
+            for (i, src) in e.srcs.iter().enumerate() {
+                if *src == Some(tag) && e.ready[i] {
+                    todo.push((slot, i));
+                }
+            }
+        }
+        for &(slot, i) in &todo {
+            let e = self.slab.get_mut(slot);
+            e.ready[i] = false;
+            e.held = false;
+            self.waiters.listen(tag, slot, i);
+        }
+        self.cancel_scratch = todo;
     }
 
     /// Removes the oldest member of chain `c` in queue `q` after issue and
@@ -359,7 +401,11 @@ impl Scheduler for MixBuff {
         candidates.sort_unstable_by_key(|c| c.0);
         for &(_, q, e) in &candidates {
             if sink.try_issue(e.id, e.op, Some((Side::Int, q))) {
-                self.int.pop_head(q);
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.int.hold_head(q);
+                } else {
+                    self.int.pop_head(q);
+                }
                 let em = self.energy_model[Side::Int.index()];
                 self.meter.add(Component::Fifo, em.fifo_read);
                 let (mux, pj) = em.mux.event(e.op);
@@ -402,8 +448,12 @@ impl Scheduler for MixBuff {
                 continue; // delayed: retries with the 01 priority class
             }
             if sink.try_issue(e.id, e.op, Some((Side::Fp, q))) {
-                let lat = self.result_latency(e.op);
-                self.fp.issue_from(q, c, now, lat);
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.fp.hold(q, c);
+                } else {
+                    let lat = self.result_latency(e.op);
+                    self.fp.issue_from(q, c, now, lat);
+                }
                 self.meter.add(Component::Buff, self.mix_energy.buff_read);
                 self.meter.add(Component::Reg, self.mix_energy.reg_write);
                 let (mux, pj) = em_fp.mux.event(e.op);
@@ -428,6 +478,11 @@ impl Scheduler for MixBuff {
     fn squash(&mut self, from: InstId) {
         self.int.squash(from);
         self.fp.squash(from);
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        self.int.cancel(tag);
+        self.fp.cancel(tag);
     }
 
     fn occupancy(&self) -> (usize, usize) {
@@ -593,6 +648,49 @@ mod tests {
             2,
             "exactly one instruction per FP queue per cycle"
         );
+    }
+
+    #[test]
+    fn held_chain_front_blocks_chain_and_skips_latency_table_update() {
+        let cfg = ProcessorConfig::hpca2004();
+        let mut s = crate::SchedulerConfig::mix_buff(4, 8, 1, 8, None).build(&cfg);
+        let tag = PhysReg::new(diq_isa::RegClass::Fp, 40);
+        // An FP consumer of a (missing) FP load, plus its chain successor.
+        let mut head = fp_di(1, OpClass::FpAdd, Some(4), [Some(40), None]);
+        head.srcs_ready = [false, true];
+        s.try_dispatch(&head, 0).unwrap();
+        s.try_dispatch(&fp_di(2, OpClass::FpMul, Some(5), [Some(4), None]), 0)
+            .unwrap();
+        // Speculative wakeup → the chain front issues and is held; the
+        // chain latency table must NOT advance (a cancelled pass produced
+        // nothing), so after the real issue the chain's code reflects only
+        // the confirmed pass.
+        s.on_result(tag, 1);
+        let mut sink = BoundedSink::all_ready();
+        sink.spec = vec![tag];
+        s.issue_cycle(1, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        assert_eq!(s.occupancy().1, 2, "held front keeps its buffer slot");
+        // Held front blocks its chain entirely.
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(2, &mut sink);
+        assert!(sink.issued.is_empty(), "held chain front is unselectable");
+        // Cancel + true fill: the front issues for real this time.
+        s.cancel(tag);
+        s.on_result(tag, 3);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(3, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(1)]);
+        assert_eq!(s.occupancy().1, 1);
+        // The successor waits on its producer's 2-cycle FpAdd (charged at
+        // the *confirmed* issue, cycle 3 → chain ready at 5, not at the
+        // cancelled pass's 1+2=3): selectable no earlier than cycle 4
+        // (code 10/01 gating aside, its operand arrives at 5).
+        s.on_result(PhysReg::new(diq_isa::RegClass::Fp, 4), 5);
+        let mut sink = BoundedSink::all_ready();
+        s.issue_cycle(5, &mut sink);
+        assert_eq!(sink.issued, vec![InstId(2)]);
+        assert_eq!(s.occupancy(), (0, 0));
     }
 
     #[test]

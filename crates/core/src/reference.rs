@@ -11,11 +11,13 @@
 //! bit-for-bit equal.
 //!
 //! Do not "improve" this module; its value is that it does not change.
-//! (One sanctioned extension: when the `Scheduler` trait grew a
+//! (Two sanctioned extensions: when the `Scheduler` trait grew a
 //! `squash(from)` operation for wrong-path speculation, each scan model
 //! gained the straightforward scan-shaped implementation — remove every
-//! entry with `id >= from` — so the equivalence proof covers speculation
-//! mode as well. The pre-existing cycle behaviour is untouched.)
+//! entry with `id >= from`; and when it grew `cancel(tag)` for load-hit
+//! speculation, each gained the scan-shaped cancel — walk every entry,
+//! revert `tag`'s speculative readiness, and un-hold entries that issued
+//! speculatively. The pre-existing cycle behaviour is untouched.)
 
 use crate::energy::{CamEnergy, FifoEnergy, MixEnergy};
 use crate::estimate::IssueTimeEstimator;
@@ -87,6 +89,8 @@ struct CamEntry {
     op: OpClass,
     srcs: [Option<PhysReg>; 2],
     ready: [bool; 2],
+    /// Issued on a speculative operand; waiting for the miss cancel.
+    held: bool,
 }
 
 impl CamEntry {
@@ -132,6 +136,23 @@ impl CamArray {
             }
         }
         (banks, listening)
+    }
+
+    /// Load-hit-speculation cancel, scan-shaped: revert `tag`'s ready bits
+    /// and un-hold the entries that issued speculatively on it.
+    fn cancel(&mut self, tag: PhysReg) {
+        for e in &mut self.entries {
+            let mut touched = false;
+            for (i, src) in e.srcs.iter().enumerate() {
+                if *src == Some(tag) {
+                    touched = true;
+                    e.ready[i] = false;
+                }
+            }
+            if touched {
+                e.held = false;
+            }
+        }
     }
 }
 
@@ -195,6 +216,7 @@ impl Scheduler for ScanCam {
             op: d.op,
             srcs: d.srcs,
             ready,
+            held: false,
         });
         self.meter
             .add(Component::Buff, self.energy_model.entry_write);
@@ -205,12 +227,16 @@ impl Scheduler for ScanCam {
         let mut candidates: Vec<(u64, Side)> = Vec::new();
         for (side, array) in [(Side::Int, &self.int), (Side::Fp, &self.fp)] {
             for e in &array.entries {
-                if e.all_ready() {
+                if e.all_ready() && !e.held {
                     candidates.push((e.id.0, side));
                 }
             }
             if !array.entries.is_empty() {
-                let active = array.entries.iter().filter(|e| e.all_ready()).count();
+                let active = array
+                    .entries
+                    .iter()
+                    .filter(|e| e.all_ready() && !e.held)
+                    .count();
                 self.meter.add(
                     Component::Select,
                     self.energy_model
@@ -229,12 +255,16 @@ impl Scheduler for ScanCam {
             let Some(pos) = array.entries.iter().position(|e| e.id == id) else {
                 continue;
             };
-            let op = array.entries[pos].op;
-            if sink.try_issue(id, op, None) {
-                self.array(side).entries.swap_remove(pos);
+            let e = array.entries[pos];
+            if sink.try_issue(id, e.op, None) {
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.array(side).entries[pos].held = true;
+                } else {
+                    self.array(side).entries.swap_remove(pos);
+                }
                 self.meter
                     .add(Component::Buff, self.energy_model.entry_read);
-                let (mux, pj) = self.energy_model.mux.event(op);
+                let (mux, pj) = self.energy_model.mux.event(e.op);
                 self.meter.add(mux, pj);
             }
         }
@@ -272,6 +302,16 @@ impl Scheduler for ScanCam {
         self.fp.entries.retain(|e| e.id < from);
     }
 
+    fn cancel(&mut self, tag: PhysReg) {
+        match tag.class() {
+            RegClass::Int => self.int.cancel(tag),
+            RegClass::Fp => {
+                self.fp.cancel(tag);
+                self.int.cancel(tag);
+            }
+        }
+    }
+
     fn occupancy(&self) -> (usize, usize) {
         (self.int.entries.len(), self.fp.entries.len())
     }
@@ -292,6 +332,9 @@ struct Entry {
     id: InstId,
     op: OpClass,
     srcs: [Option<PhysReg>; 2],
+    /// Issued on a speculative operand; waiting for the miss cancel. A
+    /// held head is invisible to selection (and polls nothing).
+    held: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -327,6 +370,7 @@ impl FifoArray {
             id: d.id,
             op: d.op,
             srcs: d.srcs,
+            held: false,
         });
         self.tail_id[q] = Some(d.id);
         if let Some(dst) = d.dst_arch {
@@ -377,7 +421,7 @@ impl FifoArray {
         self.queues
             .iter()
             .enumerate()
-            .filter_map(|(q, fifo)| fifo.front().map(|e| (q, *e)))
+            .filter_map(|(q, fifo)| fifo.front().filter(|e| !e.held).map(|e| (q, *e)))
     }
 
     fn pop_head(&mut self, q: usize) -> Entry {
@@ -389,6 +433,23 @@ impl FifoArray {
             self.tail_id[q] = None;
         }
         e
+    }
+
+    fn hold_head(&mut self, q: usize) {
+        self.queues[q].front_mut().expect("hold on empty FIFO").held = true;
+    }
+
+    /// Load-hit-speculation cancel, scan-shaped: un-hold every entry with
+    /// an operand on `tag` (readiness is polled through the sink, so there
+    /// are no bits to revert here).
+    fn cancel(&mut self, tag: PhysReg) {
+        for fifo in &mut self.queues {
+            for e in fifo.iter_mut() {
+                if e.srcs.contains(&Some(tag)) {
+                    e.held = false;
+                }
+            }
+        }
     }
 
     fn clear_steering(&mut self) {
@@ -485,7 +546,11 @@ impl Scheduler for ScanIssueFifo {
         for (_, side, q, e) in candidates {
             if sink.try_issue(e.id, e.op, Some((side, q))) {
                 let em = self.energy_model[side.index()];
-                self.array(side).pop_head(q);
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.array(side).hold_head(q);
+                } else {
+                    self.array(side).pop_head(q);
+                }
                 self.meter.add(Component::Fifo, em.fifo_read);
                 let (mux, pj) = em.mux.event(e.op);
                 self.meter.add(mux, pj);
@@ -506,6 +571,11 @@ impl Scheduler for ScanIssueFifo {
     fn squash(&mut self, from: InstId) {
         self.int.squash(from);
         self.fp.squash(from);
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        self.int.cancel(tag);
+        self.fp.cancel(tag);
     }
 
     fn occupancy(&self) -> (usize, usize) {
@@ -562,6 +632,7 @@ impl LatQueues {
             id: d.id,
             op: d.op,
             srcs: d.srcs,
+            held: false,
         });
         self.ests[q].push_back(est);
         self.tail_est[q] = Some(est);
@@ -591,7 +662,24 @@ impl LatQueues {
         self.queues
             .iter()
             .enumerate()
-            .filter_map(|(q, fifo)| fifo.front().map(|e| (q, *e)))
+            .filter_map(|(q, fifo)| fifo.front().filter(|e| !e.held).map(|e| (q, *e)))
+    }
+
+    fn hold_head(&mut self, q: usize) {
+        self.queues[q]
+            .front_mut()
+            .expect("hold on empty queue")
+            .held = true;
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        for fifo in &mut self.queues {
+            for e in fifo.iter_mut() {
+                if e.srcs.contains(&Some(tag)) {
+                    e.held = false;
+                }
+            }
+        }
     }
 }
 
@@ -692,13 +780,16 @@ impl Scheduler for ScanLatFifo {
         candidates.sort_unstable_by_key(|c| c.0);
         for (_, side, q, e) in candidates {
             if sink.try_issue(e.id, e.op, Some((side, q))) {
-                match side {
-                    Side::Int => {
+                let spec = e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r));
+                match (side, spec) {
+                    (Side::Int, false) => {
                         self.int.pop_head(q);
                     }
-                    Side::Fp => {
+                    (Side::Int, true) => self.int.hold_head(q),
+                    (Side::Fp, false) => {
                         self.fp.pop_head(q);
                     }
+                    (Side::Fp, true) => self.fp.hold_head(q),
                 }
                 let em = self.energy_model[side.index()];
                 self.meter.add(Component::Fifo, em.fifo_read);
@@ -722,6 +813,11 @@ impl Scheduler for ScanLatFifo {
         self.fp.squash(from);
     }
 
+    fn cancel(&mut self, tag: PhysReg) {
+        self.int.cancel(tag);
+        self.fp.cancel(tag);
+    }
+
     fn occupancy(&self) -> (usize, usize) {
         (self.int.len(), self.fp.len())
     }
@@ -743,6 +839,9 @@ struct BuffEntry {
     op: OpClass,
     srcs: [Option<PhysReg>; 2],
     chain: usize,
+    /// Issued on a speculative operand; waiting for the miss cancel. A
+    /// held entry blocks its chain (it is the chain's oldest member).
+    held: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -798,6 +897,7 @@ impl MixQueues {
             op: d.op,
             srcs: d.srcs,
             chain: c,
+            held: false,
         });
         let ch = &mut self.chains[q][c];
         ch.last = Some(d.id);
@@ -837,11 +937,20 @@ impl MixQueues {
     }
 
     fn select(&self, q: usize, now: Cycle) -> Option<(usize, BuffEntry)> {
-        self.queues[q]
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| {
-                let code = LatencyCode::classify(self.chains[q][e.chain].ready, now);
+        // Per chain, only the oldest buffered member can win (all members
+        // share the chain's latency code), and a held oldest member blocks
+        // its chain — mirroring the event model's front-of-chain rule.
+        (0..self.chains_per_queue)
+            .filter_map(|c| {
+                let (i, e) = self.queues[q]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.chain == c)
+                    .min_by_key(|(_, e)| e.id.0)?;
+                if e.held {
+                    return None;
+                }
+                let code = LatencyCode::classify(self.chains[q][c].ready, now);
                 code.selectable().then(|| {
                     let key = if self.fresh_first {
                         selection_key(code, e.id.0)
@@ -860,6 +969,20 @@ impl MixQueues {
         let ch = &mut self.chains[q][e.chain];
         ch.count -= 1;
         ch.ready = now + result_lat;
+    }
+
+    fn hold_at(&mut self, q: usize, i: usize) {
+        self.queues[q][i].held = true;
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        for queue in &mut self.queues {
+            for e in queue.iter_mut() {
+                if e.srcs.contains(&Some(tag)) {
+                    e.held = false;
+                }
+            }
+        }
     }
 
     /// Wrong-path squash: drop doomed entries and re-anchor each touched
@@ -986,7 +1109,11 @@ impl Scheduler for ScanMixBuff {
         candidates.sort_unstable_by_key(|c| c.0);
         for (_, q, e) in candidates {
             if sink.try_issue(e.id, e.op, Some((Side::Int, q))) {
-                self.int.pop_head(q);
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.int.hold_head(q);
+                } else {
+                    self.int.pop_head(q);
+                }
                 let em = self.energy_model[Side::Int.index()];
                 self.meter.add(Component::Fifo, em.fifo_read);
                 let (mux, pj) = em.mux.event(e.op);
@@ -1022,8 +1149,12 @@ impl Scheduler for ScanMixBuff {
                 continue;
             }
             if sink.try_issue(e.id, e.op, Some((Side::Fp, q))) {
-                let lat = self.result_latency(e.op);
-                self.fp.issue_at(q, i, now, lat);
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.fp.hold_at(q, i);
+                } else {
+                    let lat = self.result_latency(e.op);
+                    self.fp.issue_at(q, i, now, lat);
+                }
                 self.meter.add(Component::Buff, self.mix_energy.buff_read);
                 self.meter.add(Component::Reg, self.mix_energy.reg_write);
                 let (mux, pj) = em_fp.mux.event(e.op);
@@ -1045,6 +1176,11 @@ impl Scheduler for ScanMixBuff {
     fn squash(&mut self, from: InstId) {
         self.int.squash(from);
         self.fp.squash(from);
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        self.int.cancel(tag);
+        self.fp.cancel(tag);
     }
 
     fn occupancy(&self) -> (usize, usize) {

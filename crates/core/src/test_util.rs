@@ -45,6 +45,10 @@ pub(crate) struct BoundedSink {
     pub width: usize,
     /// Queues the acceptances came from (side, queue).
     pub from: Vec<Option<(Side, usize)>>,
+    /// Registers currently in a speculative-wakeup window (load-hit
+    /// speculation tests): `is_spec_ready` answers from this set, so an
+    /// issue consuming one must be held by the scheduler.
+    pub spec: Vec<PhysReg>,
 }
 
 impl BoundedSink {
@@ -53,6 +57,7 @@ impl BoundedSink {
             issued: Vec::new(),
             width: usize::MAX,
             from: Vec::new(),
+            spec: Vec::new(),
         }
     }
 
@@ -61,6 +66,7 @@ impl BoundedSink {
             issued: Vec::new(),
             width,
             from: Vec::new(),
+            spec: Vec::new(),
         }
     }
 }
@@ -68,6 +74,10 @@ impl BoundedSink {
 impl IssueSink for BoundedSink {
     fn is_ready(&self, _r: PhysReg) -> bool {
         true
+    }
+
+    fn is_spec_ready(&self, r: PhysReg) -> bool {
+        self.spec.contains(&r)
     }
 
     fn try_issue(&mut self, inst: InstId, _op: OpClass, queue: Option<(Side, usize)>) -> bool {

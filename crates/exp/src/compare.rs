@@ -307,6 +307,8 @@ mod tests {
             checker_violations: 0,
             wrong_path_issued: 0,
             wrong_path_squashed: 0,
+            replayed: 0,
+            replay_cycles_lost: 0,
         }
     }
 

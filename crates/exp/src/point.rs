@@ -147,6 +147,14 @@ pub struct PointResult {
     /// model).
     #[serde(default)]
     pub wrong_path_squashed: u64,
+    /// Instructions replayed by load-hit speculation (zero under the
+    /// oracle-latency model).
+    #[serde(default)]
+    pub replayed: u64,
+    /// Cycles lost between cancelled speculative issues and their confirmed
+    /// re-issues (zero under the oracle-latency model).
+    #[serde(default)]
+    pub replay_cycles_lost: u64,
 }
 
 impl PointResult {
@@ -178,6 +186,8 @@ impl PointResult {
             checker_violations: stats.checker_violations,
             wrong_path_issued: stats.wrong_path_issued,
             wrong_path_squashed: stats.wrong_path_squashed,
+            replayed: stats.replayed,
+            replay_cycles_lost: stats.replay_cycles_lost,
         }
     }
 }

@@ -195,6 +195,11 @@ pub struct MachineKnobs {
     /// speculation".
     #[serde(default)]
     pub wrong_path: Option<bool>,
+    /// Wake load dependents at the predicted L1-hit latency and selectively
+    /// replay them on a miss, instead of the oracle-latency model. See
+    /// DESIGN.md "Load-hit speculation and selective replay".
+    #[serde(default)]
+    pub load_hit_speculation: Option<bool>,
 }
 
 impl MachineKnobs {
@@ -247,6 +252,9 @@ impl MachineKnobs {
         if let Some(v) = self.wrong_path {
             cfg.wrong_path = v;
         }
+        if let Some(v) = self.load_hit_speculation {
+            cfg.load_hit_speculation = v;
+        }
         cfg
     }
 
@@ -286,6 +294,9 @@ impl MachineKnobs {
         }
         if let Some(v) = self.wrong_path {
             parts.push(format!("wp={}", if v { "on" } else { "off" }));
+        }
+        if let Some(v) = self.load_hit_speculation {
+            parts.push(format!("lhs={}", if v { "on" } else { "off" }));
         }
         if parts.is_empty() {
             "table1".to_string()
@@ -372,7 +383,7 @@ impl ExperimentSpec {
             "workloads",
             "machines",
         ];
-        const MACHINE_FIELDS: [&str; 16] = [
+        const MACHINE_FIELDS: [&str; 17] = [
             "label",
             "fetch_width",
             "decode_width",
@@ -389,6 +400,7 @@ impl ExperimentSpec {
             "l2_latency",
             "mem_first_chunk",
             "wrong_path",
+            "load_hit_speculation",
         ];
         fn check_keys(v: &Value, allowed: &[&str], what: &str) -> Result<(), String> {
             let Value::Map(m) = v else {
@@ -585,6 +597,36 @@ mod tests {
         assert!(!points[0].machine.wrong_path);
         assert!(points[1].machine.wrong_path);
         assert_eq!(points[1].machine_label, "wrongpath");
+        assert_ne!(points[0].key(), points[1].key(), "the knob is identity");
+    }
+
+    #[test]
+    fn load_hit_speculation_knob_applies_and_labels() {
+        let knobs = MachineKnobs {
+            load_hit_speculation: Some(true),
+            ..MachineKnobs::default()
+        };
+        let cfg = knobs.apply(&ProcessorConfig::hpca2004());
+        assert!(cfg.load_hit_speculation);
+        assert_eq!(knobs.display_label(), "lhs=on");
+        let both = MachineKnobs {
+            wrong_path: Some(true),
+            load_hit_speculation: Some(true),
+            ..MachineKnobs::default()
+        };
+        assert_eq!(both.display_label(), "wp=on,lhs=on");
+        // The knob is a sweep axis: grid points differ in identity.
+        let spec = ExperimentSpec::from_json(
+            r#"{"name":"lhs","instructions":[100],"schemes":["MB_distr"],
+                "workloads":["gzip"],
+                "machines":[{}, {"label":"replay","load_hit_speculation":true}]}"#,
+        )
+        .unwrap();
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(!points[0].machine.load_hit_speculation);
+        assert!(points[1].machine.load_hit_speculation);
+        assert_eq!(points[1].machine_label, "replay");
         assert_ne!(points[0].key(), points[1].key(), "the knob is identity");
     }
 

@@ -279,6 +279,15 @@ pub struct ProcessorConfig {
     /// legacy stall model; see DESIGN.md "Wrong-path speculation".
     #[serde(default)]
     pub wrong_path: bool,
+    /// Speculatively wake a load's dependents at the predicted L1-hit
+    /// latency and selectively replay them when the access turns out to
+    /// miss (dependents un-ready, re-listen, and re-issue at the true
+    /// fill, paying wakeup/selection energy on both passes). `false` is
+    /// the legacy oracle-latency model, where dependents simply wait for
+    /// the real latency; see DESIGN.md "Load-hit speculation and selective
+    /// replay".
+    #[serde(default)]
+    pub load_hit_speculation: bool,
     /// Operation latencies.
     pub lat: LatencyConfig,
     /// Shared functional-unit pool (baseline machine).
@@ -333,6 +342,7 @@ impl Default for ProcessorConfig {
             phys_fp_regs: 256 + 32,
             mispredict_redirect: 2,
             wrong_path: false,
+            load_hit_speculation: false,
             lat: LatencyConfig::default(),
             fus: FuPoolConfig::default(),
             mem: MemHierConfig::default(),

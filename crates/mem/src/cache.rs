@@ -163,6 +163,39 @@ mod tests {
         assert!(c.probe(d));
     }
 
+    /// Miss fills insert at MRU, so under LRU replacement the eviction
+    /// order of untouched lines is exactly their fill order.
+    #[test]
+    fn fills_insert_at_mru_and_evict_in_fill_order() {
+        let mut c = small(); // 2-way, 4 sets; stride 128 => same set
+        let (a, b, d, e) = (0x000u64, 0x080, 0x100, 0x180);
+        assert!(!c.access(a)); // fill a
+        assert!(!c.access(b)); // fill b; set order (MRU..LRU) = [b, a]
+        assert!(!c.access(d)); // evicts a (the older fill), not b
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+        assert!(c.probe(d));
+        assert!(!c.access(e)); // evicts b next — fill order again
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+        assert!(c.probe(e));
+    }
+
+    /// A hit refreshes recency: after touching the older line, the
+    /// *newer-filled but less recently used* line is the eviction victim.
+    #[test]
+    fn hit_recency_overrides_fill_order() {
+        let mut c = small();
+        let (a, b, d) = (0x000u64, 0x080, 0x100);
+        c.access(a);
+        c.access(b); // [b, a]
+        assert!(c.access(a)); // hit: [a, b]
+        c.access(d); // evicts b, though b was filled after a
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
     #[test]
     fn probe_is_pure() {
         let c = small();

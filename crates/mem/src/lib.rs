@@ -180,6 +180,61 @@ mod tests {
         assert!(m.try_reserve_dl1_port(8), "new cycle resets ports");
     }
 
+    /// `dl1_ports_used` resets on *any* cycle change, including jumps over
+    /// idle cycles (the pipeline only calls in when loads are pending), and
+    /// the full port budget is available again each time.
+    #[test]
+    fn port_arbitration_resets_across_arbitrary_cycle_boundaries() {
+        let mut m = hier();
+        // Exhaust cycle 10.
+        for _ in 0..4 {
+            assert!(m.try_reserve_dl1_port(10));
+        }
+        assert!(!m.try_reserve_dl1_port(10));
+        // Jump far ahead: a fresh full budget, not a stale count.
+        for _ in 0..4 {
+            assert!(m.try_reserve_dl1_port(1_000));
+        }
+        assert!(!m.try_reserve_dl1_port(1_000));
+        // A later cycle after a partial use also restarts the count.
+        assert!(m.try_reserve_dl1_port(1_001));
+        for _ in 0..3 {
+            assert!(m.try_reserve_dl1_port(1_002));
+        }
+        assert!(m.try_reserve_dl1_port(1_002), "only one was a carry-over");
+    }
+
+    /// `ports == 0` means unported: grants never run out.
+    #[test]
+    fn zero_ports_means_unlimited() {
+        let mut cfg = MemHierConfig::default();
+        cfg.dl1.ports = 0;
+        let mut m = MemoryHierarchy::new(&cfg);
+        for _ in 0..64 {
+            assert!(m.try_reserve_dl1_port(3));
+        }
+    }
+
+    /// Independent misses overlap (unlimited MSHRs): each concurrent miss
+    /// is charged the full latency of its own path — no miss queues behind
+    /// another — and every missed line is resident afterwards.
+    #[test]
+    fn independent_misses_overlap_with_unlimited_mshrs() {
+        let mut m = hier();
+        // Four same-cycle misses to distinct L1/L2 lines: all four cost
+        // the full memory round trip (2 + 10 + 100); nothing serializes.
+        let addrs = [0x10_000u64, 0x20_000, 0x30_000, 0x40_000];
+        for &a in &addrs {
+            assert_eq!(m.load_latency(a), 112, "miss at {a:#x} pays its own path");
+        }
+        // All lines filled concurrently: every one is now a 2-cycle hit.
+        for &a in &addrs {
+            assert_eq!(m.load_latency(a), 2, "line {a:#x} resident after fill");
+        }
+        assert_eq!(m.dl1_stats().misses(), 4);
+        assert_eq!(m.dl1_stats().hits, 4);
+    }
+
     #[test]
     fn stores_update_cache_state() {
         let mut m = hier();

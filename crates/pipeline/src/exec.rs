@@ -82,6 +82,10 @@ impl IssueSink for CycleSink<'_> {
         self.rename.is_ready(r, self.now)
     }
 
+    fn is_spec_ready(&self, r: PhysReg) -> bool {
+        self.rename.is_spec(r)
+    }
+
     fn try_issue(&mut self, inst: InstId, op: OpClass, queue: Option<(Side, usize)>) -> bool {
         let side = Side::of(op);
         if self.width_left[side.index()] == 0 {
@@ -105,14 +109,27 @@ impl IssueSink for CycleSink<'_> {
 }
 
 /// Completion-event kinds.
+///
+/// The derived `Ord` (declaration order) is part of the same-cycle,
+/// same-instruction drain order: `SpecMiss` must sort *before* `Complete`
+/// so that when a miss is detected the same cycle the line fills (an
+/// L2-hit with `l2.latency == 1`), the cancel runs before the true
+/// broadcast. The relative order of the three pre-speculation kinds is
+/// unchanged.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum EventKind {
+    /// Load-hit speculation: the access turned out to miss — un-ready the
+    /// speculatively woken register and replay its consumers.
+    SpecMiss,
     /// Result available / instruction complete.
     Complete,
     /// Branch outcome known (possible fetch redirect).
     BranchResolve,
     /// Load address generation finished: enter the memory phase.
     LoadAddrDone,
+    /// Load-hit speculation: broadcast the load's tag at the predicted
+    /// L1-hit latency (the access's real outcome is not known yet).
+    SpecWakeup,
 }
 
 /// Calendar slots: must exceed the longest completion latency the machine

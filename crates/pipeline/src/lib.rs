@@ -28,6 +28,15 @@
 //!   rename map, LSQ and scheduler squash every younger entry. See
 //!   DESIGN.md "Wrong-path speculation".
 //!
+//! Orthogonally, [`ProcessorConfig::load_hit_speculation`] closes the
+//! load-latency fidelity gap: instead of waking a load's dependents at the
+//! oracle latency, the machine broadcasts the load's tag at the predicted
+//! L1-hit latency, detects a miss at D-cache tag match one cycle later,
+//! and **selectively replays** the dependents that issued in the window —
+//! they are un-issued by a token bump, re-listen in their queues, and
+//! re-issue at the true fill, paying wakeup/selection energy on both
+//! passes. See DESIGN.md "Load-hit speculation and selective replay".
+//!
 //! # Example
 //!
 //! ```
@@ -112,8 +121,29 @@ struct Inflight {
     issued: bool,
     /// Globally unique dispatch sequence number. Completion events carry
     /// it; after a squash reuses instruction ids for the correct path, a
-    /// stale event's token no longer matches and the event is dead.
+    /// stale event's token no longer matches and the event is dead. A
+    /// load-hit-speculation replay *bumps* the token, so the cancelled
+    /// speculative pass's completion events die the same way.
     token: u64,
+    /// Issued on a speculatively woken operand; still occupying its
+    /// issue-queue slot until the miss cancel (or a squash) resolves it.
+    spec_held: bool,
+    /// Un-issued by a miss cancel and waiting to re-issue at the true fill.
+    replay_pending: bool,
+    /// Cycle of the most recent speculative issue (replay-latency
+    /// accounting).
+    spec_issued_at: Cycle,
+}
+
+/// One load in its speculative-wakeup window: the tag was broadcast at the
+/// predicted hit latency and the miss cancel has not run yet. Consumers
+/// that issue on the speculative tag are recorded here for selective
+/// replay.
+struct SpecLoad {
+    load: InstId,
+    token: u64,
+    dst: PhysReg,
+    consumers: Vec<(InstId, u64)>,
 }
 
 /// Cycles without a commit after which the simulator declares deadlock
@@ -261,7 +291,15 @@ pub struct Simulator {
     /// few dozen instructions on branchy codes).
     spare_recovery: Option<Recovery>,
     /// Monotone dispatch counter feeding [`Inflight::token`]; never reset.
+    /// Replays draw fresh tokens from the same counter.
     dispatch_seq: u64,
+    /// Loads currently in their speculative-wakeup window (tag broadcast,
+    /// miss cancel pending). Small: one entry per in-flight speculated
+    /// miss.
+    spec_loads: Vec<SpecLoad>,
+    /// Retired consumer lists, kept for their buffers (misses recur; the
+    /// steady-state window allocates nothing).
+    spec_consumer_pool: Vec<Vec<(InstId, u64)>>,
     /// Correct-path instructions pulled from a speculative source; fetch
     /// stops at [`Self::fetch_budget`] so `run_program` drains like a
     /// finite trace.
@@ -331,6 +369,8 @@ impl Simulator {
             recovery: None,
             spare_recovery: None,
             dispatch_seq: 0,
+            spec_loads: Vec::new(),
+            spec_consumer_pool: Vec::new(),
             correct_fetched: 0,
             fetch_budget: u64::MAX,
             stats,
@@ -413,6 +453,10 @@ impl Simulator {
                 self.events.next_at(),
             );
         }
+        debug_assert!(
+            self.spec_loads.is_empty(),
+            "speculative-wakeup windows must drain with the machine"
+        );
         self.finalize_stats();
         self.stall_counts = [0; STALL_LABELS.len()];
         let fresh = SimStats::new(&self.stats.scheme, &self.stats.benchmark);
@@ -521,10 +565,12 @@ impl Simulator {
                     }
                     if info.op == OpClass::Store {
                         // Address generation done; completion additionally
-                        // needs the data value.
+                        // needs the data value — the *real* value: a
+                        // speculatively woken register holds nothing to
+                        // write into the store buffer.
                         self.lsq.store_addr_done(id);
                         let data = info.store_data.expect("store has data source");
-                        if self.rename.is_ready(data, self.now) {
+                        if self.rename.is_ready_real(data, self.now) {
                             self.lsq.store_data_ready(id);
                             self.rob_entry_mut(id).completed = true;
                         } else {
@@ -571,6 +617,58 @@ impl Simulator {
                 EventKind::LoadAddrDone => {
                     self.lsq.load_addr_done(id);
                 }
+                EventKind::SpecWakeup => {
+                    // The predicted-hit broadcast: dependents wake (and may
+                    // issue this cycle) exactly as they would on a hit. The
+                    // load itself is *not* complete.
+                    let info = *self.inflight.get(id);
+                    let dst = info.dst.expect("speculating load has a destination");
+                    self.rename.set_ready_spec(dst, self.now);
+                    self.sched.on_result(dst, self.now);
+                    let consumers = self.spec_consumer_pool.pop().unwrap_or_default();
+                    self.spec_loads.push(SpecLoad {
+                        load: id,
+                        token,
+                        dst,
+                        consumers,
+                    });
+                }
+                EventKind::SpecMiss => {
+                    // Tag match failed: revert the speculative readiness,
+                    // return queued consumers to listening, and un-issue
+                    // (replay) everything that slipped into the window.
+                    // Stale completion events of the replayed pass die by
+                    // the token bump, exactly as squashed work's do.
+                    let idx = self
+                        .spec_loads
+                        .iter()
+                        .position(|r| r.load == id && r.token == token)
+                        .expect("speculated miss has a live record");
+                    let mut rec = self.spec_loads.swap_remove(idx);
+                    self.rename.cancel_spec(rec.dst);
+                    self.sched.cancel(rec.dst);
+                    let mut depth = 0u64;
+                    for &(cid, ctok) in &rec.consumers {
+                        if !self.inflight.contains(cid) {
+                            continue; // squashed since it issued
+                        }
+                        let fresh = self.dispatch_seq;
+                        let e = self.inflight.get_mut(cid);
+                        if e.token != ctok {
+                            continue; // squashed-and-reused, or already replayed
+                        }
+                        self.dispatch_seq += 1;
+                        e.token = fresh;
+                        e.issued = false;
+                        e.spec_held = false;
+                        e.replay_pending = true;
+                        depth += 1;
+                    }
+                    self.stats.replayed += depth;
+                    self.stats.replay_depth.record(depth);
+                    rec.consumers.clear();
+                    self.spec_consumer_pool.push(rec.consumers);
+                }
             }
         }
         self.due_scratch = due;
@@ -580,7 +678,7 @@ impl Simulator {
             let mut done = std::mem::take(&mut self.stores_done_scratch);
             done.clear();
             self.stores_waiting_data.retain(|&(id, data)| {
-                if self.rename.is_ready(data, now) {
+                if self.rename.is_ready_real(data, now) {
                     done.push(id);
                     false
                 } else {
@@ -629,20 +727,43 @@ impl Simulator {
         self.lsq.squash(from);
         self.stores_waiting_data.retain(|&(id, _)| id < from);
         self.sched.squash(from);
+        // Squashed loads' speculative windows die with them: their SpecMiss
+        // events are dead (the instruction left the in-flight table), so
+        // revert the register state here. Surviving loads keep their
+        // records; their squashed consumers are filtered at the cancel by
+        // the same contains/token test every stale event faces.
+        if !self.spec_loads.is_empty() {
+            let rename = &mut self.rename;
+            let pool = &mut self.spec_consumer_pool;
+            self.spec_loads.retain_mut(|r| {
+                if r.load >= from {
+                    rename.cancel_spec(r.dst);
+                    r.consumers.clear();
+                    pool.push(std::mem::take(&mut r.consumers));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         self.next_id = from.0;
         self.wrong_path_mode = false;
         self.waiting_mispredict = false;
         self.stats.wrong_path_squashed += flushed + rob_squashed;
         self.stats.squash_depth.record(rob_squashed);
         // Post-recovery invariant: the scheduler holds exactly the
-        // surviving dispatched-but-unissued instructions.
+        // surviving dispatched-but-unissued instructions — where a
+        // speculatively issued (held) instruction still occupies its slot.
         #[cfg(debug_assertions)]
         {
             let (oi, of) = self.sched.occupancy();
             let unissued = self
                 .rob
                 .iter()
-                .filter(|e| !self.inflight.get(e.id).issued)
+                .filter(|e| {
+                    let i = self.inflight.get(e.id);
+                    !i.issued || i.spec_held
+                })
                 .count();
             debug_assert_eq!(
                 oi + of,
@@ -672,8 +793,27 @@ impl Simulator {
                         let info = self.inflight.get(id);
                         let addr = info.mem.expect("load has address").addr;
                         let token = info.token;
+                        let has_dst = info.dst.is_some();
                         let lat = self.mem.load_latency(addr);
                         self.lsq.load_started(id, false);
+                        let hit = self.cfg.mem.dl1.latency;
+                        if self.cfg.load_hit_speculation && lat > hit && has_dst {
+                            // The scheduler believed this load would hit:
+                            // broadcast its tag at the predicted hit
+                            // latency, detect the miss one cycle later
+                            // (tag-match time), and deliver the real value
+                            // at the true fill. Dependents that slip into
+                            // the window are selectively replayed by the
+                            // SpecMiss handler.
+                            self.events
+                                .schedule(self.now + hit, id, token, EventKind::SpecWakeup);
+                            self.events.schedule(
+                                self.now + hit + 1,
+                                id,
+                                token,
+                                EventKind::SpecMiss,
+                            );
+                        }
                         self.events
                             .schedule(self.now + lat, id, token, EventKind::Complete);
                     }
@@ -706,13 +846,40 @@ impl Simulator {
                 *entry
             };
             // Dataflow checker: every source value must be available now.
-            // Wrong-path instructions obey the same physical readiness
-            // rules; architectural correctness is only ever judged against
-            // the correct path, which is all that survives to commit.
+            // A *speculatively* ready source is part of the load-hit
+            // protocol, not a violation — the issue is recorded as a
+            // consumer of the speculating load and will be replayed when
+            // the miss is detected. Wrong-path instructions obey the same
+            // physical readiness rules; architectural correctness is only
+            // ever judged against the correct path, which is all that
+            // survives to commit.
+            let mut consumed_spec = false;
             for src in info.srcs.into_iter().flatten() {
-                if !self.rename.is_ready(src, self.now) {
+                if self.rename.is_ready_real(src, self.now) {
+                    continue;
+                }
+                if self.rename.is_spec(src) {
+                    consumed_spec = true;
+                    let rec = self
+                        .spec_loads
+                        .iter_mut()
+                        .find(|r| r.dst == src)
+                        .expect("spec-ready register has a live record");
+                    rec.consumers.push((issued.id, info.token));
+                } else {
                     self.stats.checker_violations += 1;
                 }
+            }
+            if info.replay_pending {
+                // The confirmed re-issue of a replayed instruction: charge
+                // the cycles between the cancelled pass and this one.
+                self.stats.replay_cycles_lost += self.now - info.spec_issued_at;
+                self.inflight.get_mut(issued.id).replay_pending = false;
+            }
+            if consumed_spec {
+                let e = self.inflight.get_mut(issued.id);
+                e.spec_held = true;
+                e.spec_issued_at = self.now;
             }
             self.stats.issued += 1;
             if info.wrong_path {
@@ -867,6 +1034,9 @@ impl Simulator {
                     wrong_path: fetched.wrong_path,
                     issued: false,
                     token,
+                    spec_held: false,
+                    replay_pending: false,
+                    spec_issued_at: 0,
                 },
             );
         }

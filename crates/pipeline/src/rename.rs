@@ -19,6 +19,12 @@ pub struct RenameState {
     /// Cycle at which each physical register's value is (or becomes)
     /// available; `Cycle::MAX` while in flight.
     ready: [Vec<Cycle>; 2],
+    /// Whether the register's readiness is *speculative* — a missing load's
+    /// tag broadcast at the predicted hit latency. Spec-ready registers
+    /// look ready to wakeup/selection ([`is_ready`](Self::is_ready)) but
+    /// hold no real value ([`is_ready_real`](Self::is_ready_real)); the
+    /// flag clears on the cancel, the true fill, or re-allocation.
+    spec: [Vec<bool>; 2],
 }
 
 impl RenameState {
@@ -41,10 +47,15 @@ impl RenameState {
         };
         let (mi, fi, ri) = build(cfg.phys_int_regs);
         let (mf, ff, rf) = build(cfg.phys_fp_regs);
+        let spec = [
+            vec![false; cfg.phys_int_regs],
+            vec![false; cfg.phys_fp_regs],
+        ];
         RenameState {
             map: [mi, mf],
             free: [fi, ff],
             ready: [ri, rf],
+            spec,
         }
     }
 
@@ -83,6 +94,7 @@ impl RenameState {
         let old = self.map[ci][dst.index()];
         self.map[ci][dst.index()] = new;
         self.ready[ci][new as usize] = PENDING;
+        self.spec[ci][new as usize] = false;
         (
             PhysReg::new(dst.class(), new),
             PhysReg::new(dst.class(), old),
@@ -119,15 +131,46 @@ impl RenameState {
         self.free[ci].push_front(new.index() as u16);
     }
 
-    /// Marks a physical register's value available from `cycle` on.
+    /// Marks a physical register's value available from `cycle` on (and
+    /// *real*: a true fill clears any speculative flag).
     pub fn set_ready(&mut self, r: PhysReg, cycle: Cycle) {
         self.ready[r.class().index()][r.index()] = cycle;
+        self.spec[r.class().index()][r.index()] = false;
     }
 
-    /// Whether `r`'s value is available at `now`.
+    /// Marks `r` *speculatively* ready from `cycle` on: a missing load's
+    /// tag broadcast at the predicted hit latency. Wakeup and selection
+    /// treat it as ready; the value does not exist until the true fill.
+    pub fn set_ready_spec(&mut self, r: PhysReg, cycle: Cycle) {
+        self.ready[r.class().index()][r.index()] = cycle;
+        self.spec[r.class().index()][r.index()] = true;
+    }
+
+    /// Undoes a speculative wakeup at miss detection: `r` goes back to
+    /// in-flight until the true fill calls [`set_ready`](Self::set_ready).
+    pub fn cancel_spec(&mut self, r: PhysReg) {
+        self.ready[r.class().index()][r.index()] = PENDING;
+        self.spec[r.class().index()][r.index()] = false;
+    }
+
+    /// Whether `r`'s value is available at `now` — speculatively or for
+    /// real. This is the scoreboard wakeup/selection reads.
     #[must_use]
     pub fn is_ready(&self, r: PhysReg, now: Cycle) -> bool {
         self.ready[r.class().index()][r.index()] <= now
+    }
+
+    /// Whether `r` holds a *real* value at `now` (speculative readiness
+    /// excluded) — what store-data completion and the dataflow checker use.
+    #[must_use]
+    pub fn is_ready_real(&self, r: PhysReg, now: Cycle) -> bool {
+        self.ready[r.class().index()][r.index()] <= now && !self.spec[r.class().index()][r.index()]
+    }
+
+    /// Whether `r` is currently in a speculative-wakeup window.
+    #[must_use]
+    pub fn is_spec(&self, r: PhysReg) -> bool {
+        self.spec[r.class().index()][r.index()]
     }
 
     /// Number of free registers (diagnostics).
@@ -203,6 +246,39 @@ mod tests {
         assert_eq!(s.peek_allocate(RegClass::Int).unwrap(), n5);
         let _ = s.allocate(r5);
         assert_eq!(s.peek_allocate(RegClass::Int).unwrap(), n6);
+    }
+
+    #[test]
+    fn speculative_readiness_is_visible_but_not_real() {
+        let mut s = state();
+        let (p, _) = s.allocate(ArchReg::int(4));
+        s.set_ready_spec(p, 5);
+        assert!(s.is_ready(p, 5), "wakeup sees the speculative value");
+        assert!(!s.is_ready_real(p, 5), "the real value does not exist");
+        assert!(s.is_spec(p));
+        // Miss detected: back to in-flight.
+        s.cancel_spec(p);
+        assert!(!s.is_ready(p, 1_000_000));
+        assert!(!s.is_spec(p));
+        // True fill: real from here on.
+        s.set_ready(p, 40);
+        assert!(s.is_ready_real(p, 40));
+        assert!(!s.is_spec(p));
+    }
+
+    #[test]
+    fn reallocation_clears_a_stale_spec_flag() {
+        // A squashed load can leave its destination spec-ready on the free
+        // list (its cancel event died with it); the next allocation of that
+        // register must start clean.
+        let mut s = state();
+        let (p, prev) = s.allocate(ArchReg::int(4));
+        s.set_ready_spec(p, 5);
+        s.unallocate(ArchReg::int(4), p, prev);
+        let (p2, _) = s.allocate(ArchReg::int(9));
+        assert_eq!(p2, p, "free-list front reuses the squashed register");
+        assert!(!s.is_spec(p2));
+        assert!(!s.is_ready(p2, 1_000_000));
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub struct SimStats {
     /// Per-recovery squash depth: how many wrong-path instructions had
     /// dispatched (occupied the ROB) when the mispredicted branch resolved.
     pub squash_depth: Histogram,
+    /// Instructions replayed by load-hit speculation: they issued on a
+    /// speculatively woken operand, the load missed, and they were
+    /// un-issued to wait for the true fill (each replay re-pays issue
+    /// energy; `issued` counts both passes).
+    pub replayed: u64,
+    /// Cycles between an instruction's cancelled speculative issue and its
+    /// confirmed re-issue, summed over replays — the latency tax of
+    /// scheduling loads as L1 hits.
+    pub replay_cycles_lost: u64,
+    /// Per miss-cancel replay depth: how many consumers had issued on the
+    /// speculative wakeup when the miss was detected (zero when nothing
+    /// slipped into the window; one sample per speculated miss).
+    pub replay_depth: Histogram,
 }
 
 impl SimStats {
@@ -97,6 +110,9 @@ impl SimStats {
             wrong_path_issued: 0,
             wrong_path_squashed: 0,
             squash_depth: Histogram::new(257),
+            replayed: 0,
+            replay_cycles_lost: 0,
+            replay_depth: Histogram::new(257),
         }
     }
 
@@ -160,6 +176,15 @@ impl fmt::Display for SimStats {
                 self.wrong_path_dispatched,
                 self.wrong_path_issued,
                 self.wrong_path_squashed
+            )?;
+        }
+        if self.replay_depth.count() > 0 {
+            writeln!(
+                f,
+                "  load-hit speculation: {} misses speculated, {} replays, {} cycles lost",
+                self.replay_depth.count(),
+                self.replayed,
+                self.replay_cycles_lost
             )?;
         }
         Ok(())

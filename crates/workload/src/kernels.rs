@@ -147,6 +147,64 @@ pub fn pointer_chase(footprint_bytes: u64) -> WorkloadSpec {
     }
 }
 
+/// The load-hit-speculation stress profile: a wide mix of dependence
+/// chains whose loads scatter over a footprint far beyond the L1 (and most
+/// of the L2), with a pointer-chasing component — the scheduler's hit
+/// assumption is wrong for ~9 in 10 loads, so every queue constantly sees
+/// speculative wakeups, miss cancels and selective replays.
+///
+/// Unlike [`pointer_chase`] (a serial latency-bound extreme, where replay
+/// slots are free because nothing else is ready), this keeps many chains
+/// live: when a load's tag broadcasts there are dependents *in* the queues
+/// to wake and independent work competing for the issue slots a replayed
+/// pass wastes — so the replay tax shows up in both energy and IPC.
+///
+/// Registered as `"misschase"` (resolvable through
+/// [`suite::by_name`](crate::suite::by_name), the CLI, and experiment
+/// specs).
+#[must_use]
+pub fn miss_chase() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "misschase".into(),
+        class: BenchClass::Int,
+        live_chains: 18,
+        chain_len: (2, 4),
+        chain_starts_with_load: 0.8,
+        chain_ends_with_store: 0.15,
+        cross_dep_prob: 0.08,
+        mix: OpMix::int_typical(),
+        mem: MemPattern {
+            load_frac: 0.30,
+            store_frac: 0.06,
+            footprint_bytes: 8 << 20,
+            stride: 8,
+            random_frac: 0.85,
+            pointer_chase_frac: 0.12,
+        },
+        branch: BranchPattern {
+            branch_frac: 0.12,
+            taken_bias: 0.85,
+            noise: 0.06,
+            sites: 64,
+            code_bytes: 16 * 1024,
+            call_frac: 0.02,
+        },
+        seed: 0x1055e5,
+    }
+}
+
+/// The named kernels resolvable by [`suite::by_name`](crate::suite::by_name)
+/// alongside the SPEC2000 models (they do not join the suite groups — a
+/// whole-suite sweep stays the paper's 26 programs).
+#[must_use]
+pub fn named(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "misschase" => Some(miss_chase()),
+        "chase" => Some(pointer_chase(1 << 24)),
+        _ => None,
+    }
+}
+
 /// Branch-heavy code with tunable unpredictability (`noise` in `[0, 0.5]`).
 #[must_use]
 pub fn branch_torture(noise: f64) -> WorkloadSpec {
@@ -190,10 +248,29 @@ mod tests {
             serial_int_chain(),
             streaming(1 << 22),
             pointer_chase(1 << 24),
+            miss_chase(),
             branch_torture(0.2),
         ] {
             k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
+    }
+
+    #[test]
+    fn miss_chase_is_genuinely_miss_heavy() {
+        // The profile's whole purpose is a high D-cache miss rate: the
+        // working set must dwarf the 32 KB L1 and the generator must
+        // scatter accesses across it.
+        let k = miss_chase();
+        assert!(k.mem.footprint_bytes >= 4 << 20);
+        assert!(k.mem.random_frac > 0.5);
+        assert!(k.mem.pointer_chase_frac > 0.1);
+        let p = crate::TraceProfile::measure(&k.generate(20_000));
+        assert!(p.load_frac > 0.25, "load-dominated, got {}", p.load_frac);
+        assert!(
+            p.data_lines > 2_000,
+            "touches a large working set, got {} lines",
+            p.data_lines
+        );
     }
 
     #[test]

@@ -353,10 +353,15 @@ pub fn all() -> Vec<WorkloadSpec> {
     v
 }
 
-/// Looks a model up by name.
+/// Looks a model up by name — the 26 SPEC2000 models first, then the named
+/// stress kernels ([`kernels::named`](crate::kernels::named), e.g.
+/// `"misschase"`). Kernels never join the suite groups.
 #[must_use]
 pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-    all().into_iter().find(|s| s.name == name)
+    all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .or_else(|| crate::kernels::named(name))
 }
 
 /// Resolves a suite group name — `"all"`, `"int"`/`"specint"`, or
@@ -408,6 +413,19 @@ mod tests {
         assert_eq!(names.len(), n);
         assert!(by_name("swim").is_some());
         assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn named_kernels_resolve_but_stay_out_of_groups() {
+        let mc = by_name("misschase").expect("misschase kernel registered");
+        mc.validate().unwrap();
+        assert!(
+            mc.mem.footprint_bytes > 512 * KB,
+            "misschase must overflow the L2"
+        );
+        assert!(by_name("chase").is_some());
+        assert!(!group("all").unwrap().iter().any(|s| s.name == "misschase"));
+        assert_eq!(group("all").unwrap().len(), 26, "groups stay the suite");
     }
 
     #[test]

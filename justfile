@@ -6,6 +6,17 @@ verify:
     cargo build --release
     cargo test -q
 
+# The property suites at ~16x their in-tree case counts — what CI's
+# proptest-heavy workflow runs on main/schedule. Release speed with the
+# debug_assert! invariant layer kept armed. Failures record their seed in
+# proptest-regressions/ (commit it: every later run replays it first).
+test-heavy cases="512":
+    PROPTEST_CASES={{cases}} CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
+        cargo test --release \
+        --test proptest_replay --test proptest_squash \
+        --test proptest_wakeup --test proptest_schemes \
+        --test proptest_structures
+
 # Everything CI runs, including workspace-wide tests and lints.
 ci: verify
     cargo test -q --workspace
@@ -44,6 +55,14 @@ compare a b threshold="2":
 bench-speculation bench="gcc":
     cargo run --release --example wrong_path {{bench}}
     cargo run --release -- sweep experiments/speculation.json
+
+# Oracle load latency vs. load-hit speculative wakeup with selective
+# replay: per-scheme IPC/energy and the replay counters on the miss-heavy
+# pointer-chasing kernel (quick table via the example), plus the resumable
+# sweep grid (results land in ./results; `diq export load-replay` after).
+bench-replay bench="misschase":
+    cargo run --release --example load_replay {{bench}}
+    cargo run --release -- sweep experiments/load_replay.json
 
 # Simulator-throughput benchmark: simulated instrs/sec per scheme, the
 # event-driven wakeup vs the frozen scan reference, appended to the local

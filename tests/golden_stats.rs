@@ -207,6 +207,193 @@ fn tiny_geometries_squash_identically() {
     }
 }
 
+/// Scan-vs-event comparison with load-hit speculation enabled (and
+/// optionally wrong-path speculation on top). `dl1_bytes` shrinks the L1
+/// data cache so misses — and therefore speculative wakeups, cancels and
+/// replays — are frequent even on small instruction budgets.
+fn run_both_replaying(
+    sched: &SchedulerConfig,
+    bench: &str,
+    n: u64,
+    dl1_bytes: Option<usize>,
+    wrong_path: bool,
+) -> (SimStats, SimStats) {
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.load_hit_speculation = true;
+    cfg.wrong_path = wrong_path;
+    if let Some(b) = dl1_bytes {
+        cfg.mem.dl1.size_bytes = b;
+    }
+    let spec = suite::by_name(bench).unwrap();
+
+    let run = |scheduler: Box<dyn diq::sched::Scheduler>| -> SimStats {
+        let mut sim = Simulator::with_scheduler(&cfg, scheduler);
+        sim.set_benchmark(bench);
+        if wrong_path {
+            let mut program = TraceGenerator::new(&spec);
+            sim.run_program(&mut program, n)
+        } else {
+            sim.run(spec.generate(n as usize), n)
+        }
+    };
+    (run(sched.build(&cfg)), run(sched.build_scan(&cfg)))
+}
+
+fn assert_identical_replaying(
+    sched: &SchedulerConfig,
+    bench: &str,
+    n: u64,
+    dl1_bytes: Option<usize>,
+    wrong_path: bool,
+) -> SimStats {
+    let (fast, scan) = run_both_replaying(sched, bench, n, dl1_bytes, wrong_path);
+    assert_eq!(
+        fast.cycles,
+        scan.cycles,
+        "{}/{bench} (load-hit spec, wp={wrong_path}): cycles",
+        sched.label()
+    );
+    for (c, pj) in fast.energy.breakdown() {
+        assert!(
+            scan.energy.get(c) == pj,
+            "{}/{bench} (load-hit spec, wp={wrong_path}): {c} energy {} (event) vs {} (scan)",
+            sched.label(),
+            pj,
+            scan.energy.get(c)
+        );
+    }
+    assert_eq!(
+        fast,
+        scan,
+        "{}/{bench} (load-hit spec, wp={wrong_path}): full SimStats must be bit-identical",
+        sched.label()
+    );
+    assert_eq!(fast.checker_violations, 0, "{}/{bench}", sched.label());
+    assert_eq!(
+        fast.committed,
+        n,
+        "{}/{bench}: commits the full budget",
+        sched.label()
+    );
+    fast
+}
+
+/// The acceptance grid with **load-hit speculation enabled**: every
+/// registered scheme must produce bit-identical `SimStats` under the
+/// event-driven hold/cancel/replay path and the frozen scan reference's.
+/// The shrunken D-cache makes every workload miss-heavy, so the window is
+/// exercised thousands of times.
+#[test]
+fn every_registered_scheme_is_bit_identical_with_load_hit_speculation_on() {
+    for sched in SchedulerConfig::known() {
+        for bench in ["gzip", "swim"] {
+            assert_identical_replaying(&sched, bench, 2_000, Some(1024), false);
+        }
+    }
+}
+
+/// Load-hit speculation must actually speculate and replay: on a
+/// miss-heavy run the protocol records misses, replays consumers, loses
+/// cycles, and still retires the exact instruction budget with a clean
+/// dataflow checker (every replayed instruction re-issued with real data).
+#[test]
+fn load_hit_speculation_produces_replays_and_stays_sound() {
+    for sched in [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+        SchedulerConfig::lat_fifo(16, 16, 8, 16),
+    ] {
+        let stats = assert_identical_replaying(&sched, "mcf", 5_000, Some(1024), false);
+        assert!(
+            stats.replay_depth.count() > 0,
+            "{}: no misses were speculated",
+            sched.label()
+        );
+        assert!(stats.replayed > 0, "{}: no replays", sched.label());
+        assert!(
+            stats.replay_cycles_lost > 0,
+            "{}: replays lost no cycles",
+            sched.label()
+        );
+        // Every replay is one extra pass through the issue port.
+        assert_eq!(
+            stats.issued,
+            stats.committed + stats.replayed,
+            "{}: issued != committed + replayed",
+            sched.label()
+        );
+    }
+}
+
+/// Load-hit speculation combined with wrong-path speculation: replayed
+/// instructions get squashed, squashed loads abandon their windows, and
+/// both models must still agree bit for bit.
+#[test]
+fn load_hit_and_wrong_path_speculation_combine_bit_identically() {
+    for sched in SchedulerConfig::known() {
+        for bench in ["gzip", "swim"] {
+            assert_identical_replaying(&sched, bench, 2_000, Some(1024), true);
+        }
+    }
+    // Branchy + miss-heavy at a longer horizon on the headline schemes.
+    for sched in [
+        SchedulerConfig::iq_64_64(),
+        SchedulerConfig::if_distr(),
+        SchedulerConfig::mb_distr(),
+    ] {
+        let stats = assert_identical_replaying(&sched, "mcf", 5_000, Some(1024), true);
+        assert!(stats.replayed > 0, "{}: no replays", sched.label());
+        assert!(
+            stats.wrong_path_squashed > 0,
+            "{}: no squashes",
+            sched.label()
+        );
+    }
+}
+
+/// Tiny queue geometries under load-hit speculation: held entries occupy
+/// capacity, so the stall machinery collides with the replay window
+/// constantly — and must do so identically in both models.
+#[test]
+fn tiny_geometries_replay_identically() {
+    for sched in [
+        SchedulerConfig::cam(8, 8, 2),
+        SchedulerConfig::issue_fifo(2, 2, 2, 2),
+        SchedulerConfig::lat_fifo(2, 2, 2, 2),
+        SchedulerConfig::mix_buff(2, 2, 2, 4, Some(2)),
+    ] {
+        for bench in ["gzip", "mcf"] {
+            assert_identical_replaying(&sched, bench, 3_000, Some(512), false);
+        }
+    }
+}
+
+/// The off position of the new knob is the default, and the stock Table 1
+/// machine reproduces today's golden numbers byte for byte — pinned by
+/// every stall-model and wrong-path test above, all of which run with
+/// `load_hit_speculation == false`.
+#[test]
+fn load_hit_speculation_off_is_the_default_and_exact() {
+    let cfg = ProcessorConfig::hpca2004();
+    assert!(!cfg.load_hit_speculation, "oracle latency is the default");
+    // An explicit `false` is the identical machine — not merely equivalent
+    // statistics, the same configuration value the golden runs above used.
+    let mut explicit = ProcessorConfig::hpca2004();
+    explicit.load_hit_speculation = false;
+    assert_eq!(explicit, cfg);
+    // And with the knob off, a run must record zero speculation activity.
+    let sched = SchedulerConfig::mb_distr();
+    let spec = suite::by_name("mcf").unwrap();
+    let mut sim = Simulator::new(&cfg, &sched);
+    sim.set_benchmark("mcf");
+    let stats = sim.run(spec.generate(3_000), 3_000);
+    assert_eq!(stats.replayed, 0);
+    assert_eq!(stats.replay_cycles_lost, 0);
+    assert_eq!(stats.replay_depth.count(), 0);
+    assert_eq!(stats.issued, stats.committed);
+}
+
 /// A branchy workload must actually exercise the wrong path (nonzero
 /// speculative work), and the legacy stall model must stay exactly what it
 /// was — the off position of the knob reproduces the old golden numbers,

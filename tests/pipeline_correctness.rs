@@ -1,8 +1,10 @@
 //! End-to-end correctness: every scheme must run every kind of workload to
-//! completion with a clean dataflow checker.
+//! completion with a clean dataflow checker — plus direct LSQ edge-case
+//! tests (forwarding granularity, unknown-store-address stalls, and
+//! disambiguation state across a wrong-path truncation).
 
-use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::isa::{InstId, ProcessorConfig};
+use diq::pipeline::{LoadAction, Lsq, Simulator};
 use diq::sched::SchedulerConfig;
 use diq::workload::{kernels, suite, TraceGenerator};
 
@@ -145,6 +147,178 @@ fn speculation_squash_invariants_hold_for_every_scheme() {
             }
         }
     }
+}
+
+/// Load-hit speculation end-state invariants on every scheme: the budget
+/// commits, the checker is clean (replayed consumers re-issued with real
+/// data), replay work really happened on a miss-heavy profile, and every
+/// replay is exactly one extra pass through the issue port.
+#[test]
+fn replay_invariants_hold_for_every_scheme() {
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.load_hit_speculation = true;
+    let n = 3_000u64;
+    for bench in ["misschase", "mcf", "art"] {
+        let spec = suite::by_name(bench).unwrap();
+        let trace = spec.generate(n as usize);
+        for sched in all_schemes() {
+            let mut sim = Simulator::new(&cfg, &sched);
+            sim.set_benchmark(bench);
+            let stats = sim.run(trace.clone(), n);
+            assert_eq!(stats.committed, n, "{bench} under {}", sched.label());
+            assert_eq!(
+                stats.checker_violations,
+                0,
+                "{bench} under {}: issued before (really) ready",
+                sched.label()
+            );
+            assert_eq!(
+                stats.issued,
+                stats.committed + stats.replayed,
+                "{bench} under {}: issues split into committed + replayed",
+                sched.label()
+            );
+            assert_eq!(
+                sim.queue_occupancy(),
+                (0, 0),
+                "{bench} under {}: queues must drain",
+                sched.label()
+            );
+            // A speculated miss records one replay-depth sample; replays
+            // can never outnumber window slots (issue width per miss).
+            assert!(
+                stats.replay_depth.count() <= stats.dl1.misses(),
+                "{bench} under {}: more speculated misses than misses",
+                sched.label()
+            );
+            if bench == "misschase" {
+                assert!(
+                    stats.replayed > 0,
+                    "{bench} under {}: the miss-heavy profile must replay",
+                    sched.label()
+                );
+                assert!(
+                    stats.replay_cycles_lost >= stats.replayed,
+                    "{bench} under {}: each replay loses at least one cycle",
+                    sched.label()
+                );
+            }
+        }
+    }
+}
+
+// ---- LSQ edge cases ----------------------------------------------------
+//
+// `Lsq` is public API; these pin the disambiguation rules the simulator
+// relies on, at the exact granularities where they flip.
+
+/// Same-dword store→load forwarding vs. adjacent-dword non-aliasing: the
+/// LSQ matches on 8-byte-aligned dwords, so a load one dword past a store
+/// must access the cache while any address inside the store's dword
+/// forwards.
+#[test]
+fn lsq_forwards_same_dword_and_ignores_adjacent_dwords() {
+    let mut lsq = Lsq::new();
+    lsq.push(InstId(1), true, 0x1000);
+    lsq.push(InstId(2), false, 0x1007); // last byte of the store's dword
+    lsq.push(InstId(3), false, 0x1008); // first byte of the next dword
+    lsq.push(InstId(4), false, 0x0ff8); // dword just below
+    lsq.store_addr_done(InstId(1));
+    lsq.store_data_ready(InstId(1));
+    for id in [2, 3, 4] {
+        lsq.load_addr_done(InstId(id));
+    }
+    assert_eq!(lsq.load_action(InstId(2)), LoadAction::Forward);
+    assert_eq!(lsq.load_action(InstId(3)), LoadAction::Access);
+    assert_eq!(lsq.load_action(InstId(4)), LoadAction::Access);
+    // The batched per-cycle walk agrees with the per-load reference.
+    let mut actions = Vec::new();
+    lsq.pending_load_actions_into(&mut actions);
+    assert_eq!(
+        actions,
+        vec![
+            (InstId(2), LoadAction::Forward),
+            (InstId(3), LoadAction::Access),
+            (InstId(4), LoadAction::Access),
+        ]
+    );
+}
+
+/// A load with its address in hand still waits while *any* older store's
+/// address is unknown — even a store to what will turn out to be a
+/// different dword — and proceeds the cycle the address resolves.
+#[test]
+fn lsq_load_stalls_on_unknown_older_store_address() {
+    let mut lsq = Lsq::new();
+    lsq.push(InstId(1), true, 0x2000); // address not yet generated
+    lsq.push(InstId(2), true, 0x3000); // second unknown store
+    lsq.push(InstId(3), false, 0x4000); // independent load
+    lsq.load_addr_done(InstId(3));
+    assert_eq!(lsq.load_action(InstId(3)), LoadAction::Wait);
+    let mut actions = Vec::new();
+    lsq.pending_load_actions_into(&mut actions);
+    assert!(actions.is_empty(), "blocked loads must not surface");
+    // First store resolves (different dword) — the second still blocks.
+    lsq.store_addr_done(InstId(1));
+    assert_eq!(lsq.load_action(InstId(3)), LoadAction::Wait);
+    // Both resolved, no alias: the load may access.
+    lsq.store_addr_done(InstId(2));
+    assert_eq!(lsq.load_action(InstId(3)), LoadAction::Access);
+    lsq.pending_load_actions_into(&mut actions);
+    assert_eq!(actions, vec![(InstId(3), LoadAction::Access)]);
+}
+
+/// Disambiguation state after a wrong-path truncation: squashing a suffix
+/// removes doomed stores from the disambiguation window (a load that
+/// waited on a wrong-path store's unknown address runs free), removes
+/// doomed pending loads, and keeps older state intact — including across
+/// id reuse by the refetched correct path.
+#[test]
+fn lsq_disambiguation_survives_wrong_path_truncation() {
+    let mut lsq = Lsq::new();
+    lsq.push(InstId(1), true, 0x1000); // correct-path store
+    lsq.push(InstId(2), false, 0x1004); // correct-path load, same dword
+    lsq.push(InstId(3), true, 0x9000); // wrong-path store, addr unknown
+    lsq.push(InstId(4), false, 0x9008); // wrong-path load
+    lsq.store_addr_done(InstId(1));
+    lsq.store_data_ready(InstId(1));
+    lsq.load_addr_done(InstId(2));
+    lsq.load_addr_done(InstId(4));
+    // The wrong-path store's unknown address blocks nothing older than it,
+    // but does block the younger wrong-path load.
+    assert_eq!(lsq.load_action(InstId(2)), LoadAction::Forward);
+    assert_eq!(lsq.load_action(InstId(4)), LoadAction::Wait);
+    // Mispredict resolves: everything from id 3 is squashed.
+    lsq.squash(InstId(3));
+    assert_eq!(lsq.len(), 2);
+    let mut actions = Vec::new();
+    lsq.pending_load_actions_into(&mut actions);
+    assert_eq!(
+        actions,
+        vec![(InstId(2), LoadAction::Forward)],
+        "squashed entries must leave the pending set and the store mirror"
+    );
+    // The correct path reuses id 3 for a load to the store's dword: it
+    // must see the surviving store, not any ghost of the squashed one.
+    lsq.push(InstId(3), false, 0x1000);
+    lsq.load_addr_done(InstId(3));
+    assert_eq!(lsq.load_action(InstId(3)), LoadAction::Forward);
+    lsq.pending_load_actions_into(&mut actions);
+    assert_eq!(
+        actions,
+        vec![
+            (InstId(2), LoadAction::Forward),
+            (InstId(3), LoadAction::Forward),
+        ]
+    );
+    // Commit order still holds after the truncation.
+    lsq.load_started(InstId(2), true);
+    lsq.load_started(InstId(3), true);
+    lsq.pop(InstId(1));
+    lsq.pop(InstId(2));
+    lsq.pop(InstId(3));
+    assert!(lsq.is_empty());
+    assert_eq!(lsq.forwards, 2, "both surviving loads forwarded");
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Property test for load-hit speculative wakeup with selective replay:
+//! random miss patterns (footprints and D-cache geometries drawn per
+//! case), random squash points (branch noise makes wrong-path recoveries
+//! land at effectively random instruction ids), and tag aliasing (squash
+//! rewinds the id counter and returns physical registers to the free-list
+//! *front*, so the correct path reuses both namespaces immediately).
+//!
+//! Every registered scheme must stay **bit-identical** to its frozen scan
+//! reference through speculative wakeups, miss cancels, held entries and
+//! replays — and the machine must always drain: a lost wakeup (a replayed
+//! consumer nobody re-wakes) deadlocks and trips the simulator's loud
+//! 100k-cycle watchdog, while a double wakeup diverges from the scan model
+//! or trips a debug assertion. The nastiest interleaving — a replayed load
+//! that is *itself* squashed before (or after) it re-issues — occurs
+//! constantly here because every case runs branchy code over a D-cache
+//! small enough that most loads miss.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::Simulator;
+use diq::sched::SchedulerConfig;
+use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, TraceGenerator, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A random always-valid workload shaped to stress the replay window:
+/// load-heavy, pointer-chasing, branchy enough to squash mid-window.
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1usize..=24,  // live chains
+        1usize..=5,   // min chain len
+        0usize..=5,   // extra chain len
+        0.05f64..0.4, // load frac
+        0.0f64..0.12, // store frac
+        0.0f64..0.25, // branch frac
+        0.0f64..0.3,  // branch noise
+        0.0f64..0.6,  // pointer-chase frac
+        0.0f64..1.0,  // fp-ness of the mix
+        14u32..22,    // log2 footprint (16 KB .. 2 MB)
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(
+                chains,
+                len_lo,
+                len_extra,
+                loads,
+                stores,
+                branches,
+                noise,
+                chase,
+                fpness,
+                lgfoot,
+                seed,
+            )| {
+                WorkloadSpec {
+                    name: "replayprop".into(),
+                    class: if fpness > 0.5 {
+                        BenchClass::Fp
+                    } else {
+                        BenchClass::Int
+                    },
+                    live_chains: chains,
+                    chain_len: (len_lo, len_lo + len_extra),
+                    chain_starts_with_load: 0.6,
+                    chain_ends_with_store: 0.3,
+                    cross_dep_prob: 0.1,
+                    mix: OpMix {
+                        int_alu: 1.0 - fpness,
+                        int_mul: 0.02,
+                        int_div: 0.002,
+                        fp_add: fpness,
+                        fp_mul: fpness * 0.8,
+                        fp_div: fpness * 0.02,
+                    },
+                    mem: MemPattern {
+                        load_frac: loads,
+                        store_frac: stores,
+                        footprint_bytes: 1 << lgfoot,
+                        stride: 8,
+                        random_frac: 0.5,
+                        pointer_chase_frac: chase,
+                    },
+                    branch: BranchPattern {
+                        branch_frac: branches,
+                        taken_bias: 0.8,
+                        noise,
+                        sites: 64,
+                        code_bytes: 4096,
+                        call_frac: 0.03,
+                    },
+                    seed,
+                }
+            },
+        )
+        .prop_filter("fractions must leave room for arithmetic", |s| {
+            s.validate().is_ok()
+        })
+}
+
+/// A random D-cache small enough that misses are the common case: the
+/// speculative window opens constantly, in every queue.
+fn arb_dl1_bytes() -> impl Strategy<Value = usize> {
+    (8usize..13).prop_map(|lg| 1usize << lg) // 256 B .. 4 KB
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Oracle-off, replay-on: every registered scheme agrees with its scan
+    /// reference bit for bit, retires the exact budget, drains, and obeys
+    /// the replay identity `issued == committed + replayed`.
+    #[test]
+    fn scan_and_event_agree_with_load_hit_speculation(
+        spec in arb_workload(),
+        dl1 in arb_dl1_bytes(),
+    ) {
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.load_hit_speculation = true;
+        cfg.mem.dl1.size_bytes = dl1;
+        let n = 600u64;
+        let trace = spec.generate(n as usize);
+        for sched in SchedulerConfig::known() {
+            let mut fast = Simulator::new(&cfg, &sched);
+            fast.set_benchmark(&spec.name);
+            let fast_stats = fast.run(trace.clone(), n);
+
+            let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+            scan.set_benchmark(&spec.name);
+            let scan_stats = scan.run(trace.clone(), n);
+
+            prop_assert_eq!(
+                &fast_stats,
+                &scan_stats,
+                "{}: SimStats diverge under load-hit speculation",
+                sched.label()
+            );
+            prop_assert_eq!(fast_stats.checker_violations, 0, "{}", sched.label());
+            prop_assert_eq!(fast_stats.committed, n, "{}", sched.label());
+            prop_assert_eq!(
+                fast_stats.issued,
+                fast_stats.committed + fast_stats.replayed,
+                "{}: every replay is exactly one extra issue pass",
+                sched.label()
+            );
+            prop_assert_eq!(
+                fast.queue_occupancy(),
+                (0, 0),
+                "{}: queues failed to drain after replays",
+                sched.label()
+            );
+        }
+    }
+
+    /// Both speculations on: wrong-path squashes land inside speculative
+    /// windows (killing speculating loads, held consumers, and
+    /// replay-pending instructions at random points), ids and tags are
+    /// reused by the refetched correct path, and the two models must still
+    /// agree bit for bit and drain to empty.
+    #[test]
+    fn replayed_loads_survive_random_squashes(
+        spec in arb_workload(),
+        dl1 in arb_dl1_bytes(),
+    ) {
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.load_hit_speculation = true;
+        cfg.wrong_path = true;
+        cfg.mem.dl1.size_bytes = dl1;
+        let n = 600u64;
+        for sched in SchedulerConfig::known() {
+            let mut fast = Simulator::new(&cfg, &sched);
+            fast.set_benchmark(&spec.name);
+            let mut program = TraceGenerator::new(&spec);
+            let fast_stats = fast.run_program(&mut program, n);
+
+            let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+            scan.set_benchmark(&spec.name);
+            let mut program = TraceGenerator::new(&spec);
+            let scan_stats = scan.run_program(&mut program, n);
+
+            prop_assert_eq!(
+                &fast_stats,
+                &scan_stats,
+                "{}: SimStats diverge with replay + wrong-path squashes",
+                sched.label()
+            );
+            prop_assert_eq!(fast_stats.checker_violations, 0, "{}", sched.label());
+            prop_assert_eq!(fast_stats.committed, n, "{}", sched.label());
+            prop_assert_eq!(
+                fast.queue_occupancy(),
+                (0, 0),
+                "{}: queues failed to drain after squashed replays",
+                sched.label()
+            );
+            prop_assert_eq!(
+                scan.queue_occupancy(),
+                (0, 0),
+                "{}: scan queues failed to drain",
+                sched.label()
+            );
+        }
+    }
+}
