@@ -7,9 +7,19 @@
 //! `prop_assert*` macros.
 //!
 //! Differences from real proptest: sampling is plain pseudo-random (no
-//! bias toward edge cases), there is **no shrinking** of failing inputs,
-//! and the per-test RNG seed is a fixed function of the test name, so runs
-//! are fully deterministic.
+//! bias toward edge cases) and there is **no shrinking** of failing
+//! inputs. Runs are fully deterministic: each case samples from its own
+//! seed, drawn from a meta-stream fixed by the test name.
+//!
+//! Two pieces of the real crate's operational surface are implemented:
+//!
+//! * **`PROPTEST_CASES`** — the environment variable overrides every
+//!   property's case count (CI's `proptest-heavy` job raises it ~16×);
+//! * **regression persistence** — when a case fails, its seed is appended
+//!   to `proptest-regressions/<property>.txt` under the crate root
+//!   (`CARGO_MANIFEST_DIR`), and every recorded seed is replayed *first*
+//!   on subsequent runs, so a failure found anywhere (a heavy CI run
+//!   included) reproduces deterministically once the file is committed.
 
 #![deny(missing_docs)]
 
@@ -281,6 +291,71 @@ pub mod test_runner {
             }
         }
     }
+
+    /// The `PROPTEST_CASES` environment override, if set and parseable.
+    /// Takes precedence over any per-property `cases` setting, exactly so
+    /// a heavy CI job can scale *every* suite without touching sources.
+    #[must_use]
+    pub fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+    }
+}
+
+pub mod regressions {
+    //! Failing-seed persistence: `proptest-regressions/<property>.txt`
+    //! under the owning crate's root, one `cc <16 hex digits>` line per
+    //! recorded failure (`#`-lines are comments). Committed files make
+    //! any failure replay deterministically on every later run.
+
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    /// The regression file for property `test` in `manifest_dir`.
+    #[must_use]
+    pub fn file_for(manifest_dir: &str, test: &str) -> PathBuf {
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{test}.txt"))
+    }
+
+    /// Seeds recorded by earlier failures (empty when none are on file).
+    #[must_use]
+    pub fn load(manifest_dir: &str, test: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(file_for(manifest_dir, test)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| {
+                l.trim()
+                    .strip_prefix("cc ")
+                    .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            })
+            .collect()
+    }
+
+    /// Appends `seed` to the property's regression file (creating the
+    /// directory as needed; duplicates are skipped). Best-effort: an
+    /// unwritable tree must not mask the original test failure.
+    pub fn record(manifest_dir: &str, test: &str, seed: u64) {
+        if load(manifest_dir, test).contains(&seed) {
+            return;
+        }
+        let path = file_for(manifest_dir, test);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "cc {seed:016x}");
+            eprintln!(
+                "proptest: recorded failing seed `cc {seed:016x}` in {} — commit it to pin the reproduction",
+                path.display()
+            );
+        }
+    }
 }
 
 pub mod prelude {
@@ -346,16 +421,36 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
-            let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+            let __cases: u32 =
+                $crate::test_runner::env_cases().unwrap_or(__config.cases);
+            let __manifest = env!("CARGO_MANIFEST_DIR");
+            // Recorded failures replay first, outside the catch: a panic
+            // here is the deterministic reproduction, already on file.
+            for __seed in $crate::regressions::load(__manifest, stringify!($name)) {
+                let mut __rng = $crate::rng::TestRng::new(__seed);
+                $(
+                    let $arg = match $crate::strategy::Strategy::sample(
+                        &($strat),
+                        &mut __rng,
+                    ) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                )+
+                $body
+            }
+            let mut __meta_rng = $crate::rng::TestRng::from_name(stringify!($name));
             let mut __done: u32 = 0;
             let mut __attempts: u32 = 0;
-            while __done < __config.cases {
+            while __done < __cases {
                 __attempts += 1;
                 assert!(
-                    __attempts <= __config.cases.saturating_mul(200),
+                    __attempts <= __cases.saturating_mul(200),
                     "proptest `{}`: filter rejected too many samples",
                     stringify!($name),
                 );
+                let __case_seed = __meta_rng.next_u64();
+                let mut __rng = $crate::rng::TestRng::new(__case_seed);
                 $(
                     let $arg = match $crate::strategy::Strategy::sample(
                         &($strat),
@@ -366,7 +461,17 @@ macro_rules! __proptest_items {
                     };
                 )+
                 __done += 1;
-                $body
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let Err(__panic) = __outcome {
+                    $crate::regressions::record(
+                        __manifest,
+                        stringify!($name),
+                        __case_seed,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
             }
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
@@ -397,5 +502,24 @@ mod tests {
         fn any_is_deterministic_per_name(seed in any::<u64>()) {
             let _ = seed;
         }
+    }
+
+    #[test]
+    fn regression_files_round_trip_and_dedup() {
+        let dir = std::env::temp_dir().join(format!("proptest-regr-{}", std::process::id()));
+        let m = dir.to_str().unwrap();
+        assert!(crate::regressions::load(m, "prop_x").is_empty());
+        crate::regressions::record(m, "prop_x", 0xdead_beef);
+        crate::regressions::record(m, "prop_x", 0xdead_beef); // deduplicated
+        crate::regressions::record(m, "prop_x", 7);
+        assert_eq!(crate::regressions::load(m, "prop_x"), vec![0xdead_beef, 7]);
+        // Comment lines and junk are ignored.
+        std::fs::write(
+            crate::regressions::file_for(m, "prop_y"),
+            "# a comment\ncc 000000000000002a\nnot a seed\n",
+        )
+        .unwrap();
+        assert_eq!(crate::regressions::load(m, "prop_y"), vec![42]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
