@@ -71,7 +71,8 @@ fn bench_simulator_throughput(c: &mut Criterion) {
         group.bench_function(sched_cfg.label(), |b| {
             b.iter(|| {
                 let mut sim = Simulator::new(&cfg, &sched_cfg);
-                sim.run(trace.clone(), 5_000).cycles
+                sim.run_workload(&mut diq_pipeline::TraceSource::new(trace.clone()), 5_000)
+                    .cycles
             });
         });
     }

@@ -27,7 +27,7 @@
 //!   allocation work — on an equal footing
 
 use diq_core::SchedulerConfig;
-use diq_exp::{measure_point, ThroughputSummary};
+use diq_exp::{ThroughputProbe, ThroughputSummary};
 use diq_isa::ProcessorConfig;
 use diq_workload::suite;
 
@@ -76,17 +76,13 @@ fn main() {
     let mut points = Vec::new();
     for scheme in &schemes {
         for workload in &workloads {
-            let mut p = measure_point(&cfg, scheme, workload, instructions);
+            let mut probe = ThroughputProbe::new(&cfg, scheme, workload).instructions(instructions);
             if let Some(bin) = &baseline_bin {
-                let base = diq_exp::measure_e2e_ips(bin, &p.scheme, &p.benchmark, instructions)
-                    .unwrap_or_else(|e| panic!("baseline measurement: {e}"));
-                let own =
-                    diq_exp::measure_e2e_ips(&self_bin, &p.scheme, &p.benchmark, instructions)
-                        .unwrap_or_else(|e| panic!("self measurement: {e}"));
-                p.baseline_e2e_ips = Some(base);
-                p.self_e2e_ips = Some(own);
-                p.speedup_vs_baseline = Some(own / base);
+                probe = probe.e2e_bin(&self_bin).baseline_bin(bin);
             }
+            let p = probe
+                .measure()
+                .unwrap_or_else(|e| panic!("throughput measurement: {e}"));
             print!(
                 "{:24} {:8} {:>7} instrs: {:>9.0} instrs/s event, {:>9.0} instrs/s scan, {:.2}x",
                 p.scheme, p.benchmark, p.instructions, p.event_ips, p.scan_ips, p.speedup

@@ -36,7 +36,10 @@ impl Btb {
             "BTB set count must be a power of two"
         );
         Btb {
-            sets: vec![Vec::with_capacity(assoc); nsets],
+            // `vec![elem; n]` clones, and cloning an empty Vec drops its
+            // capacity — build each set directly so first touches during a
+            // run never allocate.
+            sets: (0..nsets).map(|_| Vec::with_capacity(assoc)).collect(),
             assoc,
         }
     }

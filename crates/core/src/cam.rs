@@ -11,64 +11,42 @@
 //!
 //! The *simulation* of that broadcast is event-driven: each array keeps a
 //! per-tag consumer list ([`WakeupMap`]) so a result touches only the
-//! entries listening for it, and a ready-list so selection never rescans
-//! the queue. The *energy* charged per broadcast is still the physical
-//! banked-CAM cost — occupied banks × tag-line drive plus enabled
-//! comparators × match-line — computed from incrementally maintained
-//! counters ([`WakeupEvent`] carries them), bit-identical to the frozen
-//! scan model in [`reference`](crate::reference).
+//! entries listening for it, and entry state lives in a bitset-backed
+//! [`EntryStore`] so selection walks the `live & ready0 & ready1 & !held`
+//! word mask instead of rescanning the queue. The *energy* charged per
+//! broadcast is still the physical banked-CAM cost — occupied banks ×
+//! tag-line drive plus enabled comparators × match-line — where the
+//! comparator count is a popcount over the same bitsets ([`WakeupEvent`]
+//! carries it), bit-identical to the frozen scan model in
+//! [`reference`](crate::reference).
 
 use crate::energy::CamEnergy;
+use crate::fifo::Entry;
 use crate::fu::FuTopology;
-use crate::wakeup::{Slab, WakeupEvent, WakeupMap};
+use crate::soa::EntryStore;
+use crate::wakeup::{WakeupEvent, WakeupMap};
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
-use diq_isa::{Cycle, InstId, OpClass, PhysReg, ProcessorConfig, RegClass};
+use diq_isa::{Cycle, InstId, PhysReg, ProcessorConfig, RegClass};
 use diq_power::{Component, EnergyMeter, TechParams};
-
-#[derive(Clone, Copy, Debug)]
-struct CamEntry {
-    id: InstId,
-    op: OpClass,
-    srcs: [Option<PhysReg>; 2],
-    ready: [bool; 2],
-    /// Position in `CamArray::ready` while all operands are ready.
-    ready_pos: u32,
-    /// Issued on a speculative operand and kept in place until the miss
-    /// cancel returns it to waiting (load-hit speculation).
-    held: bool,
-}
-
-impl CamEntry {
-    fn all_ready(&self) -> bool {
-        self.ready[0] && self.ready[1]
-    }
-}
 
 /// One banked CAM/RAM queue (integer or FP side).
 #[derive(Clone, Debug)]
 struct CamArray {
-    slab: Slab<CamEntry>,
-    /// Slots whose entries have both operands ready (selection candidates).
-    ready: Vec<u32>,
+    store: EntryStore,
     /// `tag → [waiting (slot, operand)]`.
     waiters: WakeupMap,
-    /// Enabled comparators across the whole array (operands not yet ready)
-    /// — the match-line count a broadcast is charged for.
-    unready_ops: usize,
     capacity: usize,
     bank_entries: usize,
-    /// Squash scratch (doomed slots), reused across recoveries.
+    /// Squash/cancel scratch (doomed slots), reused across recoveries.
     doomed: Vec<u32>,
 }
 
 impl CamArray {
-    fn new(capacity: usize, banks: usize) -> Self {
+    fn new(capacity: usize, banks: usize, regs: [usize; 2]) -> Self {
         assert!(capacity > 0 && banks > 0);
         CamArray {
-            slab: Slab::new(),
-            ready: Vec::with_capacity(capacity),
-            waiters: WakeupMap::new(),
-            unready_ops: 0,
+            store: EntryStore::new(capacity),
+            waiters: WakeupMap::new(capacity, regs),
             capacity,
             bank_entries: capacity.div_ceil(banks),
             doomed: Vec::new(),
@@ -76,55 +54,17 @@ impl CamArray {
     }
 
     fn active_banks(&self) -> usize {
-        self.slab.len().div_ceil(self.bank_entries)
+        self.store.len().div_ceil(self.bank_entries)
     }
 
     fn dispatch(&mut self, d: &DispatchInst) {
-        let mut ready = [true, true];
-        for (i, src) in d.srcs.iter().enumerate() {
-            if src.is_some() {
-                ready[i] = d.srcs_ready[i];
-            }
-        }
-        let slot = self.slab.insert(CamEntry {
-            id: d.id,
-            op: d.op,
-            srcs: d.srcs,
-            ready,
-            ready_pos: u32::MAX,
-            held: false,
-        });
-        for (i, src) in d.srcs.iter().enumerate() {
-            if !ready[i] {
+        let e = Entry::new(d);
+        let slot = self.store.insert(&e);
+        for (i, ready) in e.ready.iter().enumerate() {
+            if !ready {
                 self.waiters
-                    .listen(src.expect("unready operand has a tag"), slot, i);
-                self.unready_ops += 1;
+                    .listen(e.srcs[i].expect("unready operand has a tag"), slot, i);
             }
-        }
-        if ready[0] && ready[1] {
-            self.mark_ready(slot);
-        }
-    }
-
-    fn mark_ready(&mut self, slot: u32) {
-        self.slab.get_mut(slot).ready_pos = self.ready.len() as u32;
-        self.ready.push(slot);
-    }
-
-    /// Removes an issued entry (it is necessarily on the ready list).
-    fn remove(&mut self, slot: u32) -> CamEntry {
-        let e = self.slab.remove(slot);
-        self.unlink_ready(e.ready_pos);
-        e
-    }
-
-    /// Drops the ready-list link at `pos`, fixing the moved tail's
-    /// back-pointer.
-    fn unlink_ready(&mut self, pos: u32) {
-        let pos = pos as usize;
-        self.ready.swap_remove(pos);
-        if let Some(&moved) = self.ready.get(pos) {
-            self.slab.get_mut(moved).ready_pos = pos as u32;
         }
     }
 
@@ -132,11 +72,7 @@ impl CamArray {
     /// candidates but keeps its queue slot (the hardware does not
     /// deallocate until the load is known to hit), waiting for the cancel.
     fn hold(&mut self, slot: u32) {
-        let pos = self.slab.get(slot).ready_pos;
-        self.unlink_ready(pos);
-        let e = self.slab.get_mut(slot);
-        e.ready_pos = u32::MAX;
-        e.held = true;
+        self.store.set_held(slot);
     }
 
     /// Miss cancel for `tag`: every entry whose operand `tag` looked ready
@@ -146,29 +82,21 @@ impl CamArray {
     fn cancel(&mut self, tag: PhysReg) {
         let mut doomed = std::mem::take(&mut self.doomed);
         doomed.clear();
-        doomed.extend(
-            self.slab
-                .iter()
-                .filter(|(_, e)| e.srcs.contains(&Some(tag)))
-                .map(|(slot, _)| slot),
-        );
+        let store = &self.store;
+        store.for_each_live(|slot| {
+            if store.srcs(slot).contains(&Some(tag)) {
+                doomed.push(slot);
+            }
+        });
         for &slot in &doomed {
-            let e = *self.slab.get(slot);
-            let was_selectable = e.all_ready() && !e.held;
-            let mut flipped = false;
-            for (i, src) in e.srcs.iter().enumerate() {
-                if *src == Some(tag) && e.ready[i] {
-                    self.slab.get_mut(slot).ready[i] = false;
+            let srcs = self.store.srcs(slot);
+            for (i, src) in srcs.iter().enumerate() {
+                if *src == Some(tag) && self.store.is_ready(slot, i) {
+                    self.store.clear_ready(slot, i);
                     self.waiters.listen(tag, slot, i);
-                    self.unready_ops += 1;
-                    flipped = true;
                 }
             }
-            if was_selectable && flipped {
-                self.unlink_ready(self.slab.get(slot).ready_pos);
-                self.slab.get_mut(slot).ready_pos = u32::MAX;
-            }
-            self.slab.get_mut(slot).held = false;
+            self.store.clear_held(slot);
         }
         self.doomed = doomed;
     }
@@ -180,30 +108,25 @@ impl CamArray {
     fn squash(&mut self, from: InstId) {
         let mut doomed = std::mem::take(&mut self.doomed);
         doomed.clear();
-        doomed.extend(
-            self.slab
-                .iter()
-                .filter(|(_, e)| e.id >= from)
-                .map(|(slot, _)| slot),
-        );
+        let store = &self.store;
+        store.for_each_live(|slot| {
+            if store.id(slot) >= from {
+                doomed.push(slot);
+            }
+        });
         for &slot in &doomed {
-            if self.slab.get(slot).held {
-                // Held after a speculative issue: off the ready list, with
-                // no registered waiters (its bits still read ready).
-                self.slab.remove(slot);
-            } else if self.slab.get(slot).all_ready() {
-                // On the ready list: `remove` unlinks it.
-                self.remove(slot);
-            } else {
-                let e = self.slab.remove(slot);
-                for (i, ready) in e.ready.iter().enumerate() {
-                    if !ready {
+            // Held entries read fully ready with no registered waiters;
+            // unready operands still listen and must be deregistered.
+            if !self.store.all_ready(slot) {
+                let srcs = self.store.srcs(slot);
+                for (i, src) in srcs.iter().enumerate() {
+                    if !self.store.is_ready(slot, i) {
                         self.waiters
-                            .unlisten(e.srcs[i].expect("unready operand has a tag"), slot);
-                        self.unready_ops -= 1;
+                            .unlisten(src.expect("unready operand has a tag"), slot);
                     }
                 }
             }
+            self.store.remove(slot);
         }
         self.doomed = doomed;
     }
@@ -215,22 +138,13 @@ impl CamArray {
     fn wakeup(&mut self, tag: PhysReg) -> WakeupEvent {
         let event = WakeupEvent {
             banks: self.active_banks(),
-            comparators: self.unready_ops,
+            comparators: self.store.unready_operand_count(),
         };
-        let slab = &mut self.slab;
-        let ready = &mut self.ready;
-        let mut woken = 0usize;
+        let store = &mut self.store;
         self.waiters.wake(tag, |w| {
-            let e = slab.get_mut(w.slot);
-            debug_assert!(!e.ready[w.operand as usize], "double wakeup");
-            e.ready[w.operand as usize] = true;
-            woken += 1;
-            if e.all_ready() {
-                e.ready_pos = ready.len() as u32;
-                ready.push(w.slot);
-            }
+            debug_assert!(!store.is_ready(w.slot, w.operand as usize), "double wakeup");
+            store.set_ready(w.slot, w.operand as usize);
         });
-        self.unready_ops -= woken;
         event
     }
 }
@@ -270,13 +184,17 @@ impl CamIssueQueue {
         fp_entries: usize,
         banks: usize,
         topology: FuTopology,
-        _cfg: &ProcessorConfig,
+        cfg: &ProcessorConfig,
     ) -> Self {
         let tech = TechParams::um100();
+        let regs = [
+            cfg.phys_regs(diq_isa::RegClass::Int),
+            cfg.phys_regs(diq_isa::RegClass::Fp),
+        ];
         CamIssueQueue {
             name,
-            int: CamArray::new(int_entries, banks),
-            fp: CamArray::new(fp_entries, banks),
+            int: CamArray::new(int_entries, banks, regs),
+            fp: CamArray::new(fp_entries, banks, regs),
             energy_model: CamEnergy::new(int_entries, banks, &topology, &tech),
             meter: EnergyMeter::new(),
             topology,
@@ -301,7 +219,7 @@ impl Scheduler for CamIssueQueue {
     fn try_dispatch(&mut self, d: &DispatchInst, _now: Cycle) -> Result<(), DispatchStall> {
         let side = d.side();
         let array = self.array(side);
-        if array.slab.len() >= array.capacity {
+        if array.store.len() >= array.capacity {
             return Err(DispatchStall::Full);
         }
         array.dispatch(d);
@@ -312,23 +230,25 @@ impl Scheduler for CamIssueQueue {
 
     fn issue_cycle(&mut self, _now: Cycle, sink: &mut dyn IssueSink) {
         // Oldest-first among all ready entries of both sides; the sink
-        // enforces per-side width and functional-unit limits. The ready
-        // lists mean selection work is proportional to the candidates, not
-        // the queue size.
+        // enforces per-side width and functional-unit limits. The bitset
+        // mask means selection work is proportional to the occupied words,
+        // not the queue size.
         let mut candidates = std::mem::take(&mut self.candidates);
         candidates.clear();
         for (side, array) in [(Side::Int, &self.int), (Side::Fp, &self.fp)] {
-            for &slot in &array.ready {
-                candidates.push((array.slab.get(slot).id.0, side, slot));
-            }
+            let before = candidates.len();
+            array
+                .store
+                .for_each_selectable(|slot| candidates.push((array.store.id(slot).0, side, slot)));
             // Selection logic consumes energy whenever the queue has
-            // anything to arbitrate.
-            if array.slab.len() > 0 {
+            // anything to arbitrate. The candidate count just gathered IS
+            // the selectable count — one bitset pass serves both.
+            if array.store.len() > 0 {
                 self.meter.add(
                     Component::Select,
                     self.energy_model
                         .select
-                        .select_energy_pj(&self.tech, array.ready.len()),
+                        .select_energy_pj(&self.tech, candidates.len() - before),
                 );
             }
         }
@@ -338,14 +258,14 @@ impl Scheduler for CamIssueQueue {
                 Side::Int => &mut self.int,
                 Side::Fp => &mut self.fp,
             };
-            let e = *array.slab.get(slot);
+            let e = array.store.snapshot(slot);
             if sink.try_issue(InstId(age), e.op, None) {
                 // Both passes of a speculative issue pay the entry read and
                 // the operand muxing; only a confirmed issue frees the slot.
                 if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
                     array.hold(slot);
                 } else {
-                    array.remove(slot);
+                    array.store.remove(slot);
                 }
                 self.meter
                     .add(Component::Buff, self.energy_model.entry_read);
@@ -408,7 +328,7 @@ impl Scheduler for CamIssueQueue {
     }
 
     fn occupancy(&self) -> (usize, usize) {
-        (self.int.slab.len(), self.fp.slab.len())
+        (self.int.store.len(), self.fp.store.len())
     }
 
     fn energy(&self) -> &EnergyMeter {

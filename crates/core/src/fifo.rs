@@ -1,16 +1,18 @@
 //! Palacharla-style FIFO issue queues (`IssueFIFO`), and the shared FIFO
 //! machinery reused by the integer side of `LatFIFO` and `MixBUFF`.
 //!
-//! Entries live in a slab and carry their own ready bits, maintained by the
-//! per-tag consumer lists of [`WakeupMap`]: a result broadcast flips only
-//! the bits of entries actually waiting for that tag, so head-readiness at
-//! issue is a bit test instead of a scoreboard poll. The *energy* model is
-//! unchanged — heads are still charged a `regs_ready` read per operand per
-//! cycle, exactly as the physical design polls the scoreboard.
+//! Entries live in a bitset-backed [`EntryStore`] and carry their own ready
+//! bits, maintained by the per-tag consumer lists of [`WakeupMap`]: a result
+//! broadcast flips only the bits of entries actually waiting for that tag,
+//! so head-readiness at issue is a bit test instead of a scoreboard poll.
+//! The *energy* model is unchanged — heads are still charged a `regs_ready`
+//! read per operand per cycle, exactly as the physical design polls the
+//! scoreboard.
 
 use crate::energy::FifoEnergy;
 use crate::fu::FuTopology;
-use crate::wakeup::{Slab, WakeupMap};
+use crate::soa::EntryStore;
+use crate::wakeup::WakeupMap;
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{ArchReg, Cycle, InstId, OpClass, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
@@ -71,7 +73,7 @@ impl Entry {
 #[derive(Clone, Debug)]
 pub(crate) struct FifoArray {
     side: Side,
-    slab: Slab<Entry>,
+    store: EntryStore,
     queues: Vec<VecDeque<u32>>,
     waiters: WakeupMap,
     capacity: usize,
@@ -87,13 +89,17 @@ pub(crate) struct FifoArray {
 }
 
 impl FifoArray {
-    pub(crate) fn new(side: Side, queues: usize, capacity: usize) -> Self {
+    pub(crate) fn new(side: Side, queues: usize, capacity: usize, regs: [usize; 2]) -> Self {
         assert!(queues > 0 && capacity > 0);
         FifoArray {
             side,
-            slab: Slab::new(),
-            queues: vec![VecDeque::with_capacity(capacity); queues],
-            waiters: WakeupMap::new(),
+            // Each queue holds at most `capacity` entries, so the store is
+            // sized for the whole array up front.
+            store: EntryStore::new(queues * capacity),
+            queues: (0..queues)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
+            waiters: WakeupMap::new(queues * capacity, regs),
             capacity,
             steer: vec![None; 2 * diq_isa::ARCH_REGS_PER_CLASS],
             tail_reg: vec![None; queues],
@@ -103,7 +109,7 @@ impl FifoArray {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.slab.len()
+        self.store.len()
     }
 
     fn place(&mut self, q: usize, d: &DispatchInst) {
@@ -111,7 +117,7 @@ impl FifoArray {
             self.steer[old.flat_index()] = None;
         }
         let entry = Entry::new(d);
-        let slot = self.slab.insert(entry);
+        let slot = self.store.insert(&entry);
         for (i, ready) in entry.ready.iter().enumerate() {
             if !ready {
                 self.waiters
@@ -178,9 +184,8 @@ impl FifoArray {
     pub(crate) fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
         self.queues.iter().enumerate().filter_map(|(q, fifo)| {
             fifo.front()
-                .map(|&slot| *self.slab.get(slot))
-                .filter(|e| !e.held)
-                .map(|e| (q, e))
+                .filter(|&&slot| !self.store.is_held(slot))
+                .map(|&slot| (q, self.store.snapshot(slot)))
         })
     }
 
@@ -189,7 +194,7 @@ impl FifoArray {
     /// selection candidate until [`cancel`](Self::cancel) reverts it.
     pub(crate) fn hold_head(&mut self, q: usize) {
         let &slot = self.queues[q].front().expect("hold on empty FIFO");
-        self.slab.get_mut(slot).held = true;
+        self.store.set_held(slot);
     }
 
     /// Miss cancel for `tag`: every entry whose operand `tag` looked ready
@@ -198,17 +203,17 @@ impl FifoArray {
     pub(crate) fn cancel(&mut self, tag: PhysReg) {
         let mut todo = std::mem::take(&mut self.cancel_scratch);
         todo.clear();
-        for (slot, e) in self.slab.iter() {
-            for (i, src) in e.srcs.iter().enumerate() {
-                if *src == Some(tag) && e.ready[i] {
+        let store = &self.store;
+        store.for_each_live(|slot| {
+            for (i, src) in store.srcs(slot).iter().enumerate() {
+                if *src == Some(tag) && store.is_ready(slot, i) {
                     todo.push((slot, i));
                 }
             }
-        }
+        });
         for &(slot, i) in &todo {
-            let e = self.slab.get_mut(slot);
-            e.ready[i] = false;
-            e.held = false;
+            self.store.clear_ready(slot, i);
+            self.store.clear_held(slot);
             self.waiters.listen(tag, slot, i);
         }
         self.cancel_scratch = todo;
@@ -217,7 +222,8 @@ impl FifoArray {
     /// Removes the head of queue `q` after it issued.
     pub(crate) fn pop_head(&mut self, q: usize) -> Entry {
         let slot = self.queues[q].pop_front().expect("pop from empty FIFO");
-        let e = self.slab.remove(slot);
+        let e = self.store.snapshot(slot);
+        self.store.remove(slot);
         if self.tail_id[q] == Some(e.id) {
             // The queue is now empty; drop its steering state.
             if let Some(r) = self.tail_reg[q].take() {
@@ -232,9 +238,9 @@ impl FifoArray {
     /// in any queue — buried entries collect their ready bits while they
     /// wait their turn at the head).
     pub(crate) fn wake(&mut self, tag: PhysReg) {
-        let slab = &mut self.slab;
+        let store = &mut self.store;
         self.waiters.wake(tag, |w| {
-            slab.get_mut(w.slot).ready[w.operand as usize] = true;
+            store.set_ready(w.slot, w.operand as usize);
         });
     }
 
@@ -246,19 +252,20 @@ impl FifoArray {
     pub(crate) fn squash(&mut self, from: InstId) {
         for q in 0..self.queues.len() {
             while let Some(&back) = self.queues[q].back() {
-                if self.slab.get(back).id < from {
+                if self.store.id(back) < from {
                     break;
                 }
                 self.queues[q].pop_back();
-                let e = self.slab.remove(back);
-                for (i, ready) in e.ready.iter().enumerate() {
-                    if !ready {
+                let srcs = self.store.srcs(back);
+                for (i, src) in srcs.iter().enumerate() {
+                    if !self.store.is_ready(back, i) {
                         self.waiters
-                            .unlisten(e.srcs[i].expect("unready operand has a tag"), back);
+                            .unlisten(src.expect("unready operand has a tag"), back);
                     }
                 }
+                self.store.remove(back);
             }
-            self.tail_id[q] = self.queues[q].back().map(|&s| self.slab.get(s).id);
+            self.tail_id[q] = self.queues[q].back().map(|&s| self.store.id(s));
         }
         self.clear_steering();
     }
@@ -319,10 +326,11 @@ impl IssueFifo {
         cfg: &ProcessorConfig,
     ) -> Self {
         let tech = TechParams::um100();
+        let regs = [cfg.phys_int_regs, cfg.phys_fp_regs];
         IssueFifo {
             name,
-            int: FifoArray::new(Side::Int, int.0, int.1),
-            fp: FifoArray::new(Side::Fp, fp.0, fp.1),
+            int: FifoArray::new(Side::Int, int.0, int.1, regs),
+            fp: FifoArray::new(Side::Fp, fp.0, fp.1, regs),
             energy_model: [
                 FifoEnergy::new(int.1, int.0, cfg.phys_int_regs, &topology, &tech),
                 FifoEnergy::new(fp.1, fp.0, cfg.phys_fp_regs, &topology, &tech),
@@ -436,7 +444,7 @@ mod tests {
     use crate::test_util::{di, BoundedSink};
 
     fn arr() -> FifoArray {
-        FifoArray::new(Side::Int, 4, 2)
+        FifoArray::new(Side::Int, 4, 2, [512, 512])
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::energy::FifoEnergy;
 use crate::estimate::IssueTimeEstimator;
 use crate::fifo::{Entry, FifoArray};
 use crate::fu::FuTopology;
-use crate::wakeup::{Slab, WakeupMap};
+use crate::soa::EntryStore;
+use crate::wakeup::WakeupMap;
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{Cycle, InstId, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
@@ -22,7 +23,7 @@ use std::collections::VecDeque;
 /// FP FIFOs placed by estimated issue time.
 #[derive(Clone, Debug)]
 struct LatQueues {
-    slab: Slab<Entry>,
+    store: EntryStore,
     queues: Vec<VecDeque<u32>>,
     /// Each entry's issue estimate, parallel to `queues` — placement only
     /// needs the tails', but a wrong-path squash must re-anchor `tail_est`
@@ -37,13 +38,19 @@ struct LatQueues {
 }
 
 impl LatQueues {
-    fn new(queues: usize, capacity: usize) -> Self {
+    fn new(queues: usize, capacity: usize, regs: [usize; 2]) -> Self {
         assert!(queues > 0 && capacity > 0);
         LatQueues {
-            slab: Slab::new(),
-            queues: vec![VecDeque::with_capacity(capacity); queues],
-            ests: vec![VecDeque::with_capacity(capacity); queues],
-            waiters: WakeupMap::new(),
+            store: EntryStore::new(queues * capacity),
+            // Built per-queue (not `vec![..; queues]`) so the cloned
+            // VecDeques keep their reserved capacity.
+            queues: (0..queues)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
+            ests: (0..queues)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
+            waiters: WakeupMap::new(queues * capacity, regs),
             capacity,
             tail_est: vec![None; queues],
             cancel_scratch: Vec::new(),
@@ -51,7 +58,7 @@ impl LatQueues {
     }
 
     fn len(&self) -> usize {
-        self.slab.len()
+        self.store.len()
     }
 
     fn try_dispatch(&mut self, d: &DispatchInst, est: Cycle) -> Result<usize, DispatchStall> {
@@ -68,7 +75,7 @@ impl LatQueues {
             .or_else(|| self.queues.iter().position(VecDeque::is_empty));
         let q = q.ok_or(DispatchStall::NoEmptyQueue)?;
         let entry = Entry::new(d);
-        let slot = self.slab.insert(entry);
+        let slot = self.store.insert(&entry);
         for (i, ready) in entry.ready.iter().enumerate() {
             if !ready {
                 self.waiters
@@ -84,7 +91,8 @@ impl LatQueues {
     fn pop_head(&mut self, q: usize) -> Entry {
         let slot = self.queues[q].pop_front().expect("pop from empty queue");
         self.ests[q].pop_front();
-        let e = self.slab.remove(slot);
+        let e = self.store.snapshot(slot);
+        self.store.remove(slot);
         if self.queues[q].is_empty() {
             self.tail_est[q] = None;
         }
@@ -96,18 +104,19 @@ impl LatQueues {
     fn squash(&mut self, from: InstId) {
         for q in 0..self.queues.len() {
             while let Some(&back) = self.queues[q].back() {
-                if self.slab.get(back).id < from {
+                if self.store.id(back) < from {
                     break;
                 }
                 self.queues[q].pop_back();
                 self.ests[q].pop_back();
-                let e = self.slab.remove(back);
-                for (i, ready) in e.ready.iter().enumerate() {
-                    if !ready {
+                let srcs = self.store.srcs(back);
+                for (i, src) in srcs.iter().enumerate() {
+                    if !self.store.is_ready(back, i) {
                         self.waiters
-                            .unlisten(e.srcs[i].expect("unready operand has a tag"), back);
+                            .unlisten(src.expect("unready operand has a tag"), back);
                     }
                 }
+                self.store.remove(back);
             }
             self.tail_est[q] = self.ests[q].back().copied();
         }
@@ -116,9 +125,8 @@ impl LatQueues {
     fn heads(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
         self.queues.iter().enumerate().filter_map(|(q, fifo)| {
             fifo.front()
-                .map(|&slot| *self.slab.get(slot))
-                .filter(|e| !e.held)
-                .map(|e| (q, e))
+                .filter(|&&slot| !self.store.is_held(slot))
+                .map(|&slot| (q, self.store.snapshot(slot)))
         })
     }
 
@@ -126,7 +134,7 @@ impl LatQueues {
     /// [`FifoArray::hold_head`](crate::fifo) for the protocol).
     fn hold_head(&mut self, q: usize) {
         let &slot = self.queues[q].front().expect("hold on empty queue");
-        self.slab.get_mut(slot).held = true;
+        self.store.set_held(slot);
     }
 
     /// Miss cancel for `tag`: revert speculative readiness, re-listen, and
@@ -134,26 +142,26 @@ impl LatQueues {
     fn cancel(&mut self, tag: PhysReg) {
         let mut todo = std::mem::take(&mut self.cancel_scratch);
         todo.clear();
-        for (slot, e) in self.slab.iter() {
-            for (i, src) in e.srcs.iter().enumerate() {
-                if *src == Some(tag) && e.ready[i] {
+        let store = &self.store;
+        store.for_each_live(|slot| {
+            for (i, src) in store.srcs(slot).iter().enumerate() {
+                if *src == Some(tag) && store.is_ready(slot, i) {
                     todo.push((slot, i));
                 }
             }
-        }
+        });
         for &(slot, i) in &todo {
-            let e = self.slab.get_mut(slot);
-            e.ready[i] = false;
-            e.held = false;
+            self.store.clear_ready(slot, i);
+            self.store.clear_held(slot);
             self.waiters.listen(tag, slot, i);
         }
         self.cancel_scratch = todo;
     }
 
     fn wake(&mut self, tag: PhysReg) {
-        let slab = &mut self.slab;
+        let store = &mut self.store;
         self.waiters.wake(tag, |w| {
-            slab.get_mut(w.slot).ready[w.operand as usize] = true;
+            store.set_ready(w.slot, w.operand as usize);
         });
     }
 }
@@ -193,10 +201,11 @@ impl LatFifo {
         cfg: &ProcessorConfig,
     ) -> Self {
         let tech = TechParams::um100();
+        let regs = [cfg.phys_int_regs, cfg.phys_fp_regs];
         LatFifo {
             name,
-            int: FifoArray::new(Side::Int, int.0, int.1),
-            fp: LatQueues::new(fp.0, fp.1),
+            int: FifoArray::new(Side::Int, int.0, int.1, regs),
+            fp: LatQueues::new(fp.0, fp.1, regs),
             estimator: IssueTimeEstimator::new(cfg.lat, cfg.mem.dl1.latency),
             energy_model: [
                 FifoEnergy::new(int.1, int.0, cfg.phys_int_regs, &topology, &tech),
@@ -349,7 +358,7 @@ mod tests {
     use diq_isa::OpClass;
 
     fn queues() -> LatQueues {
-        LatQueues::new(2, 4)
+        LatQueues::new(2, 4, [512, 512])
     }
 
     fn entry(id: u64) -> DispatchInst {
@@ -372,7 +381,7 @@ mod tests {
 
     #[test]
     fn prefers_latest_eligible_tail() {
-        let mut q = LatQueues::new(3, 4);
+        let mut q = LatQueues::new(3, 4, [512, 512]);
         // Queue 0's tail estimated at 3, queue 1's at 7 (placed via the
         // est-ordering: 3 first, then 7 goes behind it — so seed queue 1
         // directly with a fresh dispatch at est 7 after filling queue 0 to
@@ -387,7 +396,7 @@ mod tests {
 
     #[test]
     fn stalls_when_nothing_eligible_and_no_empty() {
-        let mut q = LatQueues::new(1, 1);
+        let mut q = LatQueues::new(1, 1, [512, 512]);
         q.try_dispatch(&entry(1), 5).unwrap();
         let err = q.try_dispatch(&entry(2), 6).unwrap_err();
         assert_eq!(err, DispatchStall::NoEmptyQueue);

@@ -40,6 +40,7 @@ mod latfifo;
 mod mixbuff;
 pub mod reference;
 pub mod select;
+mod soa;
 #[cfg(test)]
 pub(crate) mod test_util;
 mod wakeup;

@@ -29,7 +29,8 @@ use crate::energy::{FifoEnergy, MixEnergy};
 use crate::fifo::{Entry, FifoArray};
 use crate::fu::FuTopology;
 use crate::select::{selection_key, LatencyCode};
-use crate::wakeup::{Slab, WakeupMap};
+use crate::soa::EntryStore;
+use crate::wakeup::WakeupMap;
 use crate::{DispatchInst, DispatchStall, IssueSink, Scheduler, Side};
 use diq_isa::{Cycle, InstId, LatencyConfig, OpClass, PhysReg, ProcessorConfig};
 use diq_power::{Component, EnergyMeter, TechParams};
@@ -50,7 +51,7 @@ struct ChainState {
 /// The FP buffer array with chains.
 #[derive(Clone, Debug)]
 struct MixQueues {
-    slab: Slab<Entry>,
+    store: EntryStore,
     capacity: usize,
     chains_per_queue: usize,
     chains: Vec<Vec<ChainState>>,
@@ -68,15 +69,21 @@ struct MixQueues {
 }
 
 impl MixQueues {
-    fn new(queues: usize, capacity: usize, chains_per_queue: usize, fresh_first: bool) -> Self {
+    fn new(
+        queues: usize,
+        capacity: usize,
+        chains_per_queue: usize,
+        fresh_first: bool,
+        regs: [usize; 2],
+    ) -> Self {
         assert!(queues > 0 && capacity > 0 && chains_per_queue > 0);
         MixQueues {
-            slab: Slab::new(),
+            store: EntryStore::new(queues * capacity),
             capacity,
             chains_per_queue,
             chains: vec![vec![ChainState::default(); chains_per_queue]; queues],
             queue_len: vec![0; queues],
-            waiters: WakeupMap::new(),
+            waiters: WakeupMap::new(queues * capacity, regs),
             steer: vec![None; diq_isa::ARCH_REGS_PER_CLASS],
             fresh_first,
             cancel_scratch: Vec::new(),
@@ -84,7 +91,7 @@ impl MixQueues {
     }
 
     fn len(&self) -> usize {
-        self.slab.len()
+        self.store.len()
     }
 
     fn queues(&self) -> usize {
@@ -100,7 +107,7 @@ impl MixQueues {
 
     fn place(&mut self, q: usize, c: usize, d: &DispatchInst) {
         let entry = Entry::new(d);
-        let slot = self.slab.insert(entry);
+        let slot = self.store.insert(&entry);
         for (i, ready) in entry.ready.iter().enumerate() {
             if !ready {
                 self.waiters
@@ -167,7 +174,7 @@ impl MixQueues {
             .enumerate()
             .filter_map(|(c, ch)| {
                 let &front = ch.members.front()?;
-                if self.slab.get(front).held {
+                if self.store.is_held(front) {
                     // The chain's oldest member issued speculatively and
                     // awaits its load's confirmation or cancel; the chain
                     // cannot advance past it.
@@ -175,7 +182,7 @@ impl MixQueues {
                 }
                 let code = LatencyCode::classify(ch.ready, now);
                 code.selectable().then(|| {
-                    let age = self.slab.get(front).id.0;
+                    let age = self.store.id(front).0;
                     let key = if self.fresh_first {
                         selection_key(code, age)
                     } else {
@@ -190,7 +197,7 @@ impl MixQueues {
                     .members
                     .front()
                     .expect("chain has a front");
-                (c, *self.slab.get(front))
+                (c, self.store.snapshot(front))
             })
     }
 
@@ -203,7 +210,7 @@ impl MixQueues {
             .members
             .front()
             .expect("hold on empty chain");
-        self.slab.get_mut(front).held = true;
+        self.store.set_held(front);
     }
 
     /// Miss cancel for `tag`: revert speculative readiness, re-listen, and
@@ -211,17 +218,17 @@ impl MixQueues {
     fn cancel(&mut self, tag: PhysReg) {
         let mut todo = std::mem::take(&mut self.cancel_scratch);
         todo.clear();
-        for (slot, e) in self.slab.iter() {
-            for (i, src) in e.srcs.iter().enumerate() {
-                if *src == Some(tag) && e.ready[i] {
+        let store = &self.store;
+        store.for_each_live(|slot| {
+            for (i, src) in store.srcs(slot).iter().enumerate() {
+                if *src == Some(tag) && store.is_ready(slot, i) {
                     todo.push((slot, i));
                 }
             }
-        }
+        });
         for &(slot, i) in &todo {
-            let e = self.slab.get_mut(slot);
-            e.ready[i] = false;
-            e.held = false;
+            self.store.clear_ready(slot, i);
+            self.store.clear_held(slot);
             self.waiters.listen(tag, slot, i);
         }
         self.cancel_scratch = todo;
@@ -235,13 +242,13 @@ impl MixQueues {
         let slot = ch.members.pop_front().expect("issue from empty chain");
         ch.ready = now + result_lat;
         self.queue_len[q] -= 1;
-        self.slab.remove(slot);
+        self.store.remove(slot);
     }
 
     fn wake(&mut self, tag: PhysReg) {
-        let slab = &mut self.slab;
+        let store = &mut self.store;
         self.waiters.wake(tag, |w| {
-            slab.get_mut(w.slot).ready[w.operand as usize] = true;
+            store.set_ready(w.slot, w.operand as usize);
         });
     }
 
@@ -255,28 +262,26 @@ impl MixQueues {
             for c in 0..self.chains_per_queue {
                 let mut touched = false;
                 while let Some(&back) = self.chains[q][c].members.back() {
-                    if self.slab.get(back).id < from {
+                    if self.store.id(back) < from {
                         break;
                     }
                     self.chains[q][c].members.pop_back();
                     self.queue_len[q] -= 1;
                     touched = true;
-                    let e = self.slab.remove(back);
-                    for (i, ready) in e.ready.iter().enumerate() {
-                        if !ready {
+                    let srcs = self.store.srcs(back);
+                    for (i, src) in srcs.iter().enumerate() {
+                        if !self.store.is_ready(back, i) {
                             self.waiters
-                                .unlisten(e.srcs[i].expect("unready operand has a tag"), back);
+                                .unlisten(src.expect("unready operand has a tag"), back);
                         }
                     }
+                    self.store.remove(back);
                 }
                 if touched {
                     // The last *surviving* buffered member anchors the chain;
                     // with the mapping table wiped below, this only matters
                     // once a later dispatch re-targets the chain.
-                    let last = self.chains[q][c]
-                        .members
-                        .back()
-                        .map(|&s| self.slab.get(s).id);
+                    let last = self.chains[q][c].members.back().map(|&s| self.store.id(s));
                     self.chains[q][c].last = last;
                 }
             }
@@ -330,10 +335,11 @@ impl MixBuff {
         cfg: &ProcessorConfig,
     ) -> Self {
         let tech = TechParams::um100();
+        let regs = [cfg.phys_int_regs, cfg.phys_fp_regs];
         MixBuff {
             name,
-            int: FifoArray::new(Side::Int, int.0, int.1),
-            fp: MixQueues::new(fp.0, fp.1, chains_per_queue, fresh_first),
+            int: FifoArray::new(Side::Int, int.0, int.1, regs),
+            fp: MixQueues::new(fp.0, fp.1, chains_per_queue, fresh_first, regs),
             lat: cfg.lat,
             dl1_hit: cfg.mem.dl1.latency,
             energy_model: [
@@ -504,7 +510,7 @@ mod tests {
     use crate::test_util::{fp_di, BoundedSink};
 
     fn mq() -> MixQueues {
-        MixQueues::new(2, 4, 3, true)
+        MixQueues::new(2, 4, 3, true, [512, 512])
     }
 
     /// The chain ids of every buffered entry, queue-major then age order.
@@ -515,7 +521,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .flat_map(|(c, ch)| ch.members.iter().map(move |&s| (s, c)))
-                .map(|(s, c)| (m.slab.get(s).id.0, c))
+                .map(|(s, c)| (m.store.id(s).0, c))
                 .collect();
             members.sort_unstable();
             out.extend(members.iter().map(|&(_, c)| c));
@@ -581,7 +587,7 @@ mod tests {
 
     #[test]
     fn stalls_when_chains_exhausted() {
-        let mut m = MixQueues::new(1, 8, 2, true);
+        let mut m = MixQueues::new(1, 8, 2, true, [512, 512]);
         m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
             .unwrap();
         m.try_dispatch(&fp_di(2, OpClass::FpAdd, Some(5), [None, None]), 0)
@@ -594,7 +600,7 @@ mod tests {
 
     #[test]
     fn chain_frees_after_drain_and_completion() {
-        let mut m = MixQueues::new(1, 8, 1, true);
+        let mut m = MixQueues::new(1, 8, 1, true, [512, 512]);
         m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
             .unwrap();
         let (c, e) = m.select(0, 0).expect("selectable");
@@ -606,7 +612,7 @@ mod tests {
 
     #[test]
     fn selection_prefers_fresh_over_delayed() {
-        let mut m = MixQueues::new(1, 8, 2, true);
+        let mut m = MixQueues::new(1, 8, 2, true, [512, 512]);
         // Chain 0: old delayed instruction (chain ready long ago).
         m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
             .unwrap();
@@ -621,7 +627,7 @@ mod tests {
 
     #[test]
     fn blocked_chains_are_not_selected() {
-        let mut m = MixQueues::new(1, 8, 1, true);
+        let mut m = MixQueues::new(1, 8, 1, true, [512, 512]);
         m.try_dispatch(&fp_di(1, OpClass::FpAdd, Some(4), [None, None]), 0)
             .unwrap();
         m.chains[0][0].ready = 10;

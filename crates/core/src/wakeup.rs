@@ -1,5 +1,6 @@
-//! The event-driven wakeup fast path: per-tag consumer lists and the entry
-//! slab the schemes store their queued instructions in.
+//! The event-driven wakeup fast path: per-tag consumer lists. The entries
+//! they refer to live in the SoA [`EntryStore`](crate::soa), addressed by
+//! stable `u32` slots.
 //!
 //! The paper's argument is about *step complexity*: a conventional CAM
 //! broadcasts every produced tag to every queue entry, while the distributed
@@ -25,7 +26,7 @@ use diq_isa::PhysReg;
 /// `operand` (0 or 1).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Waiter {
-    /// Slab slot of the waiting entry.
+    /// Entry-store slot of the waiting entry.
     pub slot: u32,
     /// Which of the entry's two operands the tag feeds.
     pub operand: u8,
@@ -44,41 +45,61 @@ pub(crate) struct WakeupEvent {
     pub comparators: usize,
 }
 
+/// Sentinel "no waiter" for [`WakeupMap`] heads and next-links.
+const NIL: u32 = u32::MAX;
+
 /// Per-tag consumer lists for one scheduler structure, indexed by register
-/// class and physical index. Lists grow on demand and keep their capacity
-/// across drains, so steady-state broadcasts allocate nothing.
-#[derive(Clone, Debug, Default)]
+/// class and physical index.
+///
+/// Intrusive: a waiter is identified by `slot * 2 + operand` (an operand
+/// waits on at most one tag at a time, so that index is unique), the
+/// per-tag list is `heads[tag] → next[waiter] → …`, and both arrays are
+/// sized at construction — from the physical register file and the entry
+/// store's capacity — so listening, waking, and unlistening never allocate
+/// (per-tag `Vec`s would keep ratcheting up to new per-tag waiter peaks
+/// deep into a run; `tests/alloc_steady_state.rs` counts this path).
+#[derive(Clone, Debug)]
 pub(crate) struct WakeupMap {
-    lists: [Vec<Vec<Waiter>>; 2],
+    /// Per register class: head waiter of each tag's list.
+    heads: [Box<[u32]>; 2],
+    /// Next waiter on the same tag's list, indexed by `slot * 2 + operand`.
+    next: Box<[u32]>,
 }
 
 impl WakeupMap {
-    pub(crate) fn new() -> Self {
-        Self::default()
+    /// A map for an entry store of `slots` slots, with tag namespaces sized
+    /// by the physical register counts `regs` (`[int, fp]`).
+    pub(crate) fn new(slots: usize, regs: [usize; 2]) -> Self {
+        WakeupMap {
+            heads: [
+                vec![NIL; regs[0]].into_boxed_slice(),
+                vec![NIL; regs[1]].into_boxed_slice(),
+            ],
+            next: vec![NIL; 2 * slots].into_boxed_slice(),
+        }
     }
 
     /// Registers entry `slot` as waiting on `tag` with operand `operand`.
     pub(crate) fn listen(&mut self, tag: PhysReg, slot: u32, operand: usize) {
-        let lists = &mut self.lists[tag.class().index()];
-        let idx = tag.index();
-        if idx >= lists.len() {
-            lists.resize_with(idx + 1, Vec::new);
-        }
-        lists[idx].push(Waiter {
-            slot,
-            operand: operand as u8,
-        });
+        let head = &mut self.heads[tag.class().index()][tag.index()];
+        let w = slot * 2 + operand as u32;
+        self.next[w as usize] = *head;
+        *head = w;
     }
 
-    /// Drains the consumers of `tag`, calling `f` for each. The list keeps
-    /// its capacity for the tag's next life.
+    /// Drains the consumers of `tag`, calling `f` for each (most recently
+    /// registered first — consumers only flip independent ready bits, so
+    /// the order is unobservable).
     pub(crate) fn wake(&mut self, tag: PhysReg, mut f: impl FnMut(Waiter)) {
-        let lists = &mut self.lists[tag.class().index()];
-        let Some(list) = lists.get_mut(tag.index()) else {
-            return;
-        };
-        for w in list.drain(..) {
-            f(w);
+        let head = &mut self.heads[tag.class().index()][tag.index()];
+        let mut w = std::mem::replace(head, NIL);
+        while w != NIL {
+            let next = std::mem::replace(&mut self.next[w as usize], NIL);
+            f(Waiter {
+                slot: w / 2,
+                operand: (w % 2) as u8,
+            });
+            w = next;
         }
     }
 
@@ -87,75 +108,23 @@ impl WakeupMap {
     /// later broadcast of the recycled tag would wake a dead — or worse, a
     /// reused — slot).
     pub(crate) fn unlisten(&mut self, tag: PhysReg, slot: u32) {
-        let lists = &mut self.lists[tag.class().index()];
-        if let Some(list) = lists.get_mut(tag.index()) {
-            list.retain(|w| w.slot != slot);
+        let class = tag.class().index();
+        let mut prev = NIL;
+        let mut w = self.heads[class][tag.index()];
+        while w != NIL {
+            let next = self.next[w as usize];
+            if w / 2 == slot {
+                if prev == NIL {
+                    self.heads[class][tag.index()] = next;
+                } else {
+                    self.next[prev as usize] = next;
+                }
+                self.next[w as usize] = NIL;
+            } else {
+                prev = w;
+            }
+            w = next;
         }
-    }
-}
-
-/// A slab of queue entries with stable `u32` handles — the queues and the
-/// [`WakeupMap`] both refer to entries by slot, so entries never move while
-/// someone is listening for them.
-#[derive(Clone, Debug)]
-pub(crate) struct Slab<T> {
-    items: Vec<Option<T>>,
-    free: Vec<u32>,
-    len: usize,
-}
-
-impl<T> Default for Slab<T> {
-    fn default() -> Self {
-        Slab {
-            items: Vec::new(),
-            free: Vec::new(),
-            len: 0,
-        }
-    }
-}
-
-impl<T> Slab<T> {
-    pub(crate) fn new() -> Self {
-        Self::default()
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.len
-    }
-
-    pub(crate) fn insert(&mut self, item: T) -> u32 {
-        self.len += 1;
-        if let Some(slot) = self.free.pop() {
-            debug_assert!(self.items[slot as usize].is_none());
-            self.items[slot as usize] = Some(item);
-            slot
-        } else {
-            self.items.push(Some(item));
-            (self.items.len() - 1) as u32
-        }
-    }
-
-    pub(crate) fn remove(&mut self, slot: u32) -> T {
-        let item = self.items[slot as usize].take().expect("live slot");
-        self.free.push(slot);
-        self.len -= 1;
-        item
-    }
-
-    pub(crate) fn get(&self, slot: u32) -> &T {
-        self.items[slot as usize].as_ref().expect("live slot")
-    }
-
-    pub(crate) fn get_mut(&mut self, slot: u32) -> &mut T {
-        self.items[slot as usize].as_mut().expect("live slot")
-    }
-
-    /// Iterates the live entries as `(slot, &item)` (squash scans).
-    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
-        self.items
-            .iter()
-            .enumerate()
-            .filter_map(|(i, item)| item.as_ref().map(|t| (i as u32, t)))
     }
 }
 
@@ -165,23 +134,8 @@ mod tests {
     use diq_isa::RegClass;
 
     #[test]
-    fn slab_reuses_slots_and_tracks_len() {
-        let mut s = Slab::new();
-        let a = s.insert("a");
-        let b = s.insert("b");
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.remove(a), "a");
-        assert_eq!(s.len(), 1);
-        let c = s.insert("c");
-        assert_eq!(c, a, "freed slot is reused");
-        assert_eq!(*s.get(b), "b");
-        *s.get_mut(c) = "c2";
-        assert_eq!(*s.get(c), "c2");
-    }
-
-    #[test]
     fn wake_drains_only_the_tag_and_keeps_classes_apart() {
-        let mut m = WakeupMap::new();
+        let mut m = WakeupMap::new(8, [64, 64]);
         let p40i = PhysReg::new(RegClass::Int, 40);
         let p40f = PhysReg::new(RegClass::Fp, 40);
         m.listen(p40i, 1, 0);
@@ -189,6 +143,7 @@ mod tests {
         m.listen(p40f, 3, 0);
         let mut woken = Vec::new();
         m.wake(p40i, |w| woken.push((w.slot, w.operand)));
+        woken.sort_unstable();
         assert_eq!(woken, [(1, 0), (2, 1)]);
         woken.clear();
         m.wake(p40i, |w| woken.push((w.slot, w.operand)));
@@ -198,10 +153,30 @@ mod tests {
     }
 
     #[test]
-    fn waking_an_unknown_tag_is_a_no_op() {
-        let mut m = WakeupMap::new();
+    fn waking_an_unlistened_tag_is_a_no_op() {
+        let mut m = WakeupMap::new(8, [256, 256]);
         m.wake(PhysReg::new(RegClass::Int, 159), |_| {
             panic!("no waiters were registered")
         });
+    }
+
+    #[test]
+    fn unlisten_removes_only_the_slot_mid_list() {
+        let mut m = WakeupMap::new(8, [64, 64]);
+        let tag = PhysReg::new(RegClass::Int, 7);
+        m.listen(tag, 1, 0);
+        m.listen(tag, 2, 0);
+        m.listen(tag, 2, 1);
+        m.listen(tag, 3, 1);
+        m.unlisten(tag, 2);
+        let mut woken = Vec::new();
+        m.wake(tag, |w| woken.push((w.slot, w.operand)));
+        woken.sort_unstable();
+        assert_eq!(woken, [(1, 0), (3, 1)], "both of slot 2's waiters gone");
+        // Unlistened waiters can re-listen cleanly.
+        m.listen(tag, 2, 1);
+        woken.clear();
+        m.wake(tag, |w| woken.push((w.slot, w.operand)));
+        assert_eq!(woken, [(2, 1)]);
     }
 }

@@ -54,7 +54,9 @@ pub use spec::{
     validate_run_name, ExperimentSpec, InstrCount, MachineKnobs, SchemeSel, WorkloadSel,
 };
 pub use store::{ManifestEntry, PointRecord, ResultStore, RunManifest};
-pub use throughput::{measure_e2e_ips, measure_point, ThroughputPoint, ThroughputSummary};
+#[allow(deprecated)]
+pub use throughput::{measure_e2e_ips, measure_point};
+pub use throughput::{ThroughputPoint, ThroughputProbe, ThroughputSummary};
 
 use std::fmt;
 

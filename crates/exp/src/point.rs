@@ -2,7 +2,7 @@
 
 use diq_core::SchedulerConfig;
 use diq_isa::ProcessorConfig;
-use diq_pipeline::{SimStats, Simulator};
+use diq_pipeline::{SimStats, Simulator, TraceSource};
 use diq_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize, Value};
 
@@ -90,11 +90,11 @@ impl Point {
         sim.set_benchmark(&self.workload.name);
         if self.machine.wrong_path {
             let mut program = diq_workload::TraceGenerator::new(&self.workload);
-            sim.run_program(&mut program, self.instructions)
+            sim.run_workload(&mut program, self.instructions)
         } else {
             let trace =
                 diq_workload::TraceGenerator::new(&self.workload).take(self.instructions as usize);
-            sim.run(trace, self.instructions)
+            sim.run_workload(&mut TraceSource::new(trace), self.instructions)
         }
     }
 }

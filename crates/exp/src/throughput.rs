@@ -7,11 +7,35 @@
 //! clock and simulated-instructions/second of the event-driven scheduler
 //! and of the scan reference on the same trace — so the speedup of the
 //! wakeup fast path is a tracked artifact, not a one-off claim.
+//!
+//! The measurement entry point is the builder-style [`ThroughputProbe`]:
+//!
+//! ```no_run
+//! use diq_core::SchedulerConfig;
+//! use diq_exp::ThroughputProbe;
+//! use diq_isa::ProcessorConfig;
+//! use diq_workload::suite;
+//!
+//! let cfg = ProcessorConfig::hpca2004();
+//! let scheme = SchedulerConfig::iq_64_64();
+//! let wl = suite::by_name("gzip").unwrap();
+//! let point = ThroughputProbe::new(&cfg, &scheme, &wl)
+//!     .instructions(1_000_000)
+//!     .measure()
+//!     .unwrap();
+//! println!("{:.0} instrs/s event-driven", point.event_ips);
+//! ```
+//!
+//! The event and scan simulations run on **two threads** (they share only
+//! the immutable pre-generated trace), so a probe costs roughly one
+//! simulation of wall clock, not two. When the crate is built with the
+//! `profile` feature, each point also carries the per-stage wall-clock
+//! breakdown of the event-driven run ([`ThroughputPoint::stage_shares`]).
 
 use crate::ExpError;
 use diq_core::SchedulerConfig;
 use diq_isa::ProcessorConfig;
-use diq_pipeline::Simulator;
+use diq_pipeline::{Simulator, StageProfile, TraceSource};
 use diq_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -37,12 +61,12 @@ pub struct ThroughputPoint {
     /// Simulated instructions per wall second, event-driven.
     pub event_ips: f64,
     /// `event_ips / scan_ips`. Conservative: the scan reference still rides
-    /// this PR's pipeline fast path (scratch buffers, ring inflight table,
-    /// O(loads+stores) LSQ), so this isolates the wakeup-map win alone.
+    /// the same pipeline fast path (scratch buffers, ring inflight table,
+    /// batched fetch), so this isolates the wakeup/storage win alone.
     pub speedup: f64,
     /// End-to-end `diq run` instructions/sec of a *baseline* binary (e.g.
-    /// the pre-refactor commit), measured over the whole process — set when
-    /// the bench is given `DIQ_TP_BASELINE_BIN`.
+    /// a pre-refactor commit), measured over the whole process — set when
+    /// the probe is given [`ThroughputProbe::baseline_bin`].
     #[serde(default)]
     pub baseline_e2e_ips: Option<f64>,
     /// End-to-end `diq run` instructions/sec of the current binary, same
@@ -50,10 +74,16 @@ pub struct ThroughputPoint {
     /// overheads on both sides).
     #[serde(default)]
     pub self_e2e_ips: Option<f64>,
-    /// `self_e2e_ips / baseline_e2e_ips`: the whole-tentpole speedup
-    /// (event-driven wakeup *plus* the pipeline allocation work).
+    /// `self_e2e_ips / baseline_e2e_ips`: the whole-stack speedup
+    /// (wakeup storage *plus* pipeline/front-end work).
     #[serde(default)]
     pub speedup_vs_baseline: Option<f64>,
+    /// Per-stage wall-clock shares of the event-driven run, `(stage, share)`
+    /// pairs in pipeline order summing to 1. Present only when the workspace
+    /// is built with the `profile` feature (`--features diq-exp/profile`);
+    /// older `BENCH_*.json` files without the field still parse.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stage_shares: Option<Vec<(String, f64)>>,
 }
 
 /// The `BENCH_<run>.json` payload of a throughput run.
@@ -76,71 +106,192 @@ pub struct ThroughputSummary {
     pub geomean_speedup_vs_baseline: Option<f64>,
 }
 
-/// Measures one point: runs the same pre-generated trace through the
-/// event-driven scheduler and the scan reference, times both, and panics if
-/// their `SimStats` diverge (the throughput claim is only meaningful for
-/// equivalent simulations).
+/// Builder-style throughput measurement of one (scheme, workload) point.
 ///
-/// # Panics
+/// Construct with [`ThroughputProbe::new`], adjust knobs, then call
+/// [`measure`](ThroughputProbe::measure). The probe:
 ///
-/// Panics when the two implementations disagree on any statistic.
-#[must_use]
-pub fn measure_point(
-    cfg: &ProcessorConfig,
-    scheme: &SchedulerConfig,
-    workload: &WorkloadSpec,
+/// 1. generates the trace once;
+/// 2. runs the event-driven scheduler and the frozen scan reference over it
+///    on two threads (or sequentially with [`parallel(false)`]
+///    — e.g. when several probes already run concurrently);
+/// 3. asserts the two [`SimStats`](diq_pipeline::SimStats) are bit-identical
+///    (the throughput claim is only meaningful for equivalent simulations);
+/// 4. optionally times end-to-end `diq run` subprocesses of the current and
+///    a baseline binary on the same point;
+/// 5. under the `profile` feature, attaches the event run's per-stage
+///    wall-clock shares.
+///
+/// [`parallel(false)`]: ThroughputProbe::parallel
+#[derive(Debug)]
+pub struct ThroughputProbe<'a> {
+    cfg: &'a ProcessorConfig,
+    scheme: &'a SchedulerConfig,
+    workload: &'a WorkloadSpec,
     instructions: u64,
-) -> ThroughputPoint {
-    let trace: Vec<diq_isa::Inst> = diq_workload::TraceGenerator::new(workload)
-        .take(instructions as usize)
-        .collect();
+    parallel: bool,
+    e2e_bin: Option<String>,
+    baseline_bin: Option<String>,
+}
 
-    let mut event_sim = Simulator::new(cfg, scheme);
-    event_sim.set_benchmark(&workload.name);
-    let t0 = Instant::now();
-    let event_stats = event_sim.run(trace.iter().copied(), instructions);
-    let event_wall = t0.elapsed();
+impl<'a> ThroughputProbe<'a> {
+    /// A probe of `scheme` on `workload` under machine `cfg`, defaulting to
+    /// [`DEFAULT_INSTRUCTIONS`](crate::DEFAULT_INSTRUCTIONS) instructions,
+    /// parallel event/scan measurement, and no end-to-end binaries.
+    #[must_use]
+    pub fn new(
+        cfg: &'a ProcessorConfig,
+        scheme: &'a SchedulerConfig,
+        workload: &'a WorkloadSpec,
+    ) -> Self {
+        ThroughputProbe {
+            cfg,
+            scheme,
+            workload,
+            instructions: crate::DEFAULT_INSTRUCTIONS,
+            parallel: true,
+            e2e_bin: None,
+            baseline_bin: None,
+        }
+    }
 
-    let mut scan_sim = Simulator::with_scheduler(cfg, scheme.build_scan(cfg));
-    scan_sim.set_benchmark(&workload.name);
-    let t0 = Instant::now();
-    let scan_stats = scan_sim.run(trace.iter().copied(), instructions);
-    let scan_wall = t0.elapsed();
+    /// Instructions to simulate (default [`crate::DEFAULT_INSTRUCTIONS`]).
+    #[must_use]
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
 
-    assert_eq!(
-        event_stats,
-        scan_stats,
-        "{} on {}: event and scan wakeup diverged — throughput numbers void",
-        scheme.label(),
-        workload.name
-    );
+    /// Run event and scan concurrently on two threads (default `true`).
+    #[must_use]
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
 
-    let ips = |wall: std::time::Duration| instructions as f64 / wall.as_secs_f64().max(1e-9);
-    ThroughputPoint {
-        scheme: scheme.label(),
-        benchmark: workload.name.clone(),
-        instructions,
-        ipc: event_stats.ipc(),
-        scan_wall_ms: scan_wall.as_secs_f64() * 1e3,
-        event_wall_ms: event_wall.as_secs_f64() * 1e3,
-        scan_ips: ips(scan_wall),
-        event_ips: ips(event_wall),
-        speedup: ips(event_wall) / ips(scan_wall),
-        baseline_e2e_ips: None,
-        self_e2e_ips: None,
-        speedup_vs_baseline: None,
+    /// Also time an end-to-end `<bin> run <scheme> <benchmark> <n>`
+    /// subprocess of this workspace's binary, filling
+    /// [`ThroughputPoint::self_e2e_ips`].
+    #[must_use]
+    pub fn e2e_bin(mut self, bin: impl Into<String>) -> Self {
+        self.e2e_bin = Some(bin.into());
+        self
+    }
+
+    /// Also time the same end-to-end invocation of a *baseline* binary,
+    /// filling [`ThroughputPoint::baseline_e2e_ips`] and
+    /// [`ThroughputPoint::speedup_vs_baseline`] (requires
+    /// [`e2e_bin`](ThroughputProbe::e2e_bin) for the self side).
+    #[must_use]
+    pub fn baseline_bin(mut self, bin: impl Into<String>) -> Self {
+        self.baseline_bin = Some(bin.into());
+        self
+    }
+
+    /// Runs the measurement.
+    ///
+    /// # Errors
+    ///
+    /// An end-to-end binary failing to spawn or exiting non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the event-driven and scan implementations disagree on
+    /// any statistic — the throughput numbers would be void.
+    pub fn measure(&self) -> Result<ThroughputPoint, ExpError> {
+        let trace: Vec<diq_isa::Inst> = diq_workload::TraceGenerator::new(self.workload)
+            .take(self.instructions as usize)
+            .collect();
+
+        let run_event = || {
+            let mut sim = Simulator::new(self.cfg, self.scheme);
+            sim.set_benchmark(&self.workload.name);
+            let t0 = Instant::now();
+            let stats = sim.run_workload(
+                &mut TraceSource::new(trace.iter().copied()),
+                self.instructions,
+            );
+            (stats, t0.elapsed(), sim.take_stage_profile())
+        };
+        let run_scan = || {
+            let mut sim = Simulator::with_scheduler(self.cfg, self.scheme.build_scan(self.cfg));
+            sim.set_benchmark(&self.workload.name);
+            let t0 = Instant::now();
+            let stats = sim.run_workload(
+                &mut TraceSource::new(trace.iter().copied()),
+                self.instructions,
+            );
+            (stats, t0.elapsed())
+        };
+
+        let ((event_stats, event_wall, profile), (scan_stats, scan_wall)) = if self.parallel {
+            // The two simulations share only the immutable trace; run them
+            // side by side so a probe costs ~one simulation of wall clock.
+            std::thread::scope(|s| {
+                let scan = s.spawn(run_scan);
+                let event = run_event();
+                (event, scan.join().expect("scan thread panicked"))
+            })
+        } else {
+            (run_event(), run_scan())
+        };
+
+        assert_eq!(
+            event_stats,
+            scan_stats,
+            "{} on {}: event and scan wakeup diverged — throughput numbers void",
+            self.scheme.label(),
+            self.workload.name
+        );
+
+        let ips =
+            |wall: std::time::Duration| self.instructions as f64 / wall.as_secs_f64().max(1e-9);
+        let mut point = ThroughputPoint {
+            scheme: self.scheme.label(),
+            benchmark: self.workload.name.clone(),
+            instructions: self.instructions,
+            ipc: event_stats.ipc(),
+            scan_wall_ms: scan_wall.as_secs_f64() * 1e3,
+            event_wall_ms: event_wall.as_secs_f64() * 1e3,
+            scan_ips: ips(scan_wall),
+            event_ips: ips(event_wall),
+            speedup: ips(event_wall) / ips(scan_wall),
+            baseline_e2e_ips: None,
+            self_e2e_ips: None,
+            speedup_vs_baseline: None,
+            stage_shares: stage_shares(&profile),
+        };
+
+        if let Some(bin) = &self.e2e_bin {
+            let own = e2e_ips(bin, &point.scheme, &point.benchmark, self.instructions)?;
+            point.self_e2e_ips = Some(own);
+            if let Some(base_bin) = &self.baseline_bin {
+                let base = e2e_ips(base_bin, &point.scheme, &point.benchmark, self.instructions)?;
+                point.baseline_e2e_ips = Some(base);
+                point.speedup_vs_baseline = Some(own / base);
+            }
+        }
+        Ok(point)
     }
 }
 
+/// `(stage, share)` pairs of a sampled profile; `None` when the `profile`
+/// feature is off or nothing was sampled.
+fn stage_shares(profile: &StageProfile) -> Option<Vec<(String, f64)>> {
+    if !StageProfile::ENABLED || profile.total() == 0 {
+        return None;
+    }
+    Some(
+        profile
+            .named_shares()
+            .map(|(name, share)| (name.to_string(), share))
+            .collect(),
+    )
+}
+
 /// Times one end-to-end `<bin> run <scheme> <benchmark> <n>` invocation and
-/// returns simulated instructions per wall second. Used to compare whole
-/// binaries (e.g. this PR against the pre-refactor commit) on an equal
-/// footing: process startup and trace generation land on both sides.
-///
-/// # Errors
-///
-/// The binary failing to spawn or exiting non-zero.
-pub fn measure_e2e_ips(
+/// returns simulated instructions per wall second.
+fn e2e_ips(
     bin: &str,
     scheme_label: &str,
     benchmark: &str,
@@ -159,6 +310,40 @@ pub fn measure_e2e_ips(
         )));
     }
     Ok(instructions as f64 / wall.as_secs_f64().max(1e-9))
+}
+
+/// Measures one point with default probe settings.
+///
+/// # Panics
+///
+/// Panics when the two implementations disagree on any statistic.
+#[deprecated(note = "use `ThroughputProbe::new(cfg, scheme, workload).instructions(n).measure()`")]
+#[must_use]
+pub fn measure_point(
+    cfg: &ProcessorConfig,
+    scheme: &SchedulerConfig,
+    workload: &WorkloadSpec,
+    instructions: u64,
+) -> ThroughputPoint {
+    ThroughputProbe::new(cfg, scheme, workload)
+        .instructions(instructions)
+        .measure()
+        .expect("no e2e binaries configured, measurement cannot fail")
+}
+
+/// Times one end-to-end `<bin> run ...` invocation.
+///
+/// # Errors
+///
+/// The binary failing to spawn or exiting non-zero.
+#[deprecated(note = "use `ThroughputProbe::e2e_bin`/`baseline_bin` instead")]
+pub fn measure_e2e_ips(
+    bin: &str,
+    scheme_label: &str,
+    benchmark: &str,
+    instructions: u64,
+) -> Result<f64, ExpError> {
+    e2e_ips(bin, scheme_label, benchmark, instructions)
 }
 
 impl ThroughputSummary {
@@ -181,6 +366,13 @@ impl ThroughputSummary {
             geomean_speedup,
             geomean_speedup_vs_baseline,
         }
+    }
+
+    /// Geomean of `self_e2e_ips` over points that carry it (the `diq bench`
+    /// regression gate compares this across summaries).
+    #[must_use]
+    pub fn geomean_self_e2e_ips(&self) -> Option<f64> {
+        diq_stats::geometric_mean(self.points.iter().filter_map(|p| p.self_e2e_ips))
     }
 
     /// Pretty-printed JSON (the exported file's contents).
@@ -222,17 +414,23 @@ mod tests {
     use diq_workload::suite;
 
     #[test]
-    fn measures_and_round_trips() {
+    fn probe_measures_and_round_trips() {
         let cfg = ProcessorConfig::hpca2004();
-        let p = measure_point(
-            &cfg,
-            &SchedulerConfig::iq_64_64(),
-            &suite::by_name("gzip").unwrap(),
-            2_000,
-        );
+        let scheme = SchedulerConfig::iq_64_64();
+        let wl = suite::by_name("gzip").unwrap();
+        let p = ThroughputProbe::new(&cfg, &scheme, &wl)
+            .instructions(2_000)
+            .measure()
+            .unwrap();
         assert_eq!(p.instructions, 2_000);
         assert!(p.ipc > 0.0);
         assert!(p.event_ips > 0.0 && p.scan_ips > 0.0);
+        // Shares are attached exactly when the profile feature samples.
+        assert_eq!(p.stage_shares.is_some(), StageProfile::ENABLED);
+        if let Some(shares) = &p.stage_shares {
+            let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
 
         let s = ThroughputSummary::from_points("tp-test".into(), None, vec![p]);
         assert!(s.geomean_speedup.unwrap() > 0.0);
@@ -245,5 +443,45 @@ mod tests {
         assert!(path.ends_with("BENCH_tp-test.json"));
         assert!(path.exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequential_probe_matches_trace_identity() {
+        // parallel(false) must give the same deterministic SimStats-derived
+        // fields (ipc, instructions) as the parallel path.
+        let cfg = ProcessorConfig::hpca2004();
+        let scheme = SchedulerConfig::mb_distr();
+        let wl = suite::by_name("swim").unwrap();
+        let a = ThroughputProbe::new(&cfg, &scheme, &wl)
+            .instructions(1_500)
+            .parallel(false)
+            .measure()
+            .unwrap();
+        let b = ThroughputProbe::new(&cfg, &scheme, &wl)
+            .instructions(1_500)
+            .measure()
+            .unwrap();
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn pr3_era_json_without_stage_shares_still_parses() {
+        let json = r#"{
+            "run": "old",
+            "points": [{
+                "scheme": "IQ_64_64", "benchmark": "gzip",
+                "instructions": 1000, "ipc": 2.0,
+                "scan_wall_ms": 1.0, "event_wall_ms": 0.5,
+                "scan_ips": 1.0, "event_ips": 2.0, "speedup": 2.0
+            }],
+            "geomean_event_ips": 2.0,
+            "geomean_speedup": 2.0
+        }"#;
+        let s = ThroughputSummary::from_json(json).unwrap();
+        assert_eq!(s.points[0].stage_shares, None);
+        assert_eq!(s.points[0].self_e2e_ips, None);
+        // And the new field round-trips without polluting old-style output.
+        assert!(!s.to_json().contains("stage_shares"));
     }
 }

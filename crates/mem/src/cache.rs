@@ -74,7 +74,10 @@ impl Cache {
         );
         Cache {
             geom,
-            sets: vec![Vec::with_capacity(geom.assoc); sets],
+            // Not `vec![Vec::with_capacity(..); sets]`: cloning an empty
+            // Vec drops its capacity, which would make every set allocate
+            // on first touch deep into a run.
+            sets: (0..sets).map(|_| Vec::with_capacity(geom.assoc)).collect(),
             stats: CacheStats::default(),
             line_shift: geom.line_bytes.trailing_zeros(),
         }

@@ -137,6 +137,20 @@ pub(crate) enum EventKind {
 /// into a heap.
 const WHEEL_SLOTS: usize = 1024;
 
+/// A wheel-slot event node: the event payload plus the index of the next
+/// node in the same slot's list (or [`NIL`]). Free nodes reuse `next` to
+/// chain the free list.
+#[derive(Clone, Copy, Debug)]
+struct EventNode {
+    id: u64,
+    token: u64,
+    kind: EventKind,
+    next: u32,
+}
+
+/// Sentinel "no node" index for [`EventNode::next`] and the slot heads.
+const NIL: u32 = u32::MAX;
+
 /// A time-ordered completion event queue.
 ///
 /// Implemented as a calendar wheel: events land in the slot of their due
@@ -144,6 +158,16 @@ const WHEEL_SLOTS: usize = 1024;
 /// (O(events) — a per-slot sort restores the global `(cycle, id, kind)`
 /// order a binary heap would produce). Events farther out than the wheel
 /// go to a small overflow heap.
+///
+/// Slots are intrusive linked lists over one shared node arena rather than
+/// 1024 separate `Vec`s: per-slot vectors each ratchet up to their own
+/// all-time peak of "events due in a single cycle", so a long run keeps
+/// reallocating as rare spikes set new per-slot records. The arena only
+/// grows to the peak number of *live* events — bounded by the in-flight
+/// window — after which scheduling allocates nothing (asserted by
+/// `tests/alloc_steady_state.rs`). Drain order of a list is
+/// insertion-reversed, which is fine: every drained cycle is sorted into
+/// `(id, kind, token)` order below.
 ///
 /// Each event carries the dispatch `token` of the instruction it belongs
 /// to. A wrong-path squash cannot reach into the wheel to cancel events; it
@@ -154,7 +178,12 @@ const WHEEL_SLOTS: usize = 1024;
 /// behaviour is exactly the pre-token queue's.
 #[derive(Debug)]
 pub(crate) struct EventQueue {
-    wheel: Vec<Vec<(u64, u64, EventKind)>>,
+    /// Head node index per wheel slot ([`NIL`] when the slot is empty).
+    heads: Box<[u32; WHEEL_SLOTS]>,
+    /// Shared node arena; grows to the peak live-event count, then stops.
+    nodes: Vec<EventNode>,
+    /// Head of the intrusive free list threaded through `nodes[..].next`.
+    free: u32,
     /// Every event before this cycle has been drained.
     floor: Cycle,
     len: usize,
@@ -164,7 +193,9 @@ pub(crate) struct EventQueue {
 impl Default for EventQueue {
     fn default() -> Self {
         EventQueue {
-            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            heads: Box::new([NIL; WHEEL_SLOTS]),
+            nodes: Vec::new(),
+            free: NIL,
             floor: 0,
             len: 0,
             overflow: BinaryHeap::new(),
@@ -181,7 +212,23 @@ impl EventQueue {
         debug_assert!(at >= self.floor, "event scheduled in the past");
         self.len += 1;
         if (at - self.floor) < WHEEL_SLOTS as u64 {
-            self.wheel[(at as usize) % WHEEL_SLOTS].push((id.0, token, kind));
+            let slot = (at as usize) % WHEEL_SLOTS;
+            let node = EventNode {
+                id: id.0,
+                token,
+                kind,
+                next: self.heads[slot],
+            };
+            let idx = if self.free == NIL {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            } else {
+                let idx = self.free;
+                self.free = self.nodes[idx as usize].next;
+                self.nodes[idx as usize] = node;
+                idx
+            };
+            self.heads[slot] = idx;
         } else {
             self.overflow.push(Reverse((at, id.0, kind, token)));
         }
@@ -195,11 +242,16 @@ impl EventQueue {
         while self.floor <= now {
             let t = self.floor;
             let start = out.len();
-            let slot = &mut self.wheel[(t as usize) % WHEEL_SLOTS];
-            out.extend(
-                slot.drain(..)
-                    .map(|(id, token, kind)| (InstId(id), token, kind)),
-            );
+            let slot = (t as usize) % WHEEL_SLOTS;
+            let mut idx = self.heads[slot];
+            self.heads[slot] = NIL;
+            while idx != NIL {
+                let node = self.nodes[idx as usize];
+                out.push((InstId(node.id), node.token, node.kind));
+                self.nodes[idx as usize].next = self.free;
+                self.free = idx;
+                idx = node.next;
+            }
             while let Some(&Reverse((at, id, kind, token))) = self.overflow.peek() {
                 if at > t {
                     break;
@@ -218,7 +270,7 @@ impl EventQueue {
         let mut earliest = self.overflow.peek().map(|Reverse((at, _, _, _))| *at);
         for dt in 0..WHEEL_SLOTS as u64 {
             let t = self.floor + dt;
-            if !self.wheel[(t as usize) % WHEEL_SLOTS].is_empty() {
+            if self.heads[(t as usize) % WHEEL_SLOTS] != NIL {
                 earliest = Some(earliest.map_or(t, |e| e.min(t)));
                 break;
             }

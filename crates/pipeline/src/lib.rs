@@ -20,7 +20,8 @@
 //! * **stall** (legacy, the default): fetch stalls until the branch
 //!   resolves, then redirects after the configured penalty — the issue
 //!   queues only ever see correct-path work;
-//! * **wrong-path speculation** ([`Simulator::run_program`]): fetch follows
+//! * **wrong-path speculation** (a [`Workload::speculative`] source under
+//!   [`Simulator::run_workload`]): fetch follows
 //!   the predicted path into the PC-addressable synthetic program
 //!   ([`diq_workload::TraceGenerator`]), wrong-path instructions rename,
 //!   dispatch, issue and pay energy like any others, and resolution
@@ -42,14 +43,14 @@
 //! ```
 //! use diq_core::SchedulerConfig;
 //! use diq_isa::ProcessorConfig;
-//! use diq_pipeline::Simulator;
+//! use diq_pipeline::{Simulator, TraceSource};
 //! use diq_workload::kernels;
 //!
 //! let cfg = ProcessorConfig::hpca2004();
 //! let spec = kernels::parallel_fp_chains(12, 4);
 //! let trace = spec.generate(2_000);
 //! let mut sim = Simulator::new(&cfg, &SchedulerConfig::mb_distr());
-//! let stats = sim.run(trace.into_iter(), 2_000);
+//! let stats = sim.run_workload(&mut TraceSource::new(trace), 2_000);
 //! assert_eq!(stats.committed, 2_000);
 //! assert_eq!(stats.checker_violations, 0);
 //! assert!(stats.ipc() > 0.5);
@@ -59,12 +60,18 @@
 
 mod exec;
 mod lsq;
+mod profile;
 mod rename;
 mod stats;
+mod workload;
 
 pub use lsq::{LoadAction, Lsq};
+pub use profile::{stage, StageProfile};
 pub use rename::RenameState;
 pub use stats::SimStats;
+pub use workload::{TraceSource, Workload};
+
+use profile::StageTimer;
 
 use diq_branch::{BranchCheckpoint, BranchUnit, Prediction};
 use diq_core::{DispatchInst, FuTopology, Scheduler, SchedulerConfig};
@@ -208,55 +215,6 @@ struct Recovery {
     bp: BranchCheckpoint,
 }
 
-/// What fetch pulls instructions from: a plain trace iterator (no
-/// wrong-path capability — mispredictions stall, as in the legacy model)
-/// or the PC-addressable synthetic program, which can be checkpointed,
-/// redirected down a wrong path, and restored.
-enum Source<'a, I: Iterator<Item = Inst>> {
-    Trace(&'a mut I),
-    Program(&'a mut TraceGenerator),
-}
-
-impl<I: Iterator<Item = Inst>> Source<'_, I> {
-    fn next_inst(&mut self) -> Option<Inst> {
-        match self {
-            Source::Trace(it) => it.next(),
-            Source::Program(p) => p.next(),
-        }
-    }
-
-    /// Whether this source supports wrong-path fetch.
-    fn speculative(&self) -> bool {
-        matches!(self, Source::Program(_))
-    }
-
-    fn checkpoint(&self) -> Option<TraceCheckpoint> {
-        match self {
-            Source::Trace(_) => None,
-            Source::Program(p) => Some(p.checkpoint()),
-        }
-    }
-
-    /// Refreshes a reused checkpoint slot in place (no allocation).
-    fn checkpoint_into(&self, cp: &mut TraceCheckpoint) {
-        if let Source::Program(p) = self {
-            p.checkpoint_into(cp);
-        }
-    }
-
-    fn restore(&mut self, cp: &TraceCheckpoint) {
-        if let Source::Program(p) = self {
-            p.restore(cp);
-        }
-    }
-
-    fn enter_wrong_path(&mut self, pc: u64) {
-        if let Source::Program(p) = self {
-            p.enter_wrong_path(pc);
-        }
-    }
-}
-
 /// The out-of-order core.
 pub struct Simulator {
     cfg: ProcessorConfig,
@@ -301,10 +259,18 @@ pub struct Simulator {
     /// steady-state window allocates nothing).
     spec_consumer_pool: Vec<Vec<(InstId, u64)>>,
     /// Correct-path instructions pulled from a speculative source; fetch
-    /// stops at [`Self::fetch_budget`] so `run_program` drains like a
-    /// finite trace.
+    /// stops at [`Self::fetch_budget`] so a speculative workload drains
+    /// like a finite trace.
     correct_fetched: u64,
     fetch_budget: u64,
+    /// The fetch micro-batch: instructions pulled from the workload a
+    /// fetch-width group at a time ([`Workload::fill`]) and drained by the
+    /// fetch stage. Cleared on recovery — see `workload` module docs for
+    /// why that is exact.
+    batch: VecDeque<Inst>,
+    /// Per-stage wall-clock ticks (all zeros unless the `profile` cargo
+    /// feature is enabled).
+    profile: StageProfile,
     stats: SimStats,
     // Per-cycle scratch buffers, reused so the steady-state cycle loop
     // allocates nothing.
@@ -319,7 +285,7 @@ pub struct Simulator {
 }
 
 /// Stall-reason display labels, in counter-index order.
-const STALL_LABELS: [&str; 6] = [
+pub(crate) const STALL_LABELS: [&str; 6] = [
     "rob_full",
     "no_phys_reg",
     "queue_full",
@@ -351,13 +317,13 @@ impl Simulator {
             bp: BranchUnit::new(&cfg.branch),
             mem: MemoryHierarchy::new(&cfg.mem),
             rename: RenameState::new(cfg),
-            lsq: Lsq::new(),
+            lsq: Lsq::with_capacity(cfg.rob_entries),
             fu,
             events: EventQueue::new(),
             rob: VecDeque::with_capacity(cfg.rob_entries),
             fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
             inflight: InflightTable::default(),
-            stores_waiting_data: Vec::new(),
+            stores_waiting_data: Vec::with_capacity(cfg.rob_entries),
             now: 0,
             next_id: 0,
             fetch_stalled_until: 0,
@@ -369,21 +335,39 @@ impl Simulator {
             recovery: None,
             spare_recovery: None,
             dispatch_seq: 0,
-            spec_loads: Vec::new(),
-            spec_consumer_pool: Vec::new(),
+            spec_loads: Vec::with_capacity(cfg.rob_entries),
+            spec_consumer_pool: Vec::with_capacity(cfg.rob_entries),
             correct_fetched: 0,
             fetch_budget: u64::MAX,
+            batch: VecDeque::with_capacity(cfg.fetch_width),
+            profile: StageProfile::default(),
             stats,
-            due_scratch: Vec::new(),
-            accepted_scratch: Vec::new(),
-            stores_done_scratch: Vec::new(),
-            pending_loads_scratch: Vec::new(),
+            // Scratch peaks are bounded by the in-flight window (each
+            // in-flight instruction contributes at most a few pending
+            // events), so reserving against the ROB keeps the cycle loop
+            // allocation-free (asserted by tests/alloc_steady_state.rs).
+            due_scratch: Vec::with_capacity(4 * cfg.rob_entries),
+            accepted_scratch: Vec::with_capacity(cfg.rob_entries),
+            stores_done_scratch: Vec::with_capacity(cfg.rob_entries),
+            pending_loads_scratch: Vec::with_capacity(cfg.rob_entries),
             stall_counts: [0; STALL_LABELS.len()],
         }
     }
 
-    /// Runs until `commit_target` instructions commit (or the trace drains,
-    /// whichever comes first) and returns the statistics.
+    /// Runs until `commit_target` instructions commit (or the workload
+    /// drains, whichever comes first) and returns the statistics.
+    ///
+    /// This is the single drive loop behind every entry point. The workload
+    /// is pulled in fetch-width micro-batches ([`Workload::fill`]); for a
+    /// [speculative](Workload::speculative) source with
+    /// [`ProcessorConfig::wrong_path`] on, fetch follows predicted paths —
+    /// on a misprediction the source is checkpointed and entered at the
+    /// predicted target, wrong-path instructions flow through
+    /// rename/dispatch/issue (occupying queues and paying wakeup/selection
+    /// energy), and resolution restores the checkpoint and squashes every
+    /// younger entry. A speculative workload fetches exactly
+    /// `commit_target` correct-path instructions, so the machine drains at
+    /// the end just as it does on a finite trace.
     ///
     /// The returned `SimStats` are *moved* out (the simulator's own counters
     /// reset to zero) rather than cloned — a run's statistics are consumed
@@ -393,48 +377,23 @@ impl Simulator {
     ///
     /// Panics if the machine stops committing for 100 000 cycles — a
     /// scheduling deadlock, which is always a bug worth failing loudly on.
-    pub fn run<I>(&mut self, trace: I, commit_target: u64) -> SimStats
+    pub fn run_workload<W>(&mut self, workload: &mut W, commit_target: u64) -> SimStats
     where
-        I: IntoIterator<Item = Inst>,
+        W: Workload + ?Sized,
     {
-        let mut trace = trace.into_iter();
-        self.fetch_budget = u64::MAX; // the iterator bounds itself
-        self.run_inner(Source::Trace(&mut trace), commit_target)
-    }
-
-    /// Runs `commit_target` instructions of the PC-addressable synthetic
-    /// `program` — the entry point for wrong-path speculation
-    /// ([`ProcessorConfig::wrong_path`]).
-    ///
-    /// Fetch follows the predicted path: on a misprediction the program is
-    /// checkpointed and entered at the predicted target, wrong-path
-    /// instructions flow through rename/dispatch/issue (occupying queues
-    /// and paying wakeup/selection energy), and resolution restores the
-    /// checkpoint and squashes every younger entry. Exactly `commit_target`
-    /// correct-path instructions are fetched and committed, so the machine
-    /// drains at the end just as [`run`](Self::run) does on a finite trace.
-    /// With `wrong_path` off this is equivalent to running the generated
-    /// trace through [`run`](Self::run).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a scheduling deadlock, as [`run`](Self::run) does.
-    pub fn run_program(&mut self, program: &mut TraceGenerator, commit_target: u64) -> SimStats {
-        self.correct_fetched = 0;
-        self.fetch_budget = commit_target;
-        self.run_inner(
-            Source::Program::<std::iter::Empty<Inst>>(program),
-            commit_target,
-        )
-    }
-
-    fn run_inner<I>(&mut self, mut src: Source<'_, I>, commit_target: u64) -> SimStats
-    where
-        I: Iterator<Item = Inst>,
-    {
+        if workload.speculative() {
+            // A speculative source is an infinite program: the budget of
+            // correct-path instructions plays the role a finite trace's end
+            // plays, so the machine drains.
+            self.correct_fetched = 0;
+            self.fetch_budget = commit_target;
+        } else {
+            self.fetch_budget = u64::MAX; // the iterator bounds itself
+        }
+        self.batch.clear();
         let mut trace_done = false;
         while self.stats.committed < commit_target {
-            self.cycle(&mut src, &mut trace_done);
+            self.cycle(workload, &mut trace_done);
             if trace_done
                 && self.rob.is_empty()
                 && self.fetch_queue.is_empty()
@@ -463,6 +422,41 @@ impl Simulator {
         std::mem::replace(&mut self.stats, fresh)
     }
 
+    /// Runs a plain instruction trace. Thin shim over
+    /// [`run_workload`](Self::run_workload) with a [`TraceSource`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scheduling deadlock, as
+    /// [`run_workload`](Self::run_workload) does.
+    #[deprecated(note = "use `run_workload(&mut TraceSource::new(trace), n)`")]
+    pub fn run<I>(&mut self, trace: I, commit_target: u64) -> SimStats
+    where
+        I: IntoIterator<Item = Inst>,
+    {
+        self.run_workload(&mut TraceSource::new(trace), commit_target)
+    }
+
+    /// Runs the PC-addressable synthetic program. Thin shim over
+    /// [`run_workload`](Self::run_workload) — [`TraceGenerator`] implements
+    /// [`Workload`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scheduling deadlock, as
+    /// [`run_workload`](Self::run_workload) does.
+    #[deprecated(note = "use `run_workload(program, n)`")]
+    pub fn run_program(&mut self, program: &mut TraceGenerator, commit_target: u64) -> SimStats {
+        self.run_workload(program, commit_target)
+    }
+
+    /// Takes (and resets) the per-stage wall-clock profile accumulated by
+    /// [`run_workload`](Self::run_workload). All zeros unless the crate was
+    /// built with the `profile` feature ([`StageProfile::ENABLED`]).
+    pub fn take_stage_profile(&mut self) -> StageProfile {
+        std::mem::take(&mut self.profile)
+    }
+
     /// Names the workload in the produced statistics.
     pub fn set_benchmark(&mut self, name: &str) {
         self.stats.benchmark = name.to_string();
@@ -476,11 +470,18 @@ impl Simulator {
     }
 
     fn finalize_stats(&mut self) {
+        // The label set was pre-interned at reset, so a label whose first
+        // stall happens late in a long run costs no allocation here (the
+        // steady-state-alloc test counts this path). Zero entries are
+        // dropped afterwards to keep the reported map's shape unchanged.
         for (label, &n) in STALL_LABELS.iter().zip(&self.stall_counts) {
-            if n > 0 {
-                self.stats.stall_reasons.insert((*label).to_string(), n);
-            }
+            *self
+                .stats
+                .stall_reasons
+                .get_mut(*label)
+                .expect("pre-interned stall label") = n;
         }
+        self.stats.stall_reasons.retain(|_, &mut n| n > 0);
         self.stats.cycles = self.now;
         self.stats.branch = self.bp.stats();
         self.stats.il1 = self.mem.il1_stats();
@@ -496,16 +497,24 @@ impl Simulator {
         &mut self.rob[idx]
     }
 
-    fn cycle<I>(&mut self, src: &mut Source<'_, I>, trace_done: &mut bool)
+    fn cycle<W>(&mut self, src: &mut W, trace_done: &mut bool)
     where
-        I: Iterator<Item = Inst>,
+        W: Workload + ?Sized,
     {
+        let mut t = StageTimer::start();
         self.commit_stage();
+        t.lap(&mut self.profile, stage::COMMIT);
         self.writeback_stage(src);
+        t.lap(&mut self.profile, stage::WRITEBACK);
         self.memory_stage();
+        t.lap(&mut self.profile, stage::MEMORY);
         self.issue_stage();
+        t.lap(&mut self.profile, stage::ISSUE);
         self.dispatch_stage();
+        t.lap(&mut self.profile, stage::RENAME_DISPATCH);
         self.fetch_stage(src, trace_done);
+        t.lap(&mut self.profile, stage::FETCH);
+        self.profile.cycles += 1;
         let (oi, of) = self.sched.occupancy();
         self.stats.occupancy_int.record(oi as u64);
         self.stats.occupancy_fp.record(of as u64);
@@ -542,9 +551,9 @@ impl Simulator {
 
     // ---- writeback ----------------------------------------------------
 
-    fn writeback_stage<I>(&mut self, src: &mut Source<'_, I>)
+    fn writeback_stage<W>(&mut self, src: &mut W)
     where
-        I: Iterator<Item = Inst>,
+        W: Workload + ?Sized,
     {
         let mut due = std::mem::take(&mut self.due_scratch);
         self.events.drain_due(self.now, &mut due);
@@ -707,6 +716,12 @@ impl Simulator {
         debug_assert!(self.fetch_queue.iter().all(|f| f.wrong_path));
         let flushed = self.fetch_queue.len() as u64;
         self.fetch_queue.clear();
+        // The batch buffer holds only wrong-path pulls (fills stop after
+        // every branch, so nothing was buffered past the mispredicted one
+        // when fetch turned down the wrong path) — none were counted
+        // against the correct-path budget; the restored source re-emits
+        // the correct path from the checkpoint.
+        self.batch.clear();
         // Abandon any wrong-path I-line in flight, and with it the fetch
         // stall it imposed (the caller applies the redirect penalty).
         self.pending_fetch = None;
@@ -1047,9 +1062,36 @@ impl Simulator {
 
     // ---- fetch ----------------------------------------------------------
 
-    fn fetch_stage<I>(&mut self, src: &mut Source<'_, I>, trace_done: &mut bool)
+    /// Refills the micro-batch buffer with up to a fetch-width group from
+    /// the workload. Returns `false` when the source is drained — or, for a
+    /// speculative source on the correct path, when the fetch budget is
+    /// exhausted (wrong-path pulls are free: they are replayed from the
+    /// checkpoint, not consumed).
+    fn refill_batch<W>(&mut self, src: &mut W) -> bool
     where
-        I: Iterator<Item = Inst>,
+        W: Workload + ?Sized,
+    {
+        debug_assert!(self.batch.is_empty(), "refill only on an empty batch");
+        let counted = src.speculative() && !self.wrong_path_mode;
+        let max = if counted {
+            let left = self.fetch_budget - self.correct_fetched;
+            left.min(self.cfg.fetch_width as u64) as usize
+        } else {
+            self.cfg.fetch_width
+        };
+        if max == 0 {
+            return false;
+        }
+        let n = src.fill(&mut self.batch, max);
+        if counted {
+            self.correct_fetched += n as u64;
+        }
+        n > 0
+    }
+
+    fn fetch_stage<W>(&mut self, src: &mut W, trace_done: &mut bool)
+    where
+        W: Workload + ?Sized,
     {
         if self.waiting_mispredict || self.now < self.fetch_stalled_until {
             return;
@@ -1062,28 +1104,16 @@ impl Simulator {
             }
             let inst = match self.pending_fetch.take() {
                 Some(i) => i,
-                None => {
-                    // A speculative source is an infinite program: the
-                    // budget of correct-path instructions plays the role a
-                    // finite trace's end plays, so the machine drains.
-                    // Wrong-path pulls are free — they are replayed from
-                    // the checkpoint, not consumed.
-                    if src.speculative()
-                        && !self.wrong_path_mode
-                        && self.correct_fetched >= self.fetch_budget
-                    {
-                        *trace_done = true;
-                        break;
+                None => match self.batch.pop_front() {
+                    Some(i) => i,
+                    None => {
+                        if !self.refill_batch(src) {
+                            *trace_done = true;
+                            break;
+                        }
+                        self.batch.pop_front().expect("refill delivered")
                     }
-                    let Some(i) = src.next_inst() else {
-                        *trace_done = true;
-                        break;
-                    };
-                    if src.speculative() && !self.wrong_path_mode {
-                        self.correct_fetched += 1;
-                    }
-                    i
-                }
+                },
             };
             // Instruction cache: one probe per new line touched.
             let line = inst.pc >> line_shift;
@@ -1190,7 +1220,7 @@ mod tests {
         let n = insts.len() as u64;
         let mut sim = Simulator::new(&cfg(), sched);
         sim.set_benchmark("unit");
-        sim.run(insts, n)
+        sim.run_workload(&mut TraceSource::new(insts), n)
     }
 
     /// Loop-like PCs so the I-cache warms up after one block (the synthetic
@@ -1331,7 +1361,7 @@ mod tests {
         let r = ArchReg::int(8);
         let insts = vec![Inst::int_alu(r, r, r).at(0x400_000); 10];
         let mut sim = Simulator::new(&cfg(), &SchedulerConfig::mb_distr());
-        let stats = sim.run(insts, 1_000_000);
+        let stats = sim.run_workload(&mut TraceSource::new(insts), 1_000_000);
         assert_eq!(stats.committed, 10);
     }
 
@@ -1350,7 +1380,7 @@ mod tests {
             SchedulerConfig::if_distr(),
         ] {
             let mut sim = Simulator::new(&cfg(), &sc);
-            let stats = sim.run(trace.clone(), 4_000);
+            let stats = sim.run_workload(&mut TraceSource::new(trace.clone()), 4_000);
             assert_eq!(stats.committed, 4_000, "{}", sc.label());
             assert_eq!(stats.checker_violations, 0, "{}", sc.label());
         }

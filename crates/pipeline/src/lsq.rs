@@ -88,6 +88,22 @@ impl Lsq {
         Self::default()
     }
 
+    /// Creates an empty queue with room for `capacity` in-flight memory
+    /// operations reserved up front, so queue growth and the per-cycle
+    /// scratch never allocate mid-run (the in-flight window bounds all of
+    /// them).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Lsq {
+            entries: VecDeque::with_capacity(capacity),
+            stores: VecDeque::with_capacity(capacity),
+            pending: Vec::with_capacity(capacity),
+            match_scratch: Vec::with_capacity(capacity),
+            cached_actions: Vec::with_capacity(capacity),
+            ..Self::default()
+        }
+    }
+
     /// Allocates an entry at dispatch (program order).
     pub fn push(&mut self, id: InstId, is_store: bool, addr: u64) {
         self.entries.push_back(LsqEntry {

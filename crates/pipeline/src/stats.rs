@@ -94,7 +94,13 @@ impl SimStats {
             committed_fp: 0,
             issued: 0,
             dispatch_stall_cycles: 0,
-            stall_reasons: BTreeMap::new(),
+            // Pre-interned so `finalize_stats` updates in place — label
+            // strings and map nodes never allocate mid-run (zeros are
+            // dropped at finalize, so reported stats look the same).
+            stall_reasons: crate::STALL_LABELS
+                .iter()
+                .map(|&l| (l.to_string(), 0))
+                .collect(),
             mispredict_redirects: 0,
             branch: BranchStats::default(),
             il1: CacheStats::default(),

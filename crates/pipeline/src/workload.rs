@@ -1,0 +1,159 @@
+//! The [`Workload`] source abstraction: what fetch pulls instructions from.
+//!
+//! Historically the simulator had two run entry points — `run` over a plain
+//! trace iterator and `run_program` over the PC-addressable
+//! [`TraceGenerator`] — duplicating the drive loop. Both kinds of source now
+//! implement one trait consumed by a single [`Simulator::run_workload`]
+//! loop, and the front end pulls **micro-batches** (up to a fetch-width
+//! group per [`Workload::fill`] call) instead of one instruction at a time.
+//!
+//! # Batching versus recovery
+//!
+//! Pulling ahead of the fetch stage is only safe if it cannot be observed
+//! around speculation boundaries. Two rules make it exact:
+//!
+//! * **Speculative sources end every fill after a branch.** When the fetch
+//!   stage processes a mispredicted branch, the batch buffer is therefore
+//!   empty past it — the generator state *is* the post-branch state, and
+//!   the recovery checkpoint captures exactly what the per-instruction pull
+//!   model would have captured.
+//! * **Recovery clears the batch buffer.** Once fetch has turned down a
+//!   wrong path, everything buffered was pulled in wrong-path mode (and was
+//!   not counted against the correct-path fetch budget); restoring the
+//!   checkpoint abandons it, exactly as the un-pulled instructions never
+//!   existed under the old model.
+//!
+//! Non-speculative sources (plain trace iterators) carry no checkpoint
+//! state at all, so they may fill whole fetch-width batches across branch
+//! boundaries freely.
+//!
+//! [`Simulator::run_workload`]: crate::Simulator::run_workload
+//! [`TraceGenerator`]: diq_workload::TraceGenerator
+
+use diq_isa::Inst;
+use diq_workload::{TraceCheckpoint, TraceGenerator};
+use std::collections::VecDeque;
+
+/// A source of instructions for [`Simulator::run_workload`]: either a plain
+/// trace (no wrong-path capability — mispredictions stall, as in the legacy
+/// model) or a PC-addressable program that can be checkpointed, redirected
+/// down a wrong path, and restored.
+///
+/// [`Simulator::run_workload`]: crate::Simulator::run_workload
+pub trait Workload {
+    /// Pulls up to `max` instructions, appending them to `out`, and returns
+    /// how many were appended. Returning `0` means the source is drained.
+    ///
+    /// A [speculative](Workload::speculative) source must end the fill
+    /// immediately after any branch instruction, so that a misprediction
+    /// discovered while that branch is in the fetch stage can checkpoint
+    /// the source in exactly its post-branch state (see the module docs).
+    fn fill(&mut self, out: &mut VecDeque<Inst>, max: usize) -> usize;
+
+    /// Whether this source supports wrong-path fetch (checkpoint, restore,
+    /// redirect). Non-speculative sources stall fetch on a misprediction
+    /// until the branch resolves.
+    fn speculative(&self) -> bool {
+        false
+    }
+
+    /// Captures the source's state; `None` for non-speculative sources.
+    fn checkpoint(&self) -> Option<TraceCheckpoint> {
+        None
+    }
+
+    /// Refreshes a reused checkpoint slot in place (no allocation).
+    fn checkpoint_into(&self, _cp: &mut TraceCheckpoint) {}
+
+    /// Rewinds the source to a previously captured checkpoint.
+    fn restore(&mut self, _cp: &TraceCheckpoint) {}
+
+    /// Redirects the source down the (predicted, wrong) path at `pc`.
+    fn enter_wrong_path(&mut self, _pc: u64) {}
+}
+
+/// Any instruction iterator as a non-speculative [`Workload`].
+///
+/// This is the adapter behind the deprecated [`Simulator::run`] shim; new
+/// code constructs it directly:
+///
+/// ```
+/// use diq_core::SchedulerConfig;
+/// use diq_isa::ProcessorConfig;
+/// use diq_pipeline::{Simulator, TraceSource};
+/// use diq_workload::kernels;
+///
+/// let trace = kernels::parallel_fp_chains(12, 4).generate(2_000);
+/// let mut sim = Simulator::new(&ProcessorConfig::hpca2004(), &SchedulerConfig::mb_distr());
+/// let stats = sim.run_workload(&mut TraceSource::new(trace), 2_000);
+/// assert_eq!(stats.committed, 2_000);
+/// ```
+///
+/// [`Simulator::run`]: crate::Simulator::run
+#[derive(Debug)]
+pub struct TraceSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = Inst>> TraceSource<I> {
+    /// Wraps an instruction stream.
+    pub fn new<T>(trace: T) -> Self
+    where
+        T: IntoIterator<Item = Inst, IntoIter = I>,
+    {
+        TraceSource {
+            iter: trace.into_iter(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = Inst>> Workload for TraceSource<I> {
+    fn fill(&mut self, out: &mut VecDeque<Inst>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(inst) = self.iter.next() else { break };
+            out.push_back(inst);
+            n += 1;
+        }
+        n
+    }
+}
+
+/// The PC-addressable synthetic program is the speculative workload: fills
+/// stop after every branch (the checkpoint boundary), and the checkpoint
+/// and wrong-path hooks delegate to the generator.
+impl Workload for TraceGenerator {
+    fn fill(&mut self, out: &mut VecDeque<Inst>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(inst) = self.next() else { break };
+            let boundary = inst.branch.is_some();
+            out.push_back(inst);
+            n += 1;
+            if boundary {
+                break;
+            }
+        }
+        n
+    }
+
+    fn speculative(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&self) -> Option<TraceCheckpoint> {
+        Some(TraceGenerator::checkpoint(self))
+    }
+
+    fn checkpoint_into(&self, cp: &mut TraceCheckpoint) {
+        TraceGenerator::checkpoint_into(self, cp);
+    }
+
+    fn restore(&mut self, cp: &TraceCheckpoint) {
+        TraceGenerator::restore(self, cp);
+    }
+
+    fn enter_wrong_path(&mut self, pc: u64) {
+        TraceGenerator::enter_wrong_path(self, pc);
+    }
+}

@@ -57,12 +57,13 @@ pub const ALL_COMPONENTS: [Component; 12] = [
 ];
 
 impl Component {
+    /// `ALL_COMPONENTS` lists the variants in declaration order, so the
+    /// discriminant doubles as the meter index (asserted in the tests
+    /// below). `meter.add` sits on the per-event hot path of every scheme;
+    /// a search here is measurable.
     #[inline]
     fn idx(self) -> usize {
-        ALL_COMPONENTS
-            .iter()
-            .position(|&c| c == self)
-            .expect("component listed")
+        self as usize
     }
 
     /// The label used in the paper's figures.
@@ -175,6 +176,15 @@ impl AddAssign<&EnergyMeter> for EnergyMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_components_is_in_discriminant_order() {
+        // `Component::idx` relies on this: the display order of
+        // ALL_COMPONENTS must stay the declaration order of the enum.
+        for (i, &c) in ALL_COMPONENTS.iter().enumerate() {
+            assert_eq!(c as usize, i, "{c} out of order in ALL_COMPONENTS");
+        }
+    }
 
     #[test]
     fn breakdown_skips_zero_components() {

@@ -56,13 +56,13 @@ mod tests {
     use super::*;
     use diq_core::SchedulerConfig;
     use diq_isa::ProcessorConfig;
-    use diq_pipeline::Simulator;
+    use diq_pipeline::{Simulator, TraceSource};
     use diq_workload::kernels;
 
     fn run(sc: &SchedulerConfig, n: u64) -> SimStats {
         let spec = kernels::parallel_fp_chains(12, 4);
         let mut sim = Simulator::new(&ProcessorConfig::hpca2004(), sc);
-        sim.run(spec.generate(n as usize), n)
+        sim.run_workload(&mut TraceSource::new(spec.generate(n as usize)), n)
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! (default: `swim`; try `mgrid`, `art`, `gcc`, `bzip2`, …)
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::stats::Table;
 use diq::workload::suite;
@@ -43,7 +43,7 @@ fn main() {
     for sched in &schemes {
         let mut sim = Simulator::new(&cfg, sched);
         sim.set_benchmark(&bench.name);
-        let st = sim.run(bench.generate(n as usize), n);
+        let st = sim.run_workload(&mut TraceSource::new(bench.generate(n as usize)), n);
         table.row([
             st.scheme.clone(),
             format!("{:.2}", st.ipc()),

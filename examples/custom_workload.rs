@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example custom_workload`
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, TraceProfile, WorkloadSpec};
 
@@ -65,7 +65,7 @@ fn main() {
     ] {
         let mut sim = Simulator::new(&cfg, &sched);
         sim.set_benchmark(&spec.name);
-        let st = sim.run(trace.clone(), n as u64);
+        let st = sim.run_workload(&mut TraceSource::new(trace.clone()), n as u64);
         println!(
             "{:22} IPC {:.2}  IQ {:.1} pJ/instr  dispatch stalls {}",
             st.scheme,

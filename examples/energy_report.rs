@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example energy_report [benchmark]`
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::power::ALL_COMPONENTS;
 use diq::sched::SchedulerConfig;
 use diq::stats::Table;
@@ -29,7 +29,7 @@ fn main() {
         .map(|sched| {
             let mut sim = Simulator::new(&cfg, sched);
             sim.set_benchmark(&bench.name);
-            sim.run(bench.generate(n as usize), n)
+            sim.run_workload(&mut TraceSource::new(bench.generate(n as usize)), n)
         })
         .collect();
 

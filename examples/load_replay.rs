@@ -14,7 +14,7 @@
 //! effect).
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::{SimStats, Simulator};
+use diq::pipeline::{SimStats, Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::stats::Table;
 use diq::workload::WorkloadSpec;
@@ -30,7 +30,7 @@ fn report(bench: &WorkloadSpec, n: u64, base: &ProcessorConfig, what: &str) {
         cfg.load_hit_speculation = speculate;
         let mut sim = Simulator::new(&cfg, sched);
         sim.set_benchmark(&bench.name);
-        sim.run(bench.generate(n as usize), n)
+        sim.run_workload(&mut TraceSource::new(bench.generate(n as usize)), n)
     };
 
     let mut table = Table::new([

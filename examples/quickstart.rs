@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::suite;
 
@@ -21,7 +21,7 @@ fn main() {
     for sched in [SchedulerConfig::iq_64_64(), SchedulerConfig::mb_distr()] {
         let mut sim = Simulator::new(&cfg, &sched);
         sim.set_benchmark(&bench.name);
-        let stats = sim.run(bench.generate(n as usize), n);
+        let stats = sim.run_workload(&mut TraceSource::new(bench.generate(n as usize)), n);
         println!("{stats}");
         results.push(stats);
     }

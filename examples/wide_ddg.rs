@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example wide_ddg`
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::stats::Table;
 use diq::workload::kernels;
@@ -30,7 +30,7 @@ fn main() {
         for sched in &schemes {
             let mut sim = Simulator::new(&cfg, sched);
             sim.set_benchmark(&spec.name);
-            let st = sim.run(spec.generate(n as usize), n);
+            let st = sim.run_workload(&mut TraceSource::new(spec.generate(n as usize)), n);
             cells.push(format!("{:.2}", st.ipc()));
         }
         table.row(cells);

@@ -33,9 +33,12 @@ fn main() {
         sim.set_benchmark(&bench.name);
         if wrong_path {
             let mut program = TraceGenerator::new(&bench);
-            sim.run_program(&mut program, n)
+            sim.run_workload(&mut program, n)
         } else {
-            sim.run(bench.generate(n as usize), n)
+            sim.run_workload(
+                &mut diq::pipeline::TraceSource::new(bench.generate(n as usize)),
+                n,
+            )
         }
     };
 

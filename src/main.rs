@@ -8,12 +8,16 @@
 //!                                   tab1, sec3, headline)
 //! diq figures                       regenerate everything
 //! diq sweep <spec.json>             run an experiment grid, resumably
+//! diq bench <spec.json>             simulator-throughput run over a grid
 //! diq compare <run-a> <run-b>       per-point deltas + regression gate
 //! diq export <run>                  write a BENCH_<run>.json summary
 //! ```
 
 use diq::cli::{parse_count, scheme_by_name, SCHEME_LABELS};
-use diq::exp::{sweep_as, Comparison, ExperimentSpec, Point, ResultStore, RunSummary};
+use diq::exp::{
+    sweep_as, Comparison, ExperimentSpec, Point, ResultStore, RunSummary, ThroughputPoint,
+    ThroughputProbe, ThroughputSummary,
+};
 use diq::sim::{figures, Figure, Harness};
 use diq::workload::suite;
 
@@ -47,13 +51,20 @@ fn usage() -> ! {
          diq figure <id>\n  \
          diq figures\n  \
          diq sweep <spec.json> [--store DIR] [--threads N] [--name RUN] [--summary-json FILE|-]\n  \
+         diq bench <spec.json> [--name RUN] [--out DIR] [--e2e-bin BIN]\n  \
+         \x20         [--baseline FILE] [--min-ratio X]\n  \
          diq compare <run-a> <run-b> [--store DIR] [--threshold PCT]\n  \
          diq export <run> [--store DIR] [--out FILE]\n\n\
          Instruction counts accept 100k/5M/1G suffixes, here and in DIQ_INSTRS\n\
          (the per-benchmark count for figures). The result store defaults to\n\
          ./results; `diq compare` exits 1 when run-b's geomean IPC regresses\n\
          more than the threshold (default 2%) against run-a. Either compare\n\
-         side may be a stored run name or a path to an exported BENCH_*.json."
+         side may be a stored run name or a path to an exported BENCH_*.json.\n\
+         `diq bench` measures simulated instrs/sec per grid point (event vs\n\
+         scan on two threads; per-stage wall-clock shares when built with\n\
+         --features profile), writes BENCH_<run>.json to --out (default .),\n\
+         and exits 1 when the geomean end-to-end instrs/sec ratio against a\n\
+         --baseline BENCH_*.json falls below --min-ratio (default 1.0)."
     );
     std::process::exit(2);
 }
@@ -179,6 +190,142 @@ fn cmd_sweep(args: &[String]) {
             }
         }
     }
+}
+
+fn cmd_bench(args: &[String]) {
+    let (positional, flags) =
+        parse_flags(args, &["name", "out", "e2e-bin", "baseline", "min-ratio"]);
+    let [spec_path] = positional.as_slice() else {
+        usage();
+    };
+    let json = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| fail(format!("read `{spec_path}`: {e}")));
+    let spec =
+        ExperimentSpec::from_json(&json).unwrap_or_else(|e| fail(format!("`{spec_path}`: {e}")));
+    let run_name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| spec.name.clone());
+    // End-to-end points run `<bin> run <scheme> <bench> <n>` as a
+    // subprocess; default to this very binary. A plain-release binary can
+    // be substituted when this one carries profiling instrumentation.
+    let e2e_bin = flags.get("e2e-bin").cloned().unwrap_or_else(|| {
+        std::env::current_exe()
+            .unwrap_or_else(|e| fail(format!("locate own binary: {e}")))
+            .display()
+            .to_string()
+    });
+    let min_ratio: f64 = match flags.get("min-ratio") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|r: &f64| r.is_finite() && *r > 0.0)
+            .unwrap_or_else(|| fail(format!("bad ratio `{s}`"))),
+        None => 1.0,
+    };
+
+    let grid = spec.expand().unwrap_or_else(|e| fail(e));
+    let mut points = Vec::new();
+    for point in &grid {
+        let mut probe = ThroughputProbe::new(&point.machine, &point.scheme, &point.workload)
+            .instructions(point.instructions);
+        // `diq run` only drives the stock machine, so end-to-end timing is
+        // meaningful (and measured) only on stock grid points.
+        if point.machine_label == "table1" {
+            probe = probe.e2e_bin(&e2e_bin);
+        }
+        let p = probe.measure().unwrap_or_else(|e| fail(e));
+        print!(
+            "  {:10} {:8} @ {:14} {:>9} instrs: {:>9.0} i/s event, {:>9.0} i/s scan",
+            p.scheme, p.benchmark, point.machine_label, p.instructions, p.event_ips, p.scan_ips
+        );
+        if let Some(e2e) = p.self_e2e_ips {
+            print!(", {e2e:>9.0} i/s e2e");
+        }
+        if let Some(shares) = &p.stage_shares {
+            let top = shares
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("six stages");
+            print!(", top stage {} {:.0}%", top.0, top.1 * 100.0);
+        }
+        println!();
+        points.push(p);
+    }
+
+    let summary = ThroughputSummary::from_points(
+        run_name,
+        Some(format!(
+            "`diq bench {spec_path}`: simulated instrs/sec, event vs scan wakeup{}",
+            if diq::pipeline::StageProfile::ENABLED {
+                ", with per-stage wall-clock shares"
+            } else {
+                ""
+            }
+        )),
+        points,
+    );
+    let out = flags.get("out").map_or(".", String::as_str);
+    let path = summary
+        .write_to_store(out)
+        .unwrap_or_else(|e| fail(format!("write summary: {e}")));
+    println!(
+        "bench `{}`: {} points, geomean {:.0} i/s event ({:.2}x vs scan) -> {}",
+        summary.run,
+        summary.points.len(),
+        summary.geomean_event_ips.unwrap_or(0.0),
+        summary.geomean_speedup.unwrap_or(0.0),
+        path.display(),
+    );
+
+    if let Some(baseline_path) = flags.get("baseline") {
+        let json = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| fail(format!("read `{baseline_path}`: {e}")));
+        let baseline = ThroughputSummary::from_json(&json)
+            .unwrap_or_else(|e| fail(format!("`{baseline_path}`: {e}")));
+        match bench_gate_ratio(&summary, &baseline) {
+            Some((ratio, matched)) => {
+                println!(
+                    "geomean e2e instrs/sec ratio vs `{}`: {ratio:.3}x over {matched} matched \
+                     points (gate: >= {min_ratio:.2}x)",
+                    baseline.run
+                );
+                if ratio < min_ratio {
+                    println!("BENCH REGRESSION: ratio {ratio:.3}x below gate {min_ratio:.2}x");
+                    std::process::exit(1);
+                }
+            }
+            None => fail(format!(
+                "no matched end-to-end points between this run and `{baseline_path}`"
+            )),
+        }
+    }
+}
+
+/// Geomean over matched (scheme, benchmark, instructions) points of this
+/// run's end-to-end instrs/sec over the baseline's. Returns the ratio and
+/// the matched-point count; `None` when nothing matches.
+fn bench_gate_ratio(
+    current: &ThroughputSummary,
+    baseline: &ThroughputSummary,
+) -> Option<(f64, usize)> {
+    let e2e = |p: &ThroughputPoint| p.self_e2e_ips;
+    let ratios: Vec<f64> = current
+        .points
+        .iter()
+        .filter_map(|p| {
+            let own = e2e(p)?;
+            let base = baseline.points.iter().find_map(|b| {
+                (b.scheme == p.scheme
+                    && b.benchmark == p.benchmark
+                    && b.instructions == p.instructions)
+                    .then(|| e2e(b))?
+            })?;
+            Some(own / base)
+        })
+        .collect();
+    let n = ratios.len();
+    diq::stats::geometric_mean(ratios).map(|g| (g, n))
 }
 
 fn cmd_compare(args: &[String]) {
@@ -309,6 +456,7 @@ fn main() {
             }
         }
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         _ => usage(),

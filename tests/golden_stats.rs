@@ -11,45 +11,56 @@
 //! from simulation work, not changed by it.
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::{SimStats, Simulator};
+use diq::pipeline::{SimStats, Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::{suite, TraceGenerator};
 
+/// Runs the event-driven scheduler and the frozen scan reference on two
+/// threads (the two models are independent over the same immutable trace —
+/// the parallel harness the ROADMAP asked for) and returns both results.
 fn run_both(sched: &SchedulerConfig, bench: &str, n: u64) -> (SimStats, SimStats) {
     let cfg = ProcessorConfig::hpca2004();
     let spec = suite::by_name(bench).unwrap();
     let trace = spec.generate(n as usize);
 
-    let mut fast = Simulator::new(&cfg, sched);
-    fast.set_benchmark(bench);
-    let fast_stats = fast.run(trace.clone(), n);
-
-    let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
-    scan.set_benchmark(bench);
-    let scan_stats = scan.run(trace, n);
-
-    (fast_stats, scan_stats)
+    std::thread::scope(|s| {
+        let fast = s.spawn(|| {
+            let mut sim = Simulator::new(&cfg, sched);
+            sim.set_benchmark(bench);
+            sim.run_workload(&mut TraceSource::new(trace.iter().copied()), n)
+        });
+        let scan = s.spawn(|| {
+            let mut sim = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+            sim.set_benchmark(bench);
+            sim.run_workload(&mut TraceSource::new(trace.iter().copied()), n)
+        });
+        (fast.join().unwrap(), scan.join().unwrap())
+    })
 }
 
-/// Same comparison with wrong-path speculation enabled: both sides run the
-/// PC-addressable program through `run_program`, so fetch follows predicted
-/// paths and every scheme's `squash` is exercised.
+/// Same two-thread comparison with wrong-path speculation enabled: both
+/// sides run the PC-addressable program as a speculative [`Workload`], so
+/// fetch follows predicted paths and every scheme's `squash` is exercised.
+///
+/// [`Workload`]: diq::pipeline::Workload
 fn run_both_speculating(sched: &SchedulerConfig, bench: &str, n: u64) -> (SimStats, SimStats) {
     let mut cfg = ProcessorConfig::hpca2004();
     cfg.wrong_path = true;
     let spec = suite::by_name(bench).unwrap();
 
-    let mut fast = Simulator::new(&cfg, sched);
-    fast.set_benchmark(bench);
-    let mut program = TraceGenerator::new(&spec);
-    let fast_stats = fast.run_program(&mut program, n);
-
-    let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
-    scan.set_benchmark(bench);
-    let mut program = TraceGenerator::new(&spec);
-    let scan_stats = scan.run_program(&mut program, n);
-
-    (fast_stats, scan_stats)
+    std::thread::scope(|s| {
+        let fast = s.spawn(|| {
+            let mut sim = Simulator::new(&cfg, sched);
+            sim.set_benchmark(bench);
+            sim.run_workload(&mut TraceGenerator::new(&spec), n)
+        });
+        let scan = s.spawn(|| {
+            let mut sim = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+            sim.set_benchmark(bench);
+            sim.run_workload(&mut TraceGenerator::new(&spec), n)
+        });
+        (fast.join().unwrap(), scan.join().unwrap())
+    })
 }
 
 fn assert_identical(sched: &SchedulerConfig, bench: &str, n: u64) {
@@ -226,17 +237,27 @@ fn run_both_replaying(
     }
     let spec = suite::by_name(bench).unwrap();
 
-    let run = |scheduler: Box<dyn diq::sched::Scheduler>| -> SimStats {
+    // The scheduler is built *inside* each thread (trait objects need not
+    // be Send); the configs are shared by reference.
+    let run = |scan: bool| -> SimStats {
+        let scheduler = if scan {
+            sched.build_scan(&cfg)
+        } else {
+            sched.build(&cfg)
+        };
         let mut sim = Simulator::with_scheduler(&cfg, scheduler);
         sim.set_benchmark(bench);
         if wrong_path {
-            let mut program = TraceGenerator::new(&spec);
-            sim.run_program(&mut program, n)
+            sim.run_workload(&mut TraceGenerator::new(&spec), n)
         } else {
-            sim.run(spec.generate(n as usize), n)
+            sim.run_workload(&mut TraceSource::new(spec.generate(n as usize)), n)
         }
     };
-    (run(sched.build(&cfg)), run(sched.build_scan(&cfg)))
+    std::thread::scope(|s| {
+        let fast = s.spawn(|| run(false));
+        let scan = s.spawn(|| run(true));
+        (fast.join().unwrap(), scan.join().unwrap())
+    })
 }
 
 fn assert_identical_replaying(
@@ -387,7 +408,7 @@ fn load_hit_speculation_off_is_the_default_and_exact() {
     let spec = suite::by_name("mcf").unwrap();
     let mut sim = Simulator::new(&cfg, &sched);
     sim.set_benchmark("mcf");
-    let stats = sim.run(spec.generate(3_000), 3_000);
+    let stats = sim.run_workload(&mut TraceSource::new(spec.generate(3_000)), 3_000);
     assert_eq!(stats.replayed, 0);
     assert_eq!(stats.replay_cycles_lost, 0);
     assert_eq!(stats.replay_depth.count(), 0);
@@ -408,25 +429,58 @@ fn speculation_produces_wrong_path_work_and_the_off_switch_is_exact() {
     assert!(fast.wrong_path_squashed > 0);
     assert!(fast.squash_depth.count() > 0, "squash depths recorded");
 
-    // Off position: run_program with the knob off must equal the legacy
-    // trace-driven run bit for bit (same machine, same stream — the budget
-    // plumbing may not perturb the stall model by even one cycle).
+    // Off position: a speculative workload with the knob off must equal
+    // the legacy trace-driven run bit for bit (same machine, same stream —
+    // neither the budget plumbing nor the branch-terminated micro-batch
+    // fills may perturb the stall model by even one cycle).
     let cfg = ProcessorConfig::hpca2004();
     assert!(!cfg.wrong_path, "stall model is the default");
     let spec = suite::by_name("gcc").unwrap();
     let mut legacy = Simulator::new(&cfg, &sched);
     legacy.set_benchmark("gcc");
-    let legacy_stats = legacy.run(spec.generate(5_000), 5_000);
+    let legacy_stats = legacy.run_workload(&mut TraceSource::new(spec.generate(5_000)), 5_000);
     assert_eq!(legacy_stats.wrong_path_fetched, 0);
     assert_eq!(legacy_stats.wrong_path_squashed, 0);
     assert_eq!(legacy_stats.squash_depth.count(), 0);
 
     let mut off = Simulator::new(&cfg, &sched);
     off.set_benchmark("gcc");
-    let mut program = TraceGenerator::new(&spec);
-    let off_stats = off.run_program(&mut program, 5_000);
+    let off_stats = off.run_workload(&mut TraceGenerator::new(&spec), 5_000);
     assert_eq!(
         off_stats, legacy_stats,
-        "run_program with wrong_path off must be bit-identical to run()"
+        "a generator workload with wrong_path off must be bit-identical to a trace workload"
     );
+}
+
+/// The deprecated `run`/`run_program` entry points are thin shims over
+/// `run_workload` and must stay bit-identical to it — existing callers see
+/// exactly the behavior they saw before the API collapse.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_are_bit_identical_to_run_workload() {
+    let sched = SchedulerConfig::if_distr();
+    let spec = suite::by_name("gzip").unwrap();
+
+    // Trace path.
+    let cfg = ProcessorConfig::hpca2004();
+    let trace = spec.generate(3_000);
+    let mut a = Simulator::new(&cfg, &sched);
+    a.set_benchmark("gzip");
+    let via_shim = a.run(trace.clone(), 3_000);
+    let mut b = Simulator::new(&cfg, &sched);
+    b.set_benchmark("gzip");
+    let via_workload = b.run_workload(&mut TraceSource::new(trace), 3_000);
+    assert_eq!(via_shim, via_workload, "run() shim diverged");
+
+    // Program path, with speculation on so the checkpoint machinery runs.
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.wrong_path = true;
+    let mut a = Simulator::new(&cfg, &sched);
+    a.set_benchmark("gzip");
+    let mut program = TraceGenerator::new(&spec);
+    let via_shim = a.run_program(&mut program, 3_000);
+    let mut b = Simulator::new(&cfg, &sched);
+    b.set_benchmark("gzip");
+    let via_workload = b.run_workload(&mut TraceGenerator::new(&spec), 3_000);
+    assert_eq!(via_shim, via_workload, "run_program() shim diverged");
 }

@@ -4,7 +4,7 @@
 //! disambiguation state across a wrong-path truncation).
 
 use diq::isa::{InstId, ProcessorConfig};
-use diq::pipeline::{LoadAction, Lsq, Simulator};
+use diq::pipeline::{LoadAction, Lsq, Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::{kernels, suite, TraceGenerator};
 
@@ -30,7 +30,7 @@ fn every_scheme_commits_exactly_the_trace_on_mixed_workloads() {
         for sched in all_schemes() {
             let mut sim = Simulator::new(&cfg, &sched);
             sim.set_benchmark(bench);
-            let stats = sim.run(trace.clone(), n);
+            let stats = sim.run_workload(&mut TraceSource::new(trace.clone()), n);
             assert_eq!(stats.committed, n, "{bench} under {}", sched.label());
             assert_eq!(
                 stats.checker_violations,
@@ -62,7 +62,7 @@ fn every_scheme_survives_stress_kernels() {
         for sched in all_schemes() {
             let mut sim = Simulator::new(&cfg, &sched);
             sim.set_benchmark(&spec.name);
-            let stats = sim.run(spec.generate(n as usize), n);
+            let stats = sim.run_workload(&mut TraceSource::new(spec.generate(n as usize)), n);
             assert_eq!(stats.committed, n, "{} under {}", spec.name, sched.label());
             assert_eq!(stats.checker_violations, 0);
         }
@@ -76,7 +76,8 @@ fn identical_trace_identical_schemes_identical_results() {
     let spec = suite::by_name("fma3d").unwrap();
     let run = || {
         let mut sim = Simulator::new(&cfg, &SchedulerConfig::mb_distr());
-        sim.run(spec.generate(2_000), 2_000).cycles
+        sim.run_workload(&mut TraceSource::new(spec.generate(2_000)), 2_000)
+            .cycles
     };
     assert_eq!(run(), run());
 }
@@ -102,7 +103,7 @@ fn speculation_squash_invariants_hold_for_every_scheme() {
             let mut sim = Simulator::new(&cfg, &sched);
             sim.set_benchmark(bench);
             let mut program = TraceGenerator::new(&spec);
-            let stats = sim.run_program(&mut program, n);
+            let stats = sim.run_workload(&mut program, n);
             assert_eq!(stats.committed, n, "{bench} under {}", sched.label());
             assert_eq!(
                 stats.checker_violations,
@@ -164,7 +165,7 @@ fn replay_invariants_hold_for_every_scheme() {
         for sched in all_schemes() {
             let mut sim = Simulator::new(&cfg, &sched);
             sim.set_benchmark(bench);
-            let stats = sim.run(trace.clone(), n);
+            let stats = sim.run_workload(&mut TraceSource::new(trace.clone()), n);
             assert_eq!(stats.committed, n, "{bench} under {}", sched.label());
             assert_eq!(
                 stats.checker_violations,
@@ -333,7 +334,7 @@ fn serial_dependences_bound_every_scheme_equally() {
         .collect();
     for sched in all_schemes() {
         let mut sim = Simulator::new(&cfg, &sched);
-        let stats = sim.run(insts.clone(), 300);
+        let stats = sim.run_workload(&mut TraceSource::new(insts.clone()), 300);
         assert!(
             stats.cycles >= 4 * 300,
             "{}: serial fp_mul chain finished in {} cycles (< 4/instr)",

@@ -1,0 +1,120 @@
+//! Property tests for the micro-batched front end: the fetch stage pulls
+//! instructions from the workload in fetch-width groups ([`TraceSource`]
+//! and [`TraceGenerator`] both implement the `Workload` fill contract), so
+//! the batch boundary is a new seam that must be invisible to the
+//! architecture. These cases drive it with random widths — including width
+//! 1 (every instruction is its own batch) and widths that do not divide the
+//! instruction budget (the final batch is partial) — and with recoveries
+//! that land mid-batch.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::{Simulator, TraceSource};
+use diq::sched::SchedulerConfig;
+use diq::workload::{suite, TraceGenerator, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    let names: Vec<String> = suite::all().into_iter().map(|w| w.name).collect();
+    let count = names.len();
+    (0usize..count, any::<u64>()).prop_map(move |(i, seed)| {
+        let mut spec = suite::by_name(&names[i]).expect("suite benchmark");
+        spec.seed = seed;
+        spec
+    })
+}
+
+/// Budgets chosen to land the last batch everywhere relative to the width:
+/// exact multiples, one short, one over.
+fn arb_budget() -> impl Strategy<Value = u64> {
+    200u64..=620
+}
+
+/// Fetch widths around the seam: 1 (degenerate), odd widths that never
+/// divide the budget evenly, the stock 8, and wider-than-stock.
+fn arb_fetch_width() -> impl Strategy<Value = usize> {
+    const WIDTHS: [usize; 5] = [1, 3, 5, 8, 13];
+    (0usize..WIDTHS.len()).prop_map(|i| WIDTHS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// With wrong-path fetch off, a generator-backed workload and a
+    /// pregenerated trace of the same spec are the same instruction stream
+    /// — so the stats must be bit-identical no matter how the batch
+    /// boundaries fall for either source.
+    #[test]
+    fn generator_and_trace_sources_agree_across_widths(
+        spec in arb_spec(),
+        n in arb_budget(),
+        width in arb_fetch_width(),
+    ) {
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.fetch_width = width;
+        let trace = spec.generate(n as usize);
+        for sched in SchedulerConfig::known() {
+            let mut from_trace = Simulator::new(&cfg, &sched);
+            from_trace.set_benchmark(&spec.name);
+            let trace_stats =
+                from_trace.run_workload(&mut TraceSource::new(trace.clone()), n);
+
+            let mut from_gen = Simulator::new(&cfg, &sched);
+            from_gen.set_benchmark(&spec.name);
+            let gen_stats = from_gen.run_workload(&mut TraceGenerator::new(&spec), n);
+
+            prop_assert_eq!(
+                &trace_stats,
+                &gen_stats,
+                "{}: trace vs generator diverge at fetch_width={}",
+                sched.label(),
+                width
+            );
+            prop_assert_eq!(trace_stats.committed, n, "{}", sched.label());
+        }
+    }
+
+    /// Both speculation features on: squashes and replays land mid-batch
+    /// (the buffered tail of a batch is wrong-path state and must be
+    /// discarded with the rest), and every scheme must stay bit-identical
+    /// to its frozen scan reference at every width.
+    #[test]
+    fn mid_batch_recoveries_stay_bit_identical_to_scan(
+        spec in arb_spec(),
+        n in arb_budget(),
+        width in arb_fetch_width(),
+    ) {
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.fetch_width = width;
+        cfg.wrong_path = true;
+        cfg.load_hit_speculation = true;
+        // A small D-cache keeps the speculative replay window open often.
+        cfg.mem.dl1.size_bytes = 4096;
+        for sched in SchedulerConfig::known() {
+            let mut fast = Simulator::new(&cfg, &sched);
+            fast.set_benchmark(&spec.name);
+            let fast_stats = fast.run_workload(&mut TraceGenerator::new(&spec), n);
+
+            let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+            scan.set_benchmark(&spec.name);
+            let scan_stats = scan.run_workload(&mut TraceGenerator::new(&spec), n);
+
+            prop_assert_eq!(
+                &fast_stats,
+                &scan_stats,
+                "{}: scan vs event diverge with mid-batch recoveries at fetch_width={}",
+                sched.label(),
+                width
+            );
+            prop_assert_eq!(fast_stats.committed, n, "{}", sched.label());
+            prop_assert_eq!(
+                fast.queue_occupancy(),
+                (0, 0),
+                "{}: queues failed to drain",
+                sched.label()
+            );
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! small enough that most loads miss.
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, TraceGenerator, WorkloadSpec};
 use proptest::prelude::*;
@@ -124,11 +124,11 @@ proptest! {
         for sched in SchedulerConfig::known() {
             let mut fast = Simulator::new(&cfg, &sched);
             fast.set_benchmark(&spec.name);
-            let fast_stats = fast.run(trace.clone(), n);
+            let fast_stats = fast.run_workload(&mut TraceSource::new(trace.clone()), n);
 
             let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
             scan.set_benchmark(&spec.name);
-            let scan_stats = scan.run(trace.clone(), n);
+            let scan_stats = scan.run_workload(&mut TraceSource::new(trace.clone()), n);
 
             prop_assert_eq!(
                 &fast_stats,
@@ -172,12 +172,12 @@ proptest! {
             let mut fast = Simulator::new(&cfg, &sched);
             fast.set_benchmark(&spec.name);
             let mut program = TraceGenerator::new(&spec);
-            let fast_stats = fast.run_program(&mut program, n);
+            let fast_stats = fast.run_workload(&mut program, n);
 
             let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
             scan.set_benchmark(&spec.name);
             let mut program = TraceGenerator::new(&spec);
-            let scan_stats = scan.run_program(&mut program, n);
+            let scan_stats = scan.run_workload(&mut program, n);
 
             prop_assert_eq!(
                 &fast_stats,

@@ -3,7 +3,7 @@
 //! conserve instructions (everything fetched commits exactly once).
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::Simulator;
+use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};
 use proptest::prelude::*;
@@ -99,7 +99,7 @@ proptest! {
             let mut sim = Simulator::new(&cfg, &sched);
             sim.set_benchmark(&spec.name);
             // `run` panics internally on deadlock after 100k idle cycles.
-            let stats = sim.run(trace.clone(), n);
+            let stats = sim.run_workload(&mut TraceSource::new(trace.clone()), n);
             prop_assert_eq!(stats.committed, n, "{}", sched.label());
             prop_assert_eq!(stats.checker_violations, 0, "{}", sched.label());
             prop_assert_eq!(stats.issued, n, "{}", sched.label());
@@ -118,11 +118,11 @@ proptest! {
         let trace = spec.generate(n as usize);
         let small = {
             let mut sim = Simulator::new(&cfg, &SchedulerConfig::cam(16, 16, 2));
-            sim.run(trace.clone(), n).cycles
+            sim.run_workload(&mut TraceSource::new(trace.clone()), n).cycles
         };
         let large = {
             let mut sim = Simulator::new(&cfg, &SchedulerConfig::cam(64, 64, 8));
-            sim.run(trace.clone(), n).cycles
+            sim.run_workload(&mut TraceSource::new(trace.clone()), n).cycles
         };
         // Small tolerance: selection order can shift by a cycle or two.
         prop_assert!(large <= small + 4, "64-entry {large} vs 16-entry {small}");

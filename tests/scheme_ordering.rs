@@ -3,7 +3,7 @@
 //! structures.
 
 use diq::isa::ProcessorConfig;
-use diq::pipeline::{SimStats, Simulator};
+use diq::pipeline::{SimStats, Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
 use diq::workload::{kernels, suite};
 
@@ -11,7 +11,7 @@ fn run(sched: &SchedulerConfig, spec: &diq::workload::WorkloadSpec, n: u64) -> S
     let cfg = ProcessorConfig::hpca2004();
     let mut sim = Simulator::new(&cfg, sched);
     sim.set_benchmark(&spec.name);
-    sim.run(spec.generate(n as usize), n)
+    sim.run_workload(&mut TraceSource::new(spec.generate(n as usize)), n)
 }
 
 /// On a chain-churn kernel wider than the queue count, the paper's ordering

@@ -4,8 +4,9 @@
 //! (a `Value`-tree model, not real serde's visitor model) for the type
 //! shapes this workspace uses: structs with named fields, tuple structs,
 //! unit structs, and enums with unit / tuple / struct variants. Generics are
-//! not supported. The only recognised field attribute is
-//! `#[serde(default = "path")]` (and bare `#[serde(default)]`).
+//! not supported. The recognised field attributes are
+//! `#[serde(default = "path")]` (and bare `#[serde(default)]`) and, on
+//! named struct fields, `#[serde(skip_serializing_if = "path")]`.
 //!
 //! `syn`/`quote` are unavailable offline, so parsing walks the raw
 //! `proc_macro::TokenStream` and code generation goes through strings.
@@ -16,6 +17,9 @@ struct Field {
     name: String,
     /// Call path of the `#[serde(default = "...")]` fallback, if any.
     default: Option<String>,
+    /// Predicate path of `#[serde(skip_serializing_if = "...")]`, if any.
+    /// Honoured only on named struct fields.
+    skip_if: Option<String>,
 }
 
 enum VariantKind {
@@ -121,9 +125,11 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, shape }
 }
 
-/// Extracts the default-fn path from a `#[serde(...)]` attribute body, the
-/// tokens inside the outer bracket group.
-fn serde_default_of(attr: &Group) -> Option<String> {
+/// Parses a `#[serde(...)]` attribute body (the tokens inside the outer
+/// bracket group) into `(default path, skip_serializing_if path)`. Returns
+/// `None` for non-serde attributes; panics on unrecognised serde items so
+/// unsupported real-serde behaviour never silently degrades.
+fn serde_attrs_of(attr: &Group) -> Option<(Option<String>, Option<String>)> {
     let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
     if toks.len() != 2 || !is_ident(&toks[0], "serde") {
         return None;
@@ -131,20 +137,38 @@ fn serde_default_of(attr: &Group) -> Option<String> {
     let TokenTree::Group(inner) = &toks[1] else {
         return None;
     };
+    let mut default = None;
+    let mut skip_if = None;
+    // Comma-separated items: `default`, `default = "path"`,
+    // `skip_serializing_if = "path"`.
     let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
-    if inner.is_empty() || !is_ident(&inner[0], "default") {
-        return None;
-    }
-    if inner.len() == 1 {
-        return Some("::std::default::Default::default".to_string());
-    }
-    if inner.len() == 3 && is_punct(&inner[1], '=') {
-        if let TokenTree::Literal(lit) = &inner[2] {
-            let s = lit.to_string();
-            return Some(s.trim_matches('"').to_string());
+    let mut i = 0;
+    while i < inner.len() {
+        let TokenTree::Ident(key) = &inner[i] else {
+            panic!("unsupported #[serde(...)] attribute: {attr}");
+        };
+        let key = key.to_string();
+        i += 1;
+        let value = if inner.get(i).is_some_and(|t| is_punct(t, '=')) {
+            let TokenTree::Literal(lit) = &inner[i + 1] else {
+                panic!("unsupported #[serde(...)] attribute: {attr}");
+            };
+            i += 2;
+            Some(lit.to_string().trim_matches('"').to_string())
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", None) => default = Some("::std::default::Default::default".to_string()),
+            ("default", Some(path)) => default = Some(path),
+            ("skip_serializing_if", Some(path)) => skip_if = Some(path),
+            _ => panic!("unsupported #[serde(...)] attribute: {attr}"),
+        }
+        if inner.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
         }
     }
-    panic!("unsupported #[serde(...)] attribute: {attr}");
+    Some((default, skip_if))
 }
 
 fn parse_named_fields(g: &Group) -> Vec<Field> {
@@ -153,10 +177,12 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
     let mut i = 0;
     while i < toks.len() {
         let mut default = None;
+        let mut skip_if = None;
         while is_punct(&toks[i], '#') {
             if let TokenTree::Group(attr) = &toks[i + 1] {
-                if default.is_none() {
-                    default = serde_default_of(attr);
+                if let Some((d, s)) = serde_attrs_of(attr) {
+                    default = default.or(d);
+                    skip_if = skip_if.or(s);
                 }
             }
             i += 2;
@@ -189,7 +215,11 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
             }
             i += 1;
         }
-        out.push(Field { name, default });
+        out.push(Field {
+            name,
+            default,
+            skip_if,
+        });
     }
     out
 }
@@ -263,6 +293,30 @@ fn map_of(entries: &[(String, String)]) -> String {
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
+        Shape::NamedStruct(fields) if fields.iter().any(|f| f.skip_if.is_some()) => {
+            // Conditional fields force imperative map construction.
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let n = &f.name;
+                    let push = format!(
+                        "__m.push(({}, ::serde::Serialize::to_value(&self.{n})));",
+                        string_of(n)
+                    );
+                    match &f.skip_if {
+                        Some(pred) => format!("if !{pred}(&self.{n}) {{ {push} }}"),
+                        None => push,
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {}\n\
+                 ::serde::Value::Map(__m) }}",
+                pushes.join("\n")
+            )
+        }
         Shape::NamedStruct(fields) => {
             let entries: Vec<(String, String)> = fields
                 .iter()
