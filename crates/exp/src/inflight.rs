@@ -1,0 +1,100 @@
+//! The in-flight point registry: dedup of *executions*, not just results.
+//!
+//! The content-addressed store dedups completed points; this registry dedups
+//! points that are currently being computed, so two concurrent submissions
+//! of the same grid share one execution instead of racing to compute the
+//! same key twice. `diq serve` claims every key it schedules here and
+//! releases it when the result lands (or the point is abandoned); a
+//! submission that finds its key already claimed subscribes to the existing
+//! execution instead of scheduling a new one.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// A thread-safe set of point keys currently being executed.
+///
+/// Claims are first-come-first-served: exactly one caller wins
+/// [`claim`](InflightRegistry::claim) for a key until it is
+/// [`release`](InflightRegistry::release)d.
+#[derive(Default)]
+pub struct InflightRegistry {
+    keys: Mutex<HashSet<String>>,
+}
+
+impl InflightRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims `key` for execution. Returns `true` when this caller is the
+    /// one that should execute the point; `false` when it is already in
+    /// flight (share the existing execution).
+    pub fn claim(&self, key: &str) -> bool {
+        self.keys.lock().insert(key.to_string())
+    }
+
+    /// Releases a claimed key (the execution completed or was abandoned).
+    /// Returns `true` when the key was indeed in flight.
+    pub fn release(&self, key: &str) -> bool {
+        self.keys.lock().remove(key)
+    }
+
+    /// Whether `key` is currently being executed.
+    #[must_use]
+    pub fn is_inflight(&self, key: &str) -> bool {
+        self.keys.lock().contains(key)
+    }
+
+    /// Number of keys in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.lock().len()
+    }
+
+    /// Whether nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn claim_release_round_trip() {
+        let reg = InflightRegistry::new();
+        assert!(reg.claim("k1"));
+        assert!(!reg.claim("k1"), "second claim loses");
+        assert!(reg.is_inflight("k1"));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.release("k1"));
+        assert!(!reg.release("k1"), "double release is visible");
+        assert!(reg.is_empty());
+        assert!(reg.claim("k1"), "released keys can be claimed again");
+    }
+
+    #[test]
+    fn concurrent_claims_elect_exactly_one_winner_per_key() {
+        let reg = InflightRegistry::new();
+        let wins = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    for key in ["a", "b", "c"] {
+                        if reg.claim(key) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(wins.load(Ordering::Relaxed), 3, "one winner per key");
+        assert_eq!(reg.len(), 3);
+    }
+}

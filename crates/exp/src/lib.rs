@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 
 mod compare;
+mod inflight;
 mod point;
 mod runner;
 mod spec;
@@ -48,14 +49,13 @@ mod store;
 mod throughput;
 
 pub use compare::{Comparison, PointDelta, RunSummary};
+pub use inflight::InflightRegistry;
 pub use point::{fnv1a64, Point, PointResult};
 pub use runner::{run_indexed, sweep, sweep_as, SweepOutcome, SweepSummary};
 pub use spec::{
     validate_run_name, ExperimentSpec, InstrCount, MachineKnobs, SchemeSel, WorkloadSel,
 };
-pub use store::{ManifestEntry, PointRecord, ResultStore, RunManifest};
-#[allow(deprecated)]
-pub use throughput::{measure_e2e_ips, measure_point};
+pub use store::{ManifestEntry, PointRecord, ResultStore, RunManifest, StoreWriter};
 pub use throughput::{ThroughputPoint, ThroughputProbe, ThroughputSummary};
 
 use std::fmt;

@@ -24,7 +24,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// The workload carried here already has its *effective* seed (base workload
 /// seed shifted by the spec's seed), so a `Point` is self-contained: two
 /// points with equal [`key`](Point::key)s produce byte-identical results.
-#[derive(Clone, Debug, PartialEq)]
+/// Points serialize in full — the `diq serve` wire protocol ships them to
+/// workers, which recompute the same [`key`](Point::key) on their side.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Point {
     /// The issue scheme under test.
     pub scheme: SchedulerConfig,
@@ -80,10 +82,10 @@ impl Point {
     /// Runs the simulation for this point. Streaming: the trace is generated
     /// on the fly, so memory use is independent of `instructions`.
     ///
-    /// With the machine's `wrong_path` knob on, the point runs through
-    /// [`Simulator::run_program`] so fetch can follow mispredicted paths
-    /// into the PC-addressable program; otherwise the legacy stall model
-    /// consumes a plain trace stream.
+    /// With the machine's `wrong_path` knob on, the point drives the
+    /// PC-addressable [`diq_workload::TraceGenerator`] directly so fetch can
+    /// follow mispredicted paths; otherwise the legacy stall model consumes
+    /// a plain trace stream through [`TraceSource`].
     #[must_use]
     pub fn execute(&self) -> SimStats {
         let mut sim = Simulator::new(&self.machine, &self.scheme);
@@ -235,6 +237,19 @@ mod tests {
         let mut other = point();
         other.scheme = SchedulerConfig::iq_64_64();
         assert_ne!(p.key(), other.key(), "scheme is identity");
+    }
+
+    #[test]
+    fn point_round_trips_over_the_wire_with_its_key() {
+        // The serve protocol ships whole points to workers; the worker-side
+        // deserialization must reproduce the point (and hence its store key)
+        // exactly.
+        let p = point();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Point = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.key(), p.key());
+        assert_eq!(back.machine_label, p.machine_label);
     }
 
     #[test]

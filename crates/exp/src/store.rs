@@ -130,17 +130,16 @@ impl ResultStore {
 
     /// Appends records to `store.jsonl`, one compact-JSON line each, in the
     /// order given. Callers pass records in grid order so the store's bytes
-    /// are independent of worker-thread interleaving. A torn tail left by an
-    /// interrupted earlier sweep (no trailing newline) is truncated away
-    /// first so the file never concatenates two records onto one line; the
-    /// write itself uses append mode (`O_APPEND`), so each flush lands at
-    /// the true end of file.
+    /// are independent of worker-thread interleaving. Convenience wrapper
+    /// over [`writer`](Self::writer) + [`StoreWriter::append`] for callers
+    /// that append in bursts (the in-process sweep runner).
     ///
     /// The store assumes a **single writer at a time** — `diq sweep`
     /// processes sharing one store directory must not run concurrently (the
     /// torn-tail repair cannot tell a dead writer's debris from a live
     /// writer's in-flight line). Concurrent *readers* (`compare`, `export`)
-    /// are fine.
+    /// are fine. `diq serve` provides the multi-client story: every client
+    /// funnels through the server's one writer thread.
     ///
     /// # Errors
     ///
@@ -149,17 +148,25 @@ impl ResultStore {
         if records.is_empty() {
             return Ok(());
         }
-        let mut text = String::new();
-        for rec in records {
-            text.push_str(&serde_json::to_string(rec).expect("records serialize"));
-            text.push('\n');
-        }
+        self.writer()?.append(records)
+    }
+
+    /// Opens the long-lived single-writer append handle: repairs any torn
+    /// tail once, then hands out a [`StoreWriter`] that appends one complete
+    /// line per write. This is the concurrent-append split `diq serve` is
+    /// built on — the server owns exactly one `StoreWriter` on a dedicated
+    /// thread and every result funnels through it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn writer(&self) -> io::Result<StoreWriter> {
         self.repair_torn_tail()?;
-        let mut f = fs::OpenOptions::new()
+        let file = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.store_file())?;
-        f.write_all(text.as_bytes())
+        Ok(StoreWriter { file })
     }
 
     /// Truncates an unterminated final line (the debris of a sweep killed
@@ -189,6 +196,20 @@ impl ResultStore {
             f.set_len(keep as u64)?;
         }
         Ok(())
+    }
+
+    /// Reads the raw bytes of `store.jsonl` (empty when absent) — what the
+    /// byte-identity tests and the serve e2e proof compare.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than the file not existing yet.
+    pub fn raw_bytes(&self) -> io::Result<Vec<u8>> {
+        match fs::read(self.store_file()) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
     }
 
     /// Writes (replacing) a run manifest.
@@ -245,6 +266,47 @@ impl ResultStore {
         }
         names.sort();
         Ok(names)
+    }
+}
+
+/// The single-writer half of the store's concurrent-append split.
+///
+/// Crash-safety contract: each record is rendered to one `"{json}\n"` buffer
+/// and lands in a **single `O_APPEND` write, flushed before the next**, so a
+/// writer killed between records leaves only whole lines behind. A kill *in
+/// the middle* of a write can still leave one torn trailing line — that line
+/// has no terminating newline, which is exactly the signature
+/// [`ResultStore::load`] skips and [`ResultStore::writer`] truncates away on
+/// the next open. Either way the store never silently loses or duplicates a
+/// completed record: a torn line drops (its point recomputes), a flushed
+/// line survives.
+pub struct StoreWriter {
+    file: fs::File,
+}
+
+impl StoreWriter {
+    /// Appends one record as one complete, flushed line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_one(&mut self, record: &PointRecord) -> io::Result<()> {
+        let mut line = serde_json::to_string(record).expect("records serialize");
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// Appends records in order, each as its own complete line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append(&mut self, records: &[PointRecord]) -> io::Result<()> {
+        for rec in records {
+            self.append_one(rec)?;
+        }
+        Ok(())
     }
 }
 
@@ -335,6 +397,49 @@ mod tests {
         )
         .unwrap();
         assert!(store.load().is_err());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncated_mid_line_store_reloads_without_the_torn_record() {
+        // The kill-a-worker story: a store truncated at an arbitrary byte
+        // boundary (as a dying writer leaves it) must reload cleanly with
+        // every complete line intact and the torn one dropped.
+        let store = tmp_store("truncate");
+        store
+            .append(&[record("aa"), record("bb"), record("cc")])
+            .unwrap();
+        let path = store.root().join("store.jsonl");
+        let full = fs::read(&path).unwrap();
+        let second_line_end = full
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == b'\n')
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap();
+        // Cut in the middle of the third record.
+        let cut = second_line_end + 1 + (full.len() - second_line_end - 1) / 2;
+        assert!(cut > second_line_end + 1 && cut < full.len());
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+
+        let index = store.load().unwrap();
+        assert_eq!(index.len(), 2, "complete lines survive");
+        assert!(index.contains_key("aa") && index.contains_key("bb"));
+        assert!(!index.contains_key("cc"), "the torn record drops");
+
+        // A fresh writer truncates the debris, and appends stay one clean
+        // line each.
+        let mut w = store.writer().unwrap();
+        w.append_one(&record("cc")).unwrap();
+        w.append_one(&record("dd")).unwrap();
+        drop(w);
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.ends_with('\n'));
+        assert_eq!(store.load().unwrap().len(), 4);
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -312,40 +312,6 @@ fn e2e_ips(
     Ok(instructions as f64 / wall.as_secs_f64().max(1e-9))
 }
 
-/// Measures one point with default probe settings.
-///
-/// # Panics
-///
-/// Panics when the two implementations disagree on any statistic.
-#[deprecated(note = "use `ThroughputProbe::new(cfg, scheme, workload).instructions(n).measure()`")]
-#[must_use]
-pub fn measure_point(
-    cfg: &ProcessorConfig,
-    scheme: &SchedulerConfig,
-    workload: &WorkloadSpec,
-    instructions: u64,
-) -> ThroughputPoint {
-    ThroughputProbe::new(cfg, scheme, workload)
-        .instructions(instructions)
-        .measure()
-        .expect("no e2e binaries configured, measurement cannot fail")
-}
-
-/// Times one end-to-end `<bin> run ...` invocation.
-///
-/// # Errors
-///
-/// The binary failing to spawn or exiting non-zero.
-#[deprecated(note = "use `ThroughputProbe::e2e_bin`/`baseline_bin` instead")]
-pub fn measure_e2e_ips(
-    bin: &str,
-    scheme_label: &str,
-    benchmark: &str,
-    instructions: u64,
-) -> Result<f64, ExpError> {
-    e2e_ips(bin, scheme_label, benchmark, instructions)
-}
-
 impl ThroughputSummary {
     /// Aggregates measured points under a run name.
     #[must_use]

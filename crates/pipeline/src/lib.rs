@@ -79,7 +79,7 @@ use diq_isa::{
     ArchReg, BranchInfo, Cycle, Inst, InstId, MemAccess, OpClass, PhysReg, ProcessorConfig,
 };
 use diq_mem::MemoryHierarchy;
-use diq_workload::{TraceCheckpoint, TraceGenerator};
+use diq_workload::TraceCheckpoint;
 use exec::{CycleSink, EventKind, EventQueue, FuState, Issued};
 use std::collections::VecDeque;
 
@@ -420,34 +420,6 @@ impl Simulator {
         self.stall_counts = [0; STALL_LABELS.len()];
         let fresh = SimStats::new(&self.stats.scheme, &self.stats.benchmark);
         std::mem::replace(&mut self.stats, fresh)
-    }
-
-    /// Runs a plain instruction trace. Thin shim over
-    /// [`run_workload`](Self::run_workload) with a [`TraceSource`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on a scheduling deadlock, as
-    /// [`run_workload`](Self::run_workload) does.
-    #[deprecated(note = "use `run_workload(&mut TraceSource::new(trace), n)`")]
-    pub fn run<I>(&mut self, trace: I, commit_target: u64) -> SimStats
-    where
-        I: IntoIterator<Item = Inst>,
-    {
-        self.run_workload(&mut TraceSource::new(trace), commit_target)
-    }
-
-    /// Runs the PC-addressable synthetic program. Thin shim over
-    /// [`run_workload`](Self::run_workload) — [`TraceGenerator`] implements
-    /// [`Workload`] directly.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a scheduling deadlock, as
-    /// [`run_workload`](Self::run_workload) does.
-    #[deprecated(note = "use `run_workload(program, n)`")]
-    pub fn run_program(&mut self, program: &mut TraceGenerator, commit_target: u64) -> SimStats {
-        self.run_workload(program, commit_target)
     }
 
     /// Takes (and resets) the per-stage wall-clock profile accumulated by

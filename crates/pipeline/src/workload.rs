@@ -74,8 +74,8 @@ pub trait Workload {
 
 /// Any instruction iterator as a non-speculative [`Workload`].
 ///
-/// This is the adapter behind the deprecated [`Simulator::run`] shim; new
-/// code constructs it directly:
+/// The adapter that feeds a plain trace through
+/// [`Simulator::run_workload`](crate::Simulator::run_workload):
 ///
 /// ```
 /// use diq_core::SchedulerConfig;
@@ -88,8 +88,6 @@ pub trait Workload {
 /// let stats = sim.run_workload(&mut TraceSource::new(trace), 2_000);
 /// assert_eq!(stats.committed, 2_000);
 /// ```
-///
-/// [`Simulator::run`]: crate::Simulator::run
 #[derive(Debug)]
 pub struct TraceSource<I> {
     iter: I,

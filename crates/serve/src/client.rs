@@ -1,0 +1,156 @@
+//! The submit client: one request/reply connection to a `diq serve` server.
+
+use crate::protocol::{read_frame, write_frame, FromServer, JobView, ToServer};
+use diq_exp::SweepSummary;
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure: transport trouble, a server-reported refusal, or
+/// an out-of-protocol reply.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The connection failed or died mid-exchange.
+    Io(io::Error),
+    /// The server refused the request and said why.
+    Remote(String),
+    /// The server replied with a frame this request cannot accept.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server connection: {e}"),
+            ServeError::Remote(msg) => write!(f, "server refused: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A connected submit/status client. Strict request/reply: every method
+/// sends one frame and reads one reply.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, msg: &ToServer) -> Result<FromServer, ServeError> {
+        write_frame(&mut self.stream, msg)?;
+        let reply: FromServer = read_frame(&mut self.stream)?;
+        if let FromServer::Error { message } = reply {
+            return Err(ServeError::Remote(message));
+        }
+        Ok(reply)
+    }
+
+    /// Submits a spec (the JSON text of an `ExperimentSpec`) as a job.
+    /// Returns the job id and the immediate progress snapshot — a fully
+    /// cached job comes back `done` with its summary right here.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-side refusals (bad spec, bad name).
+    pub fn submit(
+        &mut self,
+        spec_json: &str,
+        run_name: Option<&str>,
+    ) -> Result<(u64, JobView), ServeError> {
+        match self.call(&ToServer::Submit {
+            spec_json: spec_json.to_string(),
+            run_name: run_name.map(str::to_string),
+        })? {
+            FromServer::Accepted { job, view } => Ok((job, view)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Accepted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls one job's progress.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; an unknown job id is a remote refusal.
+    pub fn status(&mut self, job: u64) -> Result<JobView, ServeError> {
+        match self.call(&ToServer::Status { job })? {
+            FromServer::JobStatus(view) => Ok(view),
+            other => Err(ServeError::Protocol(format!(
+                "expected JobStatus, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls every `poll` until the job completes; returns its sweep-shaped
+    /// summary.
+    ///
+    /// # Errors
+    ///
+    /// As [`status`](Client::status); a done job without a summary is a
+    /// protocol violation.
+    pub fn watch(&mut self, job: u64, poll: Duration) -> Result<SweepSummary, ServeError> {
+        loop {
+            let view = self.status(job)?;
+            if view.done {
+                return view.summary.ok_or_else(|| {
+                    ServeError::Protocol("done job carried no summary".to_string())
+                });
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// [`submit`](Client::submit) + [`watch`](Client::watch).
+    ///
+    /// # Errors
+    ///
+    /// As the two halves.
+    pub fn submit_and_watch(
+        &mut self,
+        spec_json: &str,
+        run_name: Option<&str>,
+        poll: Duration,
+    ) -> Result<SweepSummary, ServeError> {
+        let (job, view) = self.submit(spec_json, run_name)?;
+        if view.done {
+            return view
+                .summary
+                .ok_or_else(|| ServeError::Protocol("done job carried no summary".to_string()));
+        }
+        self.watch(job, poll)
+    }
+
+    /// Asks the server to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.call(&ToServer::Shutdown)? {
+            FromServer::ShuttingDown => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}

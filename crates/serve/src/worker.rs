@@ -1,0 +1,128 @@
+//! The worker half of the farm: connect, announce idleness, compute leases.
+//!
+//! A worker is deliberately stateless — it holds no queue and no store
+//! handle. It registers, says [`Idle`](crate::protocol::ToServer::Idle),
+//! executes whatever single point it is assigned, streams the record back
+//! under its lease, and says `Idle` again. All dedup, ordering and
+//! persistence live server-side, so killing a worker at any instant loses at
+//! most the lease it was computing (which the server reassigns on expiry).
+
+use crate::protocol::{read_frame, write_frame, FromServer, ToServer, PROTOCOL_VERSION};
+use diq_exp::{PointRecord, PointResult};
+use parking_lot::Mutex;
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker tuning.
+pub struct WorkerOptions {
+    /// Display name reported at registration (diagnostics only).
+    pub name: String,
+    /// Heartbeat period while connected; must be comfortably under the
+    /// server's lease deadline.
+    pub heartbeat: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            name: format!("worker-{}", std::process::id()),
+            heartbeat: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What a worker did before the server closed the connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Points executed (and delivered) by this worker.
+    pub executed: usize,
+}
+
+/// Runs one worker against the server at `addr` until the server closes the
+/// connection (clean [`FromServer::Close`] or socket EOF).
+///
+/// The socket is shared by two writers — the main loop (results, idleness)
+/// and the heartbeat thread — through a mutex, so frames never interleave.
+///
+/// # Errors
+///
+/// Connection setup failures and protocol violations. A server that simply
+/// goes away mid-run is a clean exit, not an error: the server reassigns any
+/// lease this worker held.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> io::Result<WorkerReport> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+
+    send(
+        &writer,
+        &ToServer::Register {
+            name: opts.name.clone(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )?;
+    match read_frame::<FromServer, _>(&mut stream)? {
+        FromServer::Registered { .. } => {}
+        FromServer::Error { message } => {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, message));
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Registered, got {other:?}"),
+            ));
+        }
+    }
+
+    // The heartbeat thread shares the write half; it stops when the channel
+    // disconnects (we drop `stop_tx` on the way out) or the socket dies.
+    let (stop_tx, stop_rx) = crossbeam::channel::unbounded::<()>();
+    let hb_writer = Arc::clone(&writer);
+    let hb_period = opts.heartbeat;
+    let heartbeat = std::thread::spawn(move || {
+        use crossbeam::channel::RecvTimeoutError;
+        while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(hb_period) {
+            if write_frame(&mut *hb_writer.lock(), &ToServer::Heartbeat).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut executed = 0usize;
+    send(&writer, &ToServer::Idle)?;
+    let outcome = loop {
+        match read_frame::<FromServer, _>(&mut stream) {
+            Ok(FromServer::Assign { lease, point }) => {
+                let record = PointRecord {
+                    key: point.key(),
+                    result: PointResult::from_stats(&point, &point.execute()),
+                };
+                executed += 1;
+                // Result then Idle: the server sees the completion before
+                // the availability, so progress counters never run ahead.
+                if send(&writer, &ToServer::Result { lease, record }).is_err() {
+                    break Ok(());
+                }
+                if send(&writer, &ToServer::Idle).is_err() {
+                    break Ok(());
+                }
+            }
+            Ok(FromServer::Close) => break Ok(()),
+            Ok(_) => {} // unexpected but harmless push; ignore
+            // A vanished server is a clean retirement for a worker.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+
+    drop(stop_tx); // disconnects the heartbeat channel → thread exits
+    let _ = heartbeat.join();
+    outcome.map(|()| WorkerReport { executed })
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, msg: &ToServer) -> io::Result<()> {
+    write_frame(&mut *writer.lock(), msg)
+}

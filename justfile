@@ -43,6 +43,41 @@ sweep-smoke:
     jq -e '.computed == 0 and .cached == .total and .cache_hit_pct == 100' ci-results/second.json
     ./target/release/diq export ci-smoke --store ci-results
 
+# The CI serve check, locally: a server and one worker in the background,
+# the smoke grid submitted twice (the second pass must be 100% dedup), the
+# served store compared byte-for-byte against an in-process sweep, then a
+# clean protocol shutdown.
+serve-smoke:
+    cargo build --release
+    rm -rf serve-results swept-results
+    ./target/release/diq serve --store serve-results & \
+    sleep 1; \
+    ./target/release/diq worker & \
+    ./target/release/diq submit experiments/ci_smoke.json --watch --summary-json served.json; \
+    ./target/release/diq submit experiments/ci_smoke.json --watch --summary-json served2.json; \
+    jq -e '.computed == 0 and .cached == .total and .cache_hit_pct == 100' served2.json; \
+    ./target/release/diq sweep experiments/ci_smoke.json --store swept-results --threads 1 > /dev/null; \
+    cmp serve-results/store.jsonl swept-results/store.jsonl; \
+    ./target/release/diq submit --shutdown; \
+    wait
+
+# Long-running sweep service on the default endpoint (stop it with
+# `just serve-stop` from another terminal).
+serve store="results":
+    cargo run --release -- serve --store {{store}}
+
+# Join a running server as an execution worker.
+serve-worker addr="127.0.0.1:7457":
+    cargo run --release -- worker --connect {{addr}}
+
+# Submit a spec to a running server and watch it to completion.
+serve-submit spec="experiments/ci_smoke.json" addr="127.0.0.1:7457":
+    cargo run --release -- submit {{spec}} --connect {{addr}} --watch
+
+# Ask a running server to shut down cleanly.
+serve-stop addr="127.0.0.1:7457":
+    cargo run --release -- submit --shutdown --connect {{addr}}
+
 # Gate run B against baseline run A (exits 1 past the IPC threshold). Either
 # side may be a stored run name or a path to an exported BENCH_*.json.
 compare a b threshold="2":

@@ -79,6 +79,12 @@ pub mod exp {
     pub use diq_exp::*;
 }
 
+/// Sweep-as-a-service: the `diq serve` server, distributed workers, and
+/// submit clients (re-export of `diq-serve`).
+pub mod serve {
+    pub use diq_serve::*;
+}
+
 /// The command-line surface shared by the `diq` binary and its tests.
 pub mod cli {
     use diq_core::SchedulerConfig;

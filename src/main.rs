@@ -11,6 +11,9 @@
 //! diq bench <spec.json>             simulator-throughput run over a grid
 //! diq compare <run-a> <run-b>       per-point deltas + regression gate
 //! diq export <run>                  write a BENCH_<run>.json summary
+//! diq serve                         sweep-as-a-service server
+//! diq worker --connect HOST:PORT    join a server as an execution worker
+//! diq submit <spec.json>            send a spec to a server
 //! ```
 
 use diq::cli::{parse_count, scheme_by_name, SCHEME_LABELS};
@@ -18,8 +21,13 @@ use diq::exp::{
     sweep_as, Comparison, ExperimentSpec, Point, ResultStore, RunSummary, ThroughputPoint,
     ThroughputProbe, ThroughputSummary,
 };
+use diq::serve::{run_worker, Client, ServeConfig, WorkerOptions};
 use diq::sim::{figures, Figure, Harness};
 use diq::workload::suite;
+use std::time::Duration;
+
+/// Default `diq serve` endpoint, shared by server, worker and submit.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7457";
 
 fn figure_by_id(id: &str, h: &Harness) -> Option<Figure> {
     Some(match id {
@@ -54,7 +62,12 @@ fn usage() -> ! {
          diq bench <spec.json> [--name RUN] [--out DIR] [--e2e-bin BIN]\n  \
          \x20         [--baseline FILE] [--min-ratio X]\n  \
          diq compare <run-a> <run-b> [--store DIR] [--threshold PCT]\n  \
-         diq export <run> [--store DIR] [--out FILE]\n\n\
+         diq export <run> [--store DIR] [--out FILE]\n  \
+         diq serve [--addr HOST:PORT] [--store DIR] [--lease SECS]\n  \
+         diq worker --connect HOST:PORT [--name NAME]\n  \
+         diq submit <spec.json> [--connect HOST:PORT] [--name RUN] [--watch]\n  \
+         \x20         [--summary-json FILE|-]\n  \
+         diq submit --shutdown [--connect HOST:PORT]\n\n\
          Instruction counts accept 100k/5M/1G suffixes, here and in DIQ_INSTRS\n\
          (the per-benchmark count for figures). The result store defaults to\n\
          ./results; `diq compare` exits 1 when run-b's geomean IPC regresses\n\
@@ -64,7 +77,12 @@ fn usage() -> ! {
          scan on two threads; per-stage wall-clock shares when built with\n\
          --features profile), writes BENCH_<run>.json to --out (default .),\n\
          and exits 1 when the geomean end-to-end instrs/sec ratio against a\n\
-         --baseline BENCH_*.json falls below --min-ratio (default 1.0)."
+         --baseline BENCH_*.json falls below --min-ratio (default 1.0).\n\
+         `diq serve` keeps the sweep machinery resident: submitted specs are\n\
+         deduped against the store and against points other jobs are already\n\
+         computing, points go to idle workers under leases (crashed workers'\n\
+         points are reassigned), and the store bytes stay identical to a\n\
+         single-process sweep. Default endpoint {DEFAULT_SERVE_ADDR}."
     );
     std::process::exit(2);
 }
@@ -419,6 +437,137 @@ fn cmd_export(args: &[String]) {
     }
 }
 
+/// Strips recognised boolean `--flag`s (flags without a value) out of
+/// `args` before [`parse_flags`] sees them.
+fn take_bool_flags(
+    args: &[String],
+    names: &[&str],
+) -> (Vec<String>, std::collections::HashSet<String>) {
+    let mut rest = Vec::new();
+    let mut found = std::collections::HashSet::new();
+    for a in args {
+        match a.strip_prefix("--") {
+            Some(n) if names.contains(&n) => {
+                found.insert(n.to_string());
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    (rest, found)
+}
+
+fn cmd_serve(args: &[String]) {
+    let (positional, flags) = parse_flags(args, &["addr", "store", "lease"]);
+    if !positional.is_empty() {
+        usage();
+    }
+    let lease_secs: u64 = match flags.get("lease") {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&l| l > 0)
+            .unwrap_or_else(|| fail(format!("bad lease `{s}` (whole seconds)"))),
+        None => 30,
+    };
+    let cfg = ServeConfig {
+        addr: flags
+            .get("addr")
+            .map_or(DEFAULT_SERVE_ADDR, String::as_str)
+            .to_string(),
+        store_dir: flags.get("store").map_or("results", String::as_str).into(),
+        lease: Duration::from_secs(lease_secs),
+        ..ServeConfig::default()
+    };
+    let handle = cfg.spawn().unwrap_or_else(|e| fail(format!("serve: {e}")));
+    println!("diq serve listening on {}", handle.addr());
+    // Blocks until a client sends Shutdown (`diq submit --shutdown`).
+    handle
+        .wait()
+        .unwrap_or_else(|e| fail(format!("serve shutdown: {e}")));
+}
+
+fn cmd_worker(args: &[String]) {
+    let (positional, flags) = parse_flags(args, &["connect", "name"]);
+    if !positional.is_empty() {
+        usage();
+    }
+    let addr = flags
+        .get("connect")
+        .map_or(DEFAULT_SERVE_ADDR, String::as_str);
+    let mut opts = WorkerOptions::default();
+    if let Some(name) = flags.get("name") {
+        opts.name.clone_from(name);
+    }
+    println!("worker `{}` connecting to {addr}", opts.name);
+    let report = run_worker(addr, &opts).unwrap_or_else(|e| fail(format!("worker on {addr}: {e}")));
+    println!(
+        "worker `{}` done: {} points executed",
+        opts.name, report.executed
+    );
+}
+
+fn cmd_submit(args: &[String]) {
+    let (args, bools) = take_bool_flags(args, &["watch", "shutdown"]);
+    let (positional, flags) = parse_flags(&args, &["connect", "name", "summary-json"]);
+    let addr = flags
+        .get("connect")
+        .map_or(DEFAULT_SERVE_ADDR, String::as_str);
+    let mut client = Client::connect(addr).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+
+    if bools.contains("shutdown") {
+        if !positional.is_empty() {
+            usage();
+        }
+        client
+            .shutdown_server()
+            .unwrap_or_else(|e| fail(format!("shutdown {addr}: {e}")));
+        println!("server at {addr} shutting down");
+        return;
+    }
+
+    let [spec_path] = positional.as_slice() else {
+        usage();
+    };
+    let json = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| fail(format!("read `{spec_path}`: {e}")));
+    let (job, view) = client
+        .submit(&json, flags.get("name").map(String::as_str))
+        .unwrap_or_else(|e| fail(format!("submit `{spec_path}`: {e}")));
+    println!(
+        "job {job} `{}` accepted: {} points, {} to compute, {} cached/shared",
+        view.run, view.total, view.computed, view.cached
+    );
+    if !bools.contains("watch") {
+        if view.done {
+            println!("job {job} `{}` already complete", view.run);
+        }
+        return;
+    }
+    let summary = client
+        .watch(job, Duration::from_millis(200))
+        .unwrap_or_else(|e| fail(format!("watch job {job}: {e}")));
+    println!(
+        "job {job} `{}` done: {} points, {} computed, {} cached ({:.1}% cache hits), store {}",
+        summary.run,
+        summary.total,
+        summary.computed,
+        summary.cached,
+        summary.cache_hit_pct,
+        summary.store,
+    );
+    // Same machine-readable counters as `diq sweep --summary-json`, so CI
+    // can assert that served sweeps match in-process ones field-for-field.
+    if let Some(path) = flags.get("summary-json") {
+        let json = summary.to_json();
+        match path.as_str() {
+            "-" => print!("{json}"),
+            path => {
+                std::fs::write(path, &json).unwrap_or_else(|e| fail(format!("write `{path}`: {e}")))
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -459,6 +608,9 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         _ => usage(),
     }
 }

@@ -452,12 +452,11 @@ fn speculation_produces_wrong_path_work_and_the_off_switch_is_exact() {
     );
 }
 
-/// The deprecated `run`/`run_program` entry points are thin shims over
-/// `run_workload` and must stay bit-identical to it — existing callers see
-/// exactly the behavior they saw before the API collapse.
+/// `run_workload` is the one entry point (the PR 6 shims are gone): a
+/// re-run through a fresh simulator must be bit-identical on both the
+/// trace-source and PC-addressable-program paths.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_are_bit_identical_to_run_workload() {
+fn run_workload_is_deterministic_on_both_workload_shapes() {
     let sched = SchedulerConfig::if_distr();
     let spec = suite::by_name("gzip").unwrap();
 
@@ -466,21 +465,20 @@ fn deprecated_shims_are_bit_identical_to_run_workload() {
     let trace = spec.generate(3_000);
     let mut a = Simulator::new(&cfg, &sched);
     a.set_benchmark("gzip");
-    let via_shim = a.run(trace.clone(), 3_000);
+    let first = a.run_workload(&mut TraceSource::new(trace.clone()), 3_000);
     let mut b = Simulator::new(&cfg, &sched);
     b.set_benchmark("gzip");
-    let via_workload = b.run_workload(&mut TraceSource::new(trace), 3_000);
-    assert_eq!(via_shim, via_workload, "run() shim diverged");
+    let second = b.run_workload(&mut TraceSource::new(trace), 3_000);
+    assert_eq!(first, second, "trace path diverged");
 
     // Program path, with speculation on so the checkpoint machinery runs.
     let mut cfg = ProcessorConfig::hpca2004();
     cfg.wrong_path = true;
     let mut a = Simulator::new(&cfg, &sched);
     a.set_benchmark("gzip");
-    let mut program = TraceGenerator::new(&spec);
-    let via_shim = a.run_program(&mut program, 3_000);
+    let first = a.run_workload(&mut TraceGenerator::new(&spec), 3_000);
     let mut b = Simulator::new(&cfg, &sched);
     b.set_benchmark("gzip");
-    let via_workload = b.run_workload(&mut TraceGenerator::new(&spec), 3_000);
-    assert_eq!(via_shim, via_workload, "run_program() shim diverged");
+    let second = b.run_workload(&mut TraceGenerator::new(&spec), 3_000);
+    assert_eq!(first, second, "program path diverged");
 }

@@ -1,0 +1,188 @@
+//! End-to-end proof of the `diq serve` contract: an in-process server, a
+//! farm of workers on loopback, two clients racing the same spec, and a
+//! worker killed mid-sweep. Asserts the three service invariants:
+//!
+//! 1. every point is executed (and recorded) at most once, worker crash
+//!    included;
+//! 2. the final store is byte-identical to a single-threaded `diq sweep` of
+//!    the same spec;
+//! 3. the losing concurrent submission reports 100% cache/dedup hits — it
+//!    rode entirely on its peer's executions.
+
+use diq::exp::{sweep, ExperimentSpec, ResultStore};
+use diq::serve::protocol::{read_frame, write_frame, FromServer, ToServer, PROTOCOL_VERSION};
+use diq::serve::{run_worker, Client, ServeConfig, WorkerOptions};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// 2 schemes x 2 workloads x 2 counts = 8 distinct points, all small.
+const SPEC: &str = r#"{
+    "name": "serve-e2e",
+    "instructions": [300, 500],
+    "schemes": ["MB_distr", "IQ_64_64"],
+    "workloads": ["gzip", "swim"]
+}"#;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("diq-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn distributed_sweep_with_worker_crash_matches_single_process_sweep() {
+    let served_dir = tmp_dir("served");
+    let swept_dir = tmp_dir("swept");
+
+    let handle = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: served_dir.clone(),
+        lease: Duration::from_secs(10),
+        reap_every: Duration::from_millis(25),
+        quiet: true,
+    }
+    .spawn()
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // A doomed worker: registers, announces idle, takes one assignment,
+    // then "crashes" (drops the socket without delivering). The server must
+    // notice the EOF and reassign its lease to a surviving worker.
+    let mut doomed = TcpStream::connect(&addr).unwrap();
+    write_frame(
+        &mut doomed,
+        &ToServer::Register {
+            name: "doomed".into(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    let FromServer::Registered { .. } = read_frame(&mut doomed).unwrap() else {
+        panic!("expected Registered");
+    };
+    write_frame(&mut doomed, &ToServer::Idle).unwrap();
+
+    // Two clients race the identical spec. The submissions serialize on the
+    // server, so exactly one claims the whole grid; the doomed worker grabs
+    // its first point the moment the claimer's dispatch runs.
+    let submits: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client
+                    .submit_and_watch(SPEC, None, Duration::from_millis(10))
+                    .unwrap()
+            })
+        })
+        .collect();
+
+    // Let the doomed worker receive its assignment, then kill it.
+    let FromServer::Assign { .. } = read_frame(&mut doomed).unwrap() else {
+        panic!("expected Assign");
+    };
+    drop(doomed);
+
+    // The survivors drain everything, the crashed point included.
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(
+                    &addr,
+                    &WorkerOptions {
+                        name: format!("survivor-{i}"),
+                        ..WorkerOptions::default()
+                    },
+                )
+                .unwrap()
+            })
+        })
+        .collect();
+
+    let mut summaries: Vec<_> = submits.into_iter().map(|t| t.join().unwrap()).collect();
+
+    // (3) The two racing clients split the grid 8/0: one computed all of
+    // it, the other rode the in-flight/stored dedup for 100% cache hits.
+    summaries.sort_by_key(|s| s.computed);
+    assert_eq!(summaries[0].total, 8);
+    assert_eq!(summaries[1].total, 8);
+    assert_eq!(summaries[0].computed, 0, "loser shares every execution");
+    assert_eq!(summaries[1].computed, 8, "winner claims the whole grid");
+    assert_eq!(summaries[0].cached, 8);
+    assert!((summaries[0].cache_hit_pct - 100.0).abs() < 1e-12);
+
+    // (1) At most once: 8 distinct points, 8 accepted results.
+    assert_eq!(handle.results_accepted(), 8);
+
+    // Stop the server first — the survivors run until it closes their
+    // connections — then check their execution counts add up exactly: the
+    // doomed worker's point ran once on a survivor, never twice.
+    Client::connect(&addr).unwrap().shutdown_server().unwrap();
+    handle.wait().unwrap();
+    let executed: usize = workers
+        .into_iter()
+        .map(|t| t.join().unwrap().executed)
+        .sum();
+    assert_eq!(executed, 8, "reassigned point executes exactly once");
+
+    // (2) Byte identity: a single-threaded in-process sweep of the same
+    // spec produces the same store.jsonl, byte for byte, and the same
+    // manifest.
+    let spec = ExperimentSpec::from_json(SPEC).unwrap();
+    let swept_store = ResultStore::open(&swept_dir).unwrap();
+    let outcome = sweep(&spec, &swept_store, 1).unwrap();
+    assert_eq!(outcome.computed, 8);
+
+    let served_store = ResultStore::open(&served_dir).unwrap();
+    let served_bytes = served_store.raw_bytes().unwrap();
+    assert!(!served_bytes.is_empty());
+    assert_eq!(
+        served_bytes,
+        swept_store.raw_bytes().unwrap(),
+        "served store must be byte-identical to a single-process sweep"
+    );
+    assert_eq!(
+        served_store.read_manifest("serve-e2e").unwrap(),
+        swept_store.read_manifest("serve-e2e").unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&served_dir);
+    let _ = std::fs::remove_dir_all(&swept_dir);
+}
+
+#[test]
+fn submit_against_a_warm_store_is_pure_cache() {
+    // A served sweep after an in-process sweep of the same spec: nothing
+    // executes, no worker is even needed, and the reply is immediate.
+    let dir = tmp_dir("warm");
+    let spec = ExperimentSpec::from_json(SPEC).unwrap();
+    let store = ResultStore::open(&dir).unwrap();
+    sweep(&spec, &store, 2).unwrap();
+    let before = store.raw_bytes().unwrap();
+
+    let handle = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: dir.clone(),
+        quiet: true,
+        ..ServeConfig::default()
+    }
+    .spawn()
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (_, view) = client.submit(SPEC, None).unwrap();
+    assert!(view.done, "warm submit completes synchronously");
+    assert_eq!(view.computed, 0);
+    assert_eq!(view.cached, 8);
+    let summary = view.summary.expect("done job carries its summary");
+    assert!((summary.cache_hit_pct - 100.0).abs() < 1e-12);
+
+    client.shutdown_server().unwrap();
+    handle.wait().unwrap();
+    let after = ResultStore::open(&dir).unwrap().raw_bytes().unwrap();
+    assert_eq!(after, before, "store untouched by a cache-only job");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,9 +2,83 @@
 //!
 //! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
 //! (stable since Rust 1.63), which makes scoped borrowing of stack data by
-//! worker threads safe without any unsafe code here.
+//! worker threads safe without any unsafe code here, and
+//! `crossbeam::channel` on top of `std::sync::mpsc` — the subset the
+//! workspace uses (unbounded MPSC with timeouts).
 
 #![deny(missing_docs)]
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel. Clonable across threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only when every receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] returns the unsent message.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when the channel is closed and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError`] distinguishes timeout from disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError`] distinguishes empty from disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// A blocking iterator over messages; ends when the channel closes.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
@@ -44,6 +118,21 @@ pub mod thread {
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn channels_fan_in_and_time_out() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(rx.recv().is_err(), "disconnection surfaces");
+    }
 
     #[test]
     fn workers_share_borrowed_state() {
