@@ -3,7 +3,7 @@
 use diq_core::SchedulerConfig;
 use diq_isa::ProcessorConfig;
 use diq_pipeline::{SimStats, Simulator, TraceSource};
-use diq_workload::WorkloadSpec;
+use diq_workload::{TraceReader, WorkloadSource, WorkloadSpec};
 use serde::{Deserialize, Serialize, Value};
 
 /// 64-bit FNV-1a over `bytes` — the store's content hash. Small, stable,
@@ -21,17 +21,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// One fully-resolved simulation point of an experiment grid.
 ///
-/// The workload carried here already has its *effective* seed (base workload
-/// seed shifted by the spec's seed), so a `Point` is self-contained: two
-/// points with equal [`key`](Point::key)s produce byte-identical results.
-/// Points serialize in full — the `diq serve` wire protocol ships them to
-/// workers, which recompute the same [`key`](Point::key) on their side.
+/// The workload source carried here is self-contained: a generated source
+/// already has its *effective* seed (base workload seed shifted by the
+/// spec's seed), and a trace source carries the trace's content hash — so
+/// two points with equal [`key`](Point::key)s produce byte-identical
+/// results. Points serialize in full — the `diq serve` wire protocol ships
+/// them to workers, which recompute the same [`key`](Point::key) on their
+/// side.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Point {
     /// The issue scheme under test.
     pub scheme: SchedulerConfig,
-    /// The workload, with the effective per-point seed applied.
-    pub workload: WorkloadSpec,
+    /// The workload source, with the effective per-point seed applied.
+    pub source: WorkloadSource,
     /// Instructions to simulate.
     pub instructions: u64,
     /// The (possibly knob-overridden) machine.
@@ -41,7 +43,7 @@ pub struct Point {
 }
 
 impl Point {
-    /// A point on the stock Table 1 machine.
+    /// A generated-workload point on the stock Table 1 machine.
     #[must_use]
     pub fn new(
         machine: ProcessorConfig,
@@ -49,23 +51,77 @@ impl Point {
         workload: WorkloadSpec,
         instructions: u64,
     ) -> Self {
+        Point::from_source(
+            machine,
+            scheme,
+            WorkloadSource::Spec(workload),
+            instructions,
+        )
+    }
+
+    /// A point over any resolved workload source on the stock machine.
+    #[must_use]
+    pub fn from_source(
+        machine: ProcessorConfig,
+        scheme: SchedulerConfig,
+        source: WorkloadSource,
+        instructions: u64,
+    ) -> Self {
         Point {
             scheme,
-            workload,
+            source,
             instructions,
             machine,
             machine_label: "table1".to_string(),
         }
     }
 
+    /// The workload name runs report (the benchmark column).
+    #[must_use]
+    pub fn benchmark(&self) -> &str {
+        self.source.name()
+    }
+
+    /// The effective seed of this point's instruction stream.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.source.seed()
+    }
+
+    /// The generator spec, for points over generated sources (`None` for
+    /// trace replays).
+    #[must_use]
+    pub fn spec(&self) -> Option<&WorkloadSpec> {
+        self.source.spec()
+    }
+
     /// The canonical identity of this point: a JSON rendering of everything
     /// that affects its result. Hashed for the store key; field order is
     /// fixed, so the text (and hence the key) is stable.
+    ///
+    /// Generated sources render exactly as the spec itself (byte-identical
+    /// to the pre-`WorkloadSource` format, so existing stores stay warm).
+    /// Trace sources render as `{"trace": {...}}` over the fields that
+    /// determine the replayed stream — including the trace's *content
+    /// hash*, never its file path: renaming a trace cannot miss the cache,
+    /// and two different traces under one name cannot collide.
     #[must_use]
     pub fn identity_json(&self) -> String {
+        let workload = match &self.source {
+            WorkloadSource::Spec(spec) => spec.to_value(),
+            WorkloadSource::Trace(t) => Value::Map(vec![(
+                "trace".into(),
+                Value::Map(vec![
+                    ("name".into(), t.name.to_value()),
+                    ("content".into(), t.content.to_value()),
+                    ("instructions".into(), t.instructions.to_value()),
+                    ("seed".into(), t.seed.to_value()),
+                ]),
+            )]),
+        };
         let v = Value::Map(vec![
             ("scheme".into(), self.scheme.to_value()),
-            ("workload".into(), self.workload.to_value()),
+            ("workload".into(), workload),
             ("instructions".into(), self.instructions.to_value()),
             ("machine".into(), self.machine.to_value()),
         ]);
@@ -79,24 +135,52 @@ impl Point {
         format!("{:016x}", fnv1a64(self.identity_json().as_bytes()))
     }
 
-    /// Runs the simulation for this point. Streaming: the trace is generated
-    /// on the fly, so memory use is independent of `instructions`.
+    /// Runs the simulation for this point. Streaming: generated sources
+    /// produce instructions on the fly and trace sources decode one block
+    /// at a time, so memory use is independent of `instructions`.
     ///
-    /// With the machine's `wrong_path` knob on, the point drives the
-    /// PC-addressable [`diq_workload::TraceGenerator`] directly so fetch can
-    /// follow mispredicted paths; otherwise the legacy stall model consumes
-    /// a plain trace stream through [`TraceSource`].
+    /// With the machine's `wrong_path` knob on, the source runs in
+    /// speculative mode so fetch can follow mispredicted paths; otherwise
+    /// the legacy stall model consumes a plain stream.
+    ///
+    /// # Panics
+    ///
+    /// For trace sources: when the file cannot be opened, its content hash
+    /// no longer matches the hash captured at resolution time, or an I/O or
+    /// corruption error interrupts the replay. A point's result must be a
+    /// faithful run of its identity; a damaged trace cannot be.
     #[must_use]
     pub fn execute(&self) -> SimStats {
         let mut sim = Simulator::new(&self.machine, &self.scheme);
-        sim.set_benchmark(&self.workload.name);
-        if self.machine.wrong_path {
-            let mut program = diq_workload::TraceGenerator::new(&self.workload);
-            sim.run_workload(&mut program, self.instructions)
-        } else {
-            let trace =
-                diq_workload::TraceGenerator::new(&self.workload).take(self.instructions as usize);
-            sim.run_workload(&mut TraceSource::new(trace), self.instructions)
+        sim.set_benchmark(self.benchmark());
+        match &self.source {
+            WorkloadSource::Spec(spec) => {
+                if self.machine.wrong_path {
+                    let mut program = diq_workload::TraceGenerator::new(spec);
+                    sim.run_workload(&mut program, self.instructions)
+                } else {
+                    let trace =
+                        diq_workload::TraceGenerator::new(spec).take(self.instructions as usize);
+                    sim.run_workload(&mut TraceSource::new(trace), self.instructions)
+                }
+            }
+            WorkloadSource::Trace(t) => {
+                let mut reader =
+                    TraceReader::open(&t.path).unwrap_or_else(|e| panic!("trace {}: {e}", t.path));
+                assert_eq!(
+                    reader.meta().content,
+                    t.content,
+                    "trace {} changed since resolution (content hash mismatch)",
+                    t.path
+                );
+                reader.set_speculative(self.machine.wrong_path);
+                reader.set_limit(self.instructions);
+                let stats = sim.run_workload(&mut reader, self.instructions);
+                if let Some(e) = reader.error() {
+                    panic!("trace {} failed mid-replay: {e}", t.path);
+                }
+                stats
+            }
         }
     }
 }
@@ -165,10 +249,10 @@ impl PointResult {
     pub fn from_stats(point: &Point, stats: &SimStats) -> Self {
         PointResult {
             scheme: point.scheme.label(),
-            benchmark: point.workload.name.clone(),
+            benchmark: point.benchmark().to_string(),
             instructions: point.instructions,
             machine: point.machine_label.clone(),
-            seed: point.workload.seed,
+            seed: point.seed(),
             ipc: stats.ipc(),
             cycles: stats.cycles,
             committed: stats.committed,
@@ -231,7 +315,10 @@ mod tests {
         assert_ne!(p.key(), other.key(), "machine knobs are identity");
 
         let mut other = point();
-        other.workload.seed ^= 1;
+        match &mut other.source {
+            WorkloadSource::Spec(s) => s.seed ^= 1,
+            WorkloadSource::Trace(_) => unreachable!(),
+        }
         assert_ne!(p.key(), other.key(), "seed is identity");
 
         let mut other = point();

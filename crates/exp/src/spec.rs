@@ -3,7 +3,7 @@
 use crate::{parse_count, Point};
 use diq_core::SchedulerConfig;
 use diq_isa::ProcessorConfig;
-use diq_workload::{suite, WorkloadSpec};
+use diq_workload::{WorkloadSource, WorkloadSpec};
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// An instruction count that deserializes from either a JSON number or a
@@ -81,39 +81,85 @@ impl Deserialize for SchemeSel {
     }
 }
 
-/// A workload axis entry: a suite benchmark name, a suite group (`"all"`,
-/// `"int"`, `"fp"`), or an inline custom [`WorkloadSpec`].
+/// A workload axis entry, in one of three JSON forms:
+///
+/// * **v1 name** — `"gzip"`, a suite benchmark, group (`"all"`, `"int"`,
+///   `"fp"`), or profiled name (`"gzip/adversarial@7"`);
+/// * **v1 inline** — a full [`WorkloadSpec`] object;
+/// * **v2 source** — `{"source": "<uri>", "params": {...}}`, where the URI
+///   takes any [`WorkloadSource::resolve`] scheme (`kernel:`, `profile:`,
+///   `trace:`, `group:`, or bare) and the optional `params` map overrides
+///   spec fields of a generated source.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSel {
-    /// A suite benchmark or group name.
+    /// A suite benchmark, group, or profiled name (v1 compat; also accepts
+    /// any v2 URI scheme).
     Named(String),
-    /// A full inline workload description.
+    /// A full inline workload description (v1 compat).
     Inline(Box<WorkloadSpec>),
+    /// A v2 `{"source", "params"}` entry.
+    Source {
+        /// The workload URI.
+        source: String,
+        /// Spec-field overrides applied to every generated workload the URI
+        /// resolves to (empty map or absent: none).
+        params: Vec<(String, Value)>,
+    },
+}
+
+/// Applies `params` overrides to a generated workload spec, field by field.
+fn apply_params(spec: &WorkloadSpec, params: &[(String, Value)]) -> Result<WorkloadSpec, String> {
+    let Value::Map(mut m) = spec.to_value() else {
+        unreachable!("WorkloadSpec serializes as a map");
+    };
+    for (k, v) in params {
+        let slot = m
+            .iter_mut()
+            .find(|(name, _)| name == k)
+            .ok_or_else(|| format!("workload `{}`: unknown param `{k}`", spec.name))?;
+        slot.1 = v.clone();
+    }
+    let patched = WorkloadSpec::from_value(&Value::Map(m))
+        .map_err(|e| format!("workload `{}` params: {e}", spec.name))?;
+    patched
+        .validate()
+        .map_err(|e| format!("workload `{}` params: {e}", patched.name))?;
+    Ok(patched)
 }
 
 impl WorkloadSel {
-    /// Resolves to the concrete workloads this entry contributes, validated.
+    /// Resolves to the concrete workload sources this entry contributes,
+    /// validated.
     ///
     /// # Errors
     ///
-    /// Unknown names and invalid inline specs are described in the message.
-    pub fn resolve(&self) -> Result<Vec<WorkloadSpec>, String> {
+    /// Unknown names/URIs, invalid inline specs, bad `params` keys or
+    /// values, and `params` on a trace source are described in the message.
+    pub fn resolve(&self) -> Result<Vec<WorkloadSource>, String> {
         match self {
-            WorkloadSel::Named(n) => {
-                if let Some(one) = suite::by_name(n) {
-                    Ok(vec![one])
-                } else if let Some(group) = suite::group(n) {
-                    Ok(group)
-                } else {
-                    Err(format!(
-                        "unknown workload `{n}` (a suite benchmark, or one of: all, int, fp)"
-                    ))
-                }
-            }
+            WorkloadSel::Named(n) => WorkloadSource::resolve(n),
             WorkloadSel::Inline(spec) => {
                 spec.validate()
                     .map_err(|e| format!("workload `{}`: {e}", spec.name))?;
-                Ok(vec![(**spec).clone()])
+                Ok(vec![WorkloadSource::Spec((**spec).clone())])
+            }
+            WorkloadSel::Source { source, params } => {
+                let sources = WorkloadSource::resolve(source)?;
+                if params.is_empty() {
+                    return Ok(sources);
+                }
+                sources
+                    .into_iter()
+                    .map(|src| match src {
+                        WorkloadSource::Spec(spec) => {
+                            apply_params(&spec, params).map(WorkloadSource::Spec)
+                        }
+                        WorkloadSource::Trace(t) => Err(format!(
+                            "trace:{}: params cannot rewrite a recorded trace",
+                            t.path
+                        )),
+                    })
+                    .collect()
             }
         }
     }
@@ -124,6 +170,13 @@ impl Serialize for WorkloadSel {
         match self {
             WorkloadSel::Named(n) => Value::Str(n.clone()),
             WorkloadSel::Inline(spec) => spec.to_value(),
+            WorkloadSel::Source { source, params } => {
+                let mut m = vec![("source".to_string(), Value::Str(source.clone()))];
+                if !params.is_empty() {
+                    m.push(("params".to_string(), Value::Map(params.clone())));
+                }
+                Value::Map(m)
+            }
         }
     }
 }
@@ -132,9 +185,44 @@ impl Deserialize for WorkloadSel {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Str(s) => Ok(WorkloadSel::Named(s.clone())),
+            Value::Map(m) if m.iter().any(|(k, _)| k == "source") => {
+                let mut source = None;
+                let mut params = Vec::new();
+                for (k, val) in m {
+                    match k.as_str() {
+                        "source" => match val {
+                            Value::Str(s) => source = Some(s.clone()),
+                            other => {
+                                return Err(Error::msg(format!(
+                                    "workload `source` must be a URI string, got {other:?}"
+                                )))
+                            }
+                        },
+                        "params" => match val {
+                            Value::Map(p) => params = p.clone(),
+                            other => {
+                                return Err(Error::msg(format!(
+                                    "workload `params` must be an object, got {other:?}"
+                                )))
+                            }
+                        },
+                        other => {
+                            return Err(Error::msg(format!(
+                                "workload entry: unknown field `{other}` \
+                                 (expected source, params)"
+                            )))
+                        }
+                    }
+                }
+                Ok(WorkloadSel::Source {
+                    source: source.expect("matched on source key"),
+                    params,
+                })
+            }
             Value::Map(_) => WorkloadSpec::from_value(v).map(|s| WorkloadSel::Inline(Box::new(s))),
             other => Err(Error::msg(format!(
-                "workload must be a name string or a WorkloadSpec object, got {other:?}"
+                "workload must be a name string, a WorkloadSpec object, or a \
+                 {{\"source\": ...}} entry, got {other:?}"
             ))),
         }
     }
@@ -471,7 +559,7 @@ impl ExperimentSpec {
             .iter()
             .map(SchemeSel::resolve)
             .collect::<Result<_, _>>()?;
-        let mut workloads: Vec<WorkloadSpec> = Vec::new();
+        let mut workloads: Vec<WorkloadSource> = Vec::new();
         for sel in &self.workloads {
             workloads.extend(sel.resolve()?);
         }
@@ -483,11 +571,11 @@ impl ExperimentSpec {
             for scheme in &schemes {
                 for workload in &workloads {
                     let mut w = workload.clone();
-                    w.seed = w.seed.wrapping_add(self.seed);
+                    w.shift_seed(self.seed);
                     for n in &self.instructions {
                         points.push(Point {
                             scheme: scheme.clone(),
-                            workload: w.clone(),
+                            source: w.clone(),
                             instructions: n.0,
                             machine,
                             machine_label: machine_label.clone(),
@@ -520,7 +608,7 @@ mod tests {
         // 1 machine x 2 schemes x 2 workloads x 2 counts.
         assert_eq!(points.len(), 8);
         assert_eq!(points[0].scheme.label(), "MB_distr");
-        assert_eq!(points[0].workload.name, "gzip");
+        assert_eq!(points[0].benchmark(), "gzip");
         assert_eq!(points[0].instructions, 2000);
         assert_eq!(points[1].instructions, 3000);
         assert_eq!(points[4].scheme.label(), "IQ_32_32");
@@ -543,8 +631,8 @@ mod tests {
         .unwrap();
         let points = spec.expand().unwrap();
         assert_eq!(points.len(), 12);
-        let stock = diq_workload::suite::by_name(&points[0].workload.name).unwrap();
-        assert_eq!(points[0].workload.seed, stock.seed.wrapping_add(7));
+        let stock = diq_workload::suite::by_name(points[0].benchmark()).unwrap();
+        assert_eq!(points[0].seed(), stock.seed.wrapping_add(7));
     }
 
     #[test]

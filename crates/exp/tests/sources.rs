@@ -1,0 +1,143 @@
+//! Workload-source identity: v1/v2 spec forms agree, profile seeds and
+//! trace content hashes are part of a point's identity, file paths are not.
+
+use diq_core::SchedulerConfig;
+use diq_exp::{ExperimentSpec, Point};
+use diq_isa::ProcessorConfig;
+use diq_workload::{suite, TraceGenerator, WorkloadSource};
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("diqt-exp-{tag}-{}.diqt", std::process::id()))
+}
+
+fn spec_json(workloads: &str) -> String {
+    format!(
+        r#"{{"name":"src","instructions":[1000],"schemes":["MB_distr"],
+            "workloads":{workloads}}}"#
+    )
+}
+
+fn keys(workloads: &str) -> Vec<String> {
+    ExperimentSpec::from_json(&spec_json(workloads))
+        .unwrap()
+        .expand()
+        .unwrap()
+        .iter()
+        .map(Point::key)
+        .collect()
+}
+
+#[test]
+fn v1_and_v2_forms_hash_to_the_same_point_identity() {
+    // The v2 {"source": ...} entry is a new naming for the same workload;
+    // existing stores must stay warm across the migration.
+    assert_eq!(keys(r#"["gzip"]"#), keys(r#"[{"source":"kernel:gzip"}]"#));
+    assert_eq!(keys(r#"["all"]"#), keys(r#"[{"source":"group:all"}]"#));
+    assert_eq!(
+        keys(r#"["gzip/adversarial@7"]"#),
+        keys(r#"[{"source":"profile:gzip/adversarial@7"}]"#)
+    );
+    // And the inline v1 spec object agrees with the name it came from.
+    let inline = suite::by_name("gzip").unwrap().to_json();
+    assert_eq!(keys(r#"["gzip"]"#), keys(&format!("[{inline}]")));
+}
+
+#[test]
+fn profile_grids_expand_and_dedup() {
+    // Every profile variant of four kernels grids into distinct points.
+    let workloads: Vec<String> = ["gzip", "mcf", "swim", "misschase"]
+        .iter()
+        .flat_map(|base| {
+            ["expected", "stress", "adversarial"]
+                .iter()
+                .map(move |tag| format!(r#"{{"source":"profile:{base}/{tag}"}}"#))
+        })
+        .collect();
+    let mut ks = keys(&format!("[{}]", workloads.join(",")));
+    assert_eq!(ks.len(), 12);
+    ks.sort();
+    ks.dedup();
+    assert_eq!(ks.len(), 12, "profiled points must not collide");
+
+    // The user seed reaches the identity: @1 and @2 are different points.
+    assert_ne!(
+        keys(r#"[{"source":"profile:gzip/adversarial@1"}]"#),
+        keys(r#"[{"source":"profile:gzip/adversarial@2"}]"#)
+    );
+}
+
+#[test]
+fn params_override_spec_fields() {
+    let base = keys(r#"[{"source":"kernel:gzip"}]"#);
+    let seeded = keys(r#"[{"source":"kernel:gzip","params":{"seed":99}}]"#);
+    assert_ne!(base, seeded, "params change the point identity");
+
+    let err = ExperimentSpec::from_json(&spec_json(
+        r#"[{"source":"kernel:gzip","params":{"bogus_knob":1}}]"#,
+    ))
+    .unwrap()
+    .expand()
+    .unwrap_err();
+    assert!(err.contains("bogus_knob"), "{err}");
+
+    let err = ExperimentSpec::from_json(&spec_json(r#"[{"source":"kernel:gzip","extra":1}]"#))
+        .unwrap_err();
+    assert!(err.contains("extra"), "{err}");
+}
+
+#[test]
+fn trace_content_is_identity_and_path_is_not() {
+    let spec = suite::by_name("gzip").unwrap();
+    let a = tmp("a");
+    let b = tmp("b");
+    let c = tmp("c");
+    // Same workload name in the metadata, different content.
+    diq_workload::trace::record(&a, "t", 1, "test", TraceGenerator::new(&spec), 600).unwrap();
+    let mut other = spec.clone();
+    other.seed ^= 0x5a;
+    diq_workload::trace::record(&b, "t", 1, "test", TraceGenerator::new(&other), 600).unwrap();
+    // Byte-identical copy of `a` under a different path.
+    std::fs::copy(&a, &c).unwrap();
+
+    let point = |path: &PathBuf| {
+        Point::from_source(
+            ProcessorConfig::hpca2004(),
+            SchedulerConfig::mb_distr(),
+            WorkloadSource::resolve_one(&format!("trace:{}", path.display())).unwrap(),
+            600,
+        )
+    };
+    let (pa, pb, pc) = (point(&a), point(&b), point(&c));
+    assert_ne!(
+        pa.key(),
+        pb.key(),
+        "different trace content must be a different point"
+    );
+    assert_eq!(
+        pa.key(),
+        pc.key(),
+        "renaming a trace must not change its identity"
+    );
+    assert!(pa.identity_json().contains("\"content\""));
+    assert!(!pa.identity_json().contains(&a.display().to_string()));
+
+    // A trace point executes and reports the recorded name.
+    let stats = pa.execute();
+    assert_eq!(stats.committed, 600);
+    assert_eq!(pa.benchmark(), "t");
+
+    // Params cannot rewrite a recorded stream.
+    let uri = format!("trace:{}", a.display());
+    let err = ExperimentSpec::from_json(&spec_json(&format!(
+        r#"[{{"source":"{uri}","params":{{"seed":1}}}}]"#
+    )))
+    .unwrap()
+    .expand()
+    .unwrap_err();
+    assert!(err.contains("params"), "{err}");
+
+    for p in [a, b, c] {
+        let _ = std::fs::remove_file(p);
+    }
+}

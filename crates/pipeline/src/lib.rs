@@ -69,7 +69,7 @@ pub use lsq::{LoadAction, Lsq};
 pub use profile::{stage, StageProfile};
 pub use rename::RenameState;
 pub use stats::SimStats;
-pub use workload::{TraceSource, Workload};
+pub use workload::{SourceCheckpoint, TraceSource, Workload};
 
 use profile::StageTimer;
 
@@ -79,7 +79,6 @@ use diq_isa::{
     ArchReg, BranchInfo, Cycle, Inst, InstId, MemAccess, OpClass, PhysReg, ProcessorConfig,
 };
 use diq_mem::MemoryHierarchy;
-use diq_workload::TraceCheckpoint;
 use exec::{CycleSink, EventKind, EventQueue, FuState, Issued};
 use std::collections::VecDeque;
 
@@ -211,7 +210,7 @@ impl InflightTable {
 /// time.
 struct Recovery {
     branch: InstId,
-    gen: TraceCheckpoint,
+    gen: SourceCheckpoint,
     bp: BranchCheckpoint,
 }
 

@@ -31,8 +31,41 @@
 //! [`TraceGenerator`]: diq_workload::TraceGenerator
 
 use diq_isa::Inst;
-use diq_workload::{TraceCheckpoint, TraceGenerator};
+use diq_workload::{TraceCheckpoint, TraceGenerator, TracePos, TraceReader};
 use std::collections::VecDeque;
+
+/// A captured source position for misprediction recovery: generator state
+/// for synthetic programs, a trace position for recorded `.diqt` replays.
+///
+/// `clone_from` reuses the existing variant's buffers when it matches
+/// (the generator checkpoint path allocates nothing steady-state; trace
+/// positions are `Copy` so reuse is trivial).
+#[derive(Debug)]
+pub enum SourceCheckpoint {
+    /// Synthetic-program generator state.
+    Generator(TraceCheckpoint),
+    /// Recorded-trace position (block index plus wrong-path synth state).
+    Trace(TracePos),
+}
+
+impl Clone for SourceCheckpoint {
+    fn clone(&self) -> Self {
+        match self {
+            SourceCheckpoint::Generator(cp) => SourceCheckpoint::Generator(cp.clone()),
+            SourceCheckpoint::Trace(p) => SourceCheckpoint::Trace(*p),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        match (self, src) {
+            (SourceCheckpoint::Generator(dst), SourceCheckpoint::Generator(s)) => {
+                dst.clone_from(s);
+            }
+            (SourceCheckpoint::Trace(dst), SourceCheckpoint::Trace(s)) => *dst = *s,
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
 
 /// A source of instructions for [`Simulator::run_workload`]: either a plain
 /// trace (no wrong-path capability — mispredictions stall, as in the legacy
@@ -58,15 +91,16 @@ pub trait Workload {
     }
 
     /// Captures the source's state; `None` for non-speculative sources.
-    fn checkpoint(&self) -> Option<TraceCheckpoint> {
+    fn checkpoint(&self) -> Option<SourceCheckpoint> {
         None
     }
 
-    /// Refreshes a reused checkpoint slot in place (no allocation).
-    fn checkpoint_into(&self, _cp: &mut TraceCheckpoint) {}
+    /// Refreshes a reused checkpoint slot in place (no allocation when the
+    /// slot already holds this source's checkpoint variant).
+    fn checkpoint_into(&self, _cp: &mut SourceCheckpoint) {}
 
     /// Rewinds the source to a previously captured checkpoint.
-    fn restore(&mut self, _cp: &TraceCheckpoint) {}
+    fn restore(&mut self, _cp: &SourceCheckpoint) {}
 
     /// Redirects the source down the (predicted, wrong) path at `pc`.
     fn enter_wrong_path(&mut self, _pc: u64) {}
@@ -139,19 +173,77 @@ impl Workload for TraceGenerator {
         true
     }
 
-    fn checkpoint(&self) -> Option<TraceCheckpoint> {
-        Some(TraceGenerator::checkpoint(self))
+    fn checkpoint(&self) -> Option<SourceCheckpoint> {
+        Some(SourceCheckpoint::Generator(TraceGenerator::checkpoint(
+            self,
+        )))
     }
 
-    fn checkpoint_into(&self, cp: &mut TraceCheckpoint) {
-        TraceGenerator::checkpoint_into(self, cp);
+    fn checkpoint_into(&self, cp: &mut SourceCheckpoint) {
+        if let SourceCheckpoint::Generator(slot) = cp {
+            TraceGenerator::checkpoint_into(self, slot);
+        } else {
+            *cp = SourceCheckpoint::Generator(TraceGenerator::checkpoint(self));
+        }
     }
 
-    fn restore(&mut self, cp: &TraceCheckpoint) {
-        TraceGenerator::restore(self, cp);
+    fn restore(&mut self, cp: &SourceCheckpoint) {
+        if let SourceCheckpoint::Generator(cp) = cp {
+            TraceGenerator::restore(self, cp);
+        }
     }
 
     fn enter_wrong_path(&mut self, pc: u64) {
         TraceGenerator::enter_wrong_path(self, pc);
+    }
+}
+
+/// A recorded `.diqt` trace as a workload. In speculative mode fills stop
+/// after every branch (the checkpoint boundary) and checkpoints are the
+/// reader's `Copy` trace position, so recovery allocates nothing; in
+/// non-speculative mode it fills whole batches like any plain trace.
+///
+/// I/O or corruption errors mid-replay end the stream (`fill` returns 0);
+/// the reader retains the first error for the caller to surface via
+/// [`TraceReader::error`] after the run.
+impl Workload for TraceReader {
+    fn fill(&mut self, out: &mut VecDeque<Inst>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Ok(Some(inst)) = self.try_next() else {
+                break;
+            };
+            let boundary = self.is_speculative() && inst.branch.is_some();
+            out.push_back(inst);
+            n += 1;
+            if boundary {
+                break;
+            }
+        }
+        n
+    }
+
+    fn speculative(&self) -> bool {
+        self.is_speculative()
+    }
+
+    fn checkpoint(&self) -> Option<SourceCheckpoint> {
+        Some(SourceCheckpoint::Trace(self.pos()))
+    }
+
+    fn checkpoint_into(&self, cp: &mut SourceCheckpoint) {
+        *cp = SourceCheckpoint::Trace(self.pos());
+    }
+
+    fn restore(&mut self, cp: &SourceCheckpoint) {
+        if let SourceCheckpoint::Trace(pos) = cp {
+            // A failed seek latches into the reader's retained error and
+            // ends the stream; the run surfaces it afterwards.
+            let _ = self.seek(*pos);
+        }
+    }
+
+    fn enter_wrong_path(&mut self, pc: u64) {
+        TraceReader::enter_wrong_path(self, pc);
     }
 }

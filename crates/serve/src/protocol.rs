@@ -18,7 +18,10 @@ use std::io::{self, Read, Write};
 
 /// Protocol version, checked at worker registration so a stale worker
 /// binary fails loudly instead of mis-parsing frames.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: points carry a `WorkloadSource` (generated spec or trace reference)
+/// instead of a bare `WorkloadSpec`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (16 MiB). A length prefix beyond this is
 /// treated as a corrupt stream, not an allocation request.

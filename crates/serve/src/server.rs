@@ -517,7 +517,7 @@ fn handle_submit(
             .map(|(p, key)| ManifestEntry {
                 key: key.clone(),
                 scheme: p.scheme.label(),
-                benchmark: p.workload.name.clone(),
+                benchmark: p.benchmark().to_string(),
                 instructions: p.instructions,
                 machine: p.machine_label.clone(),
             })

@@ -33,9 +33,15 @@
 mod gen;
 pub mod kernels;
 mod profile;
+pub mod profiles;
+pub mod source;
 mod spec;
 pub mod suite;
+pub mod trace;
 
 pub use gen::{TraceCheckpoint, TraceGenerator};
 pub use profile::TraceProfile;
+pub use profiles::Profile;
+pub use source::{TraceRef, WorkloadSource};
 pub use spec::{BenchClass, BranchPattern, MemPattern, OpMix, WorkloadSpec};
+pub use trace::{TraceError, TraceMeta, TracePos, TraceReader, TraceWriter};

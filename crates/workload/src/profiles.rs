@@ -1,0 +1,253 @@
+//! Seeded workload profiles: `expected` / `stress` / `adversarial`
+//! variants of every named workload.
+//!
+//! A profile is a named, deterministic transformation of a base
+//! [`WorkloadSpec`] with a *derived* seed, so `gzip/adversarial@7` is a
+//! first-class workload: resolvable by name, grid-able in experiment
+//! specs, and distinct in the content-addressed store from `gzip` itself
+//! and from `gzip/adversarial@8`.
+//!
+//! * **expected** — the base model untouched except for the derived seed:
+//!   the same program shape on a different dynamic path.
+//! * **stress** — the base model with every pressure knob turned up
+//!   (wider DDG, bigger and more irregular footprint, noisier branches):
+//!   plausible worst-ish case, same character.
+//! * **adversarial** — deliberately targets the scheduler weak points the
+//!   paper's distributed schemes are sensitive to, all at once:
+//!   tag-aliasing storms (maximum live chains restarting every one or two
+//!   operations, so rename tags churn as fast as the wakeup network can
+//!   broadcast them), dependent-load miss chains (pointer chasing across
+//!   a footprint far beyond the L2), and squash-heavy branch patterns
+//!   (frequent, near-unbiased, noisy branches that defeat the predictor).
+//!
+//! Seed derivation is FNV-1a over (base name, profile tag, user seed)
+//! folded into the base seed — per-profile streams never collide across
+//! benchmarks, profiles, or user seeds.
+
+use crate::{suite, WorkloadSpec};
+
+/// The three profile variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Base behaviour on a derived seed.
+    Expected,
+    /// Pressure knobs turned up, same program character.
+    Stress,
+    /// Tag-aliasing storms, dependent-load miss chains, squash-heavy
+    /// branches.
+    Adversarial,
+}
+
+impl Profile {
+    /// All profiles, in display order.
+    pub const ALL: [Profile; 3] = [Profile::Expected, Profile::Stress, Profile::Adversarial];
+
+    /// The name used in workload URIs (`profile:gzip/adversarial`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Profile::Expected => "expected",
+            Profile::Stress => "stress",
+            Profile::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parses a profile tag.
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Profile> {
+        Profile::ALL.into_iter().find(|p| p.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Derives the per-profile seed from the base seed, the base workload
+/// name, the profile tag, and the user's seed choice.
+#[must_use]
+pub fn derive_seed(base_seed: u64, base_name: &str, tag: &str, user_seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base_seed.rotate_left(29);
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(base_name.as_bytes());
+    fold(&[0]); // separator: ("ab", "c") must not equal ("a", "bc")
+    fold(tag.as_bytes());
+    fold(&[0]);
+    fold(&user_seed.to_le_bytes());
+    h
+}
+
+/// Applies a profile to a base spec, producing the named variant.
+///
+/// The result validates by construction: every transformation keeps the
+/// parameters inside [`WorkloadSpec::validate`]'s ranges.
+#[must_use]
+pub fn profiled(base: &WorkloadSpec, profile: Profile, user_seed: u64) -> WorkloadSpec {
+    let mut spec = base.clone();
+    spec.seed = derive_seed(base.seed, &base.name, profile.tag(), user_seed);
+    spec.name = if user_seed == 0 {
+        format!("{}/{}", base.name, profile.tag())
+    } else {
+        format!("{}/{}@{}", base.name, profile.tag(), user_seed)
+    };
+    match profile {
+        Profile::Expected => {}
+        Profile::Stress => {
+            spec.live_chains = (base.live_chains * 3 / 2).clamp(1, 24);
+            spec.cross_dep_prob = base.cross_dep_prob.max(0.2);
+            spec.mem.footprint_bytes = base.mem.footprint_bytes.saturating_mul(4);
+            spec.mem.random_frac = base.mem.random_frac.max(0.5);
+            spec.branch.noise = (base.branch.noise * 2.0).clamp(0.15, 0.5);
+            spec.branch.sites = (base.branch.sites * 2).clamp(1, 4096);
+            spec.branch.code_bytes = base.branch.code_bytes.saturating_mul(2);
+        }
+        Profile::Adversarial => {
+            // Tag-aliasing storm: every architectural chain register live,
+            // chains one or two ops long — rename tags recycle as fast as
+            // the wakeup broadcast can follow them.
+            spec.live_chains = 24;
+            spec.chain_len = (1, 2);
+            spec.cross_dep_prob = 0.3;
+            // Dependent-load miss chains: most chains begin with a load,
+            // half the loads feed the next load's address, and the
+            // footprint dwarfs the L2 so those chains serialize on memory.
+            spec.chain_starts_with_load = 0.9;
+            spec.mem.load_frac = 0.30;
+            spec.mem.store_frac = 0.06;
+            spec.mem.random_frac = 0.95;
+            spec.mem.pointer_chase_frac = 0.5;
+            spec.mem.footprint_bytes = base.mem.footprint_bytes.max(32 * 1024 * 1024);
+            spec.mem.stride = 64;
+            // Squash-heavy branches: frequent, nearly unbiased, noisy —
+            // the predictor cannot settle, so wrong-path squashes dominate.
+            spec.branch.branch_frac = 0.22;
+            spec.branch.taken_bias = 0.55;
+            spec.branch.noise = 0.35;
+            spec.branch.sites = 2048;
+            spec.branch.code_bytes = base.branch.code_bytes.max(256 * 1024);
+            spec.branch.call_frac = 0.1;
+        }
+    }
+    spec
+}
+
+/// Resolves a profiled workload name of the form `base/profile` or
+/// `base/profile@seed`, where `base` is any suite model or named kernel.
+///
+/// Returns `None` when the base or the profile tag does not resolve (a
+/// malformed `@seed` suffix also returns `None`).
+#[must_use]
+pub fn resolve_profiled(name: &str) -> Option<WorkloadSpec> {
+    let (base_name, rest) = name.split_once('/')?;
+    let (tag, user_seed) = match rest.split_once('@') {
+        Some((tag, seed)) => (tag, seed.parse().ok()?),
+        None => (rest, 0u64),
+    };
+    let profile = Profile::parse(tag)?;
+    let base = suite::by_name(base_name)?;
+    Some(profiled(&base, profile, user_seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceProfile;
+
+    #[test]
+    fn every_profile_of_every_model_validates() {
+        let mut names = Vec::new();
+        for base in suite::all() {
+            for p in Profile::ALL {
+                let v = profiled(&base, p, 0);
+                v.validate().unwrap_or_else(|e| panic!("{}: {e}", v.name));
+                names.push(v.name);
+            }
+        }
+        assert_eq!(names.len(), 26 * 3);
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 26 * 3, "profile names must be unique");
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let mut seeds = vec![
+            derive_seed(1, "gzip", "expected", 0),
+            derive_seed(1, "gzip", "stress", 0),
+            derive_seed(1, "gzip", "adversarial", 0),
+            derive_seed(1, "gzip", "adversarial", 1),
+            derive_seed(1, "swim", "adversarial", 0),
+            derive_seed(2, "gzip", "expected", 0),
+        ];
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 6);
+    }
+
+    #[test]
+    fn expected_changes_only_seed_and_name() {
+        let base = suite::by_name("gzip").unwrap();
+        let v = profiled(&base, Profile::Expected, 0);
+        assert_eq!(v.name, "gzip/expected");
+        assert_ne!(v.seed, base.seed);
+        let mut like_base = v.clone();
+        like_base.name = base.name.clone();
+        like_base.seed = base.seed;
+        assert_eq!(like_base, base);
+    }
+
+    #[test]
+    fn resolve_profiled_forms() {
+        assert_eq!(
+            resolve_profiled("gzip/adversarial").unwrap().name,
+            "gzip/adversarial"
+        );
+        let seeded = resolve_profiled("swim/stress@7").unwrap();
+        assert_eq!(seeded.name, "swim/stress@7");
+        assert_ne!(
+            seeded.seed,
+            resolve_profiled("swim/stress").unwrap().seed,
+            "user seed must reach the derived seed"
+        );
+        // Named kernels take profiles too.
+        assert!(resolve_profiled("misschase/adversarial").is_some());
+        assert!(resolve_profiled("gzip/chaotic").is_none());
+        assert!(resolve_profiled("doom/stress").is_none());
+        assert!(resolve_profiled("gzip/stress@x").is_none());
+        assert!(resolve_profiled("gzip").is_none());
+    }
+
+    #[test]
+    fn adversarial_actually_produces_the_storms() {
+        let base = suite::by_name("gzip").unwrap();
+        let adv = profiled(&base, Profile::Adversarial, 0);
+        let trace = adv.generate(30_000);
+        let p = TraceProfile::measure(&trace);
+        // Squash-heavy branches: frequent and noisy.
+        assert!(p.branch_frac > 0.15, "branch_frac {}", p.branch_frac);
+        // Tag-aliasing storm: DDG much wider than the base integer model.
+        let pb = TraceProfile::measure(&base.generate(30_000));
+        assert!(
+            p.mean_ddg_width > 1.5 * pb.mean_ddg_width,
+            "adv width {} vs base {}",
+            p.mean_ddg_width,
+            pb.mean_ddg_width
+        );
+        // Miss chains: working set far beyond any cache.
+        assert!(p.data_lines > 10 * pb.data_lines);
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = resolve_profiled("mcf/adversarial@3").unwrap();
+        let b = resolve_profiled("mcf/adversarial@3").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.generate(1_000), b.generate(1_000));
+    }
+}

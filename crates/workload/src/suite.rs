@@ -355,9 +355,14 @@ pub fn all() -> Vec<WorkloadSpec> {
 
 /// Looks a model up by name — the 26 SPEC2000 models first, then the named
 /// stress kernels ([`kernels::named`](crate::kernels::named), e.g.
-/// `"misschase"`). Kernels never join the suite groups.
+/// `"misschase"`), then the profiled variants (`base/profile[@seed]`, e.g.
+/// `"gzip/adversarial@7"` — see [`profiles`](crate::profiles)). Kernels
+/// and profiles never join the suite groups.
 #[must_use]
 pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    if name.contains('/') {
+        return crate::profiles::resolve_profiled(name);
+    }
     all()
         .into_iter()
         .find(|s| s.name == name)

@@ -1,0 +1,385 @@
+//! Per-instruction delta/varint encoding inside a block.
+//!
+//! One instruction is a flags byte followed by only the fields its class
+//! needs:
+//!
+//! ```text
+//! flags    bits 0-3 op class, 4 explicit-pc, 5 dst, 6 src1, 7 src2
+//! [pc]     zigzag varint of pc − (prev_pc + 4); omitted when zero
+//! [regs]   1 byte each (flat architectural index, 0..64)
+//! [mem]    zigzag varint of addr − prev_addr, then a size byte
+//! [branch] kind/taken byte, zigzag varint of target − (pc + 4)
+//! ```
+//!
+//! `mem` is present exactly for loads/stores and `branch` exactly for
+//! branches — implied by the op class, enforced by [`Inst::validate`]'s
+//! invariants at encode time. The `prev_pc`/`prev_addr` delta state is
+//! reset at every block boundary so blocks decode independently.
+
+use diq_isa::{ArchReg, BranchInfo, BranchKind, Inst, MemAccess, OpClass, ARCH_REGS_PER_CLASS};
+
+const FLAG_PC: u8 = 1 << 4;
+const FLAG_DST: u8 = 1 << 5;
+const FLAG_SRC1: u8 = 1 << 6;
+const FLAG_SRC2: u8 = 1 << 7;
+
+/// Sequential-fetch PC step (all instructions are 4 bytes).
+const PC_STEP: u64 = 4;
+
+/// Delta-coding state, reset at each block boundary.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DeltaState {
+    prev_pc: u64,
+    prev_addr: u64,
+}
+
+fn op_index(op: OpClass) -> u8 {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::IntDiv => 2,
+        OpClass::FpAdd => 3,
+        OpClass::FpMul => 4,
+        OpClass::FpDiv => 5,
+        OpClass::Load => 6,
+        OpClass::Store => 7,
+        OpClass::Branch => 8,
+    }
+}
+
+fn op_from_index(i: u8) -> Option<OpClass> {
+    Some(match i {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::IntDiv,
+        3 => OpClass::FpAdd,
+        4 => OpClass::FpMul,
+        5 => OpClass::FpDiv,
+        6 => OpClass::Load,
+        7 => OpClass::Store,
+        8 => OpClass::Branch,
+        _ => return None,
+    })
+}
+
+fn kind_index(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 0,
+        BranchKind::Jump => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+    }
+}
+
+fn kind_from_index(i: u8) -> BranchKind {
+    match i & 3 {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Jump,
+        2 => BranchKind::Call,
+        _ => BranchKind::Return,
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_uvarint(buf: &[u8], cursor: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*cursor)
+            .ok_or_else(|| "varint past block end".to_string())?;
+        *cursor += 1;
+        if shift >= 63 && b > 1 {
+            return Err("varint overflows 64 bits".into());
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn reg_byte(r: ArchReg) -> u8 {
+    r.flat_index() as u8
+}
+
+fn reg_from_byte(b: u8) -> Result<ArchReg, String> {
+    let per = ARCH_REGS_PER_CLASS as u8;
+    if b < per {
+        Ok(ArchReg::int(b))
+    } else if b < 2 * per {
+        Ok(ArchReg::fp(b - per))
+    } else {
+        Err(format!("register index {b} out of range"))
+    }
+}
+
+/// Appends one instruction's encoding to `out`, advancing the delta state.
+///
+/// # Errors
+///
+/// Returns a description when the instruction violates its class's field
+/// invariants (the same rules as [`Inst::validate`]).
+pub(crate) fn encode_inst(
+    out: &mut Vec<u8>,
+    inst: &Inst,
+    state: &mut DeltaState,
+) -> Result<(), String> {
+    inst.validate()?;
+
+    let pc_delta = inst.pc.wrapping_sub(state.prev_pc.wrapping_add(PC_STEP)) as i64;
+    let mut flags = op_index(inst.op);
+    if pc_delta != 0 {
+        flags |= FLAG_PC;
+    }
+    if inst.dst.is_some() {
+        flags |= FLAG_DST;
+    }
+    if inst.src1.is_some() {
+        flags |= FLAG_SRC1;
+    }
+    if inst.src2.is_some() {
+        flags |= FLAG_SRC2;
+    }
+    out.push(flags);
+    if pc_delta != 0 {
+        write_uvarint(out, zigzag(pc_delta));
+    }
+    for reg in [inst.dst, inst.src1, inst.src2].into_iter().flatten() {
+        out.push(reg_byte(reg));
+    }
+    match inst.op {
+        OpClass::Load | OpClass::Store => {
+            let mem = inst.mem.ok_or("memory op without access")?;
+            let delta = mem.addr.wrapping_sub(state.prev_addr) as i64;
+            write_uvarint(out, zigzag(delta));
+            out.push(mem.size);
+            state.prev_addr = mem.addr;
+        }
+        OpClass::Branch => {
+            let br = inst.branch.ok_or("branch without info")?;
+            out.push(kind_index(br.kind) | (u8::from(br.taken) << 2));
+            let delta = br.target.wrapping_sub(inst.pc.wrapping_add(PC_STEP)) as i64;
+            write_uvarint(out, zigzag(delta));
+        }
+        _ => {}
+    }
+    state.prev_pc = inst.pc;
+    Ok(())
+}
+
+/// Decodes one instruction at `cursor`, advancing it and the delta state.
+///
+/// # Errors
+///
+/// Returns a description on any malformed encoding: truncated fields,
+/// unknown op class, out-of-range registers, or decoded instructions that
+/// violate the per-class invariants.
+pub(crate) fn decode_inst(
+    buf: &[u8],
+    cursor: &mut usize,
+    state: &mut DeltaState,
+) -> Result<Inst, String> {
+    let flags = *buf
+        .get(*cursor)
+        .ok_or_else(|| "flags byte past block end".to_string())?;
+    *cursor += 1;
+    let op = op_from_index(flags & 0x0f).ok_or_else(|| format!("bad op class {}", flags & 0x0f))?;
+
+    let mut pc = state.prev_pc.wrapping_add(PC_STEP);
+    if flags & FLAG_PC != 0 {
+        let delta = unzigzag(read_uvarint(buf, cursor)?);
+        pc = pc.wrapping_add(delta as u64);
+    }
+
+    let read_reg = |cursor: &mut usize| -> Result<ArchReg, String> {
+        let b = *buf
+            .get(*cursor)
+            .ok_or_else(|| "register byte past block end".to_string())?;
+        *cursor += 1;
+        reg_from_byte(b)
+    };
+    let dst = (flags & FLAG_DST != 0)
+        .then(|| read_reg(cursor))
+        .transpose()?;
+    let src1 = (flags & FLAG_SRC1 != 0)
+        .then(|| read_reg(cursor))
+        .transpose()?;
+    let src2 = (flags & FLAG_SRC2 != 0)
+        .then(|| read_reg(cursor))
+        .transpose()?;
+
+    let mut mem = None;
+    let mut branch = None;
+    match op {
+        OpClass::Load | OpClass::Store => {
+            let delta = unzigzag(read_uvarint(buf, cursor)?);
+            let addr = state.prev_addr.wrapping_add(delta as u64);
+            let size = *buf
+                .get(*cursor)
+                .ok_or_else(|| "size byte past block end".to_string())?;
+            *cursor += 1;
+            mem = Some(MemAccess { addr, size });
+            state.prev_addr = addr;
+        }
+        OpClass::Branch => {
+            let kt = *buf
+                .get(*cursor)
+                .ok_or_else(|| "branch byte past block end".to_string())?;
+            *cursor += 1;
+            if kt & !0x07 != 0 {
+                return Err(format!("bad branch kind/taken byte {kt:#x}"));
+            }
+            let delta = unzigzag(read_uvarint(buf, cursor)?);
+            branch = Some(BranchInfo {
+                kind: kind_from_index(kt),
+                taken: kt & 4 != 0,
+                target: pc.wrapping_add(PC_STEP).wrapping_add(delta as u64),
+            });
+        }
+        _ => {}
+    }
+
+    let inst = Inst {
+        pc,
+        op,
+        dst,
+        src1,
+        src2,
+        mem,
+        branch,
+    };
+    inst.validate()?;
+    state.prev_pc = pc;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(insts: &[Inst]) -> usize {
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        for i in insts {
+            encode_inst(&mut buf, i, &mut enc).unwrap();
+        }
+        let mut dec = DeltaState::default();
+        let mut cursor = 0;
+        for (k, want) in insts.iter().enumerate() {
+            let got = decode_inst(&buf, &mut cursor, &mut dec).unwrap();
+            assert_eq!(&got, want, "instruction {k}");
+        }
+        assert_eq!(cursor, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn every_constructor_round_trips() {
+        let r = ArchReg::int(5);
+        let g = ArchReg::fp(9);
+        let insts = [
+            Inst::int_alu(r, r, ArchReg::int(31)).at(0x40_0000),
+            Inst::int_alu1(r, r).at(0x40_0004),
+            Inst::int_mul(r, r, r).at(0x40_0008),
+            Inst::int_div(r, r, r).at(0x40_000c),
+            Inst::fp_add(g, g, g).at(0x40_0010),
+            Inst::fp_mul(g, g, g).at(0x40_0014),
+            Inst::fp_div(g, g, g).at(0x40_0018),
+            Inst::load(g, r, 0x1234_5678, 8).at(0x40_001c),
+            Inst::store(g, r, 0x1234_0000, 4).at(0x40_0020),
+            Inst::branch(r, true, 0x40_0000).at(0x40_0024),
+            Inst::branch(r, false, 0x41_0000).at(0x40_0028),
+            Inst::jump(BranchKind::Call, 0x42_0000).at(0x40_002c),
+            Inst::jump(BranchKind::Return, 0x40_0030).at(0x43_0000),
+            Inst::jump(BranchKind::Jump, 0).at(u64::MAX - 3),
+        ];
+        round_trip(&insts);
+    }
+
+    #[test]
+    fn sequential_code_is_compact() {
+        // Straight-line ALU code: flags + 3 regs = 4 bytes per instruction.
+        let r = ArchReg::int(3);
+        let insts: Vec<Inst> = (0..100)
+            .map(|k| Inst::int_alu(r, r, r).at(0x40_0000 + 4 * k))
+            .collect();
+        let bytes = round_trip(&insts);
+        // 4 bytes each, plus the explicit PC varint on the first
+        // instruction of the block.
+        assert_eq!(bytes, 404, "sequential PCs must encode in the flags byte");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        let inst = Inst::load(ArchReg::fp(1), ArchReg::int(2), 0xdead_beef, 8).at(0x40_0000);
+        encode_inst(&mut buf, &inst, &mut enc).unwrap();
+        for cut in 0..buf.len() {
+            let mut dec = DeltaState::default();
+            let mut cursor = 0;
+            assert!(decode_inst(&buf[..cut], &mut cursor, &mut dec).is_err());
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_are_errors() {
+        // Unknown op class.
+        let mut dec = DeltaState::default();
+        assert!(decode_inst(&[0x0f], &mut 0, &mut dec).is_err());
+        // Out-of-range register (load with dst byte 200).
+        let mut dec = DeltaState::default();
+        assert!(decode_inst(&[0x66 | 0x20, 200, 0, 0, 8], &mut 0, &mut dec).is_err());
+        // Valid-looking flags whose decoded instruction violates the class
+        // invariants (a store with a destination register).
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        let st = Inst::store(ArchReg::fp(0), ArchReg::int(0), 64, 8).at(0x40_0000);
+        encode_inst(&mut buf, &st, &mut enc).unwrap();
+        buf[0] |= FLAG_DST; // claim a dst the payload doesn't have
+        let mut dec = DeltaState::default();
+        assert!(decode_inst(&buf, &mut 0, &mut dec).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_invalid_instructions() {
+        let mut bad = Inst::load(ArchReg::fp(0), ArchReg::int(0), 0, 8);
+        bad.mem = None;
+        let mut buf = Vec::new();
+        assert!(encode_inst(&mut buf, &bad, &mut DeltaState::default()).is_err());
+        assert!(buf.is_empty(), "failed encodes must not emit bytes");
+    }
+
+    #[test]
+    fn varints_cover_u64() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut cursor = 0;
+            assert_eq!(read_uvarint(&buf, &mut cursor).unwrap(), v);
+            assert_eq!(cursor, buf.len());
+        }
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+        assert_eq!(unzigzag(zigzag(-1)), -1);
+    }
+}

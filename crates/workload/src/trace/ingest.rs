@@ -1,0 +1,201 @@
+//! Converting external text/CSV traces into `.diqt`.
+//!
+//! The external schema is one instruction per line, comma-separated:
+//!
+//! ```text
+//! pc,op,dst,src1,src2,addr,size,taken,target
+//! 0x400000,load,r8,r1,,0x10000000,8,,
+//! 0x400004,alu,r8,r8,r7,,,,
+//! 0x400008,br,,r5,,,,1,0x400000
+//! ```
+//!
+//! * `pc`, `addr`, `target` — decimal or `0x`-hex.
+//! * `op` — `alu`, `mul`, `div`, `fadd`, `fmul`, `fdiv`, `load`/`ld`,
+//!   `store`/`st`, `br`/`branch`, `jmp`/`jump`, `call`, `ret`/`return`.
+//! * registers — `rN` (integer) or `fN` (floating-point), empty when
+//!   absent.
+//! * `size` — access bytes for loads/stores (defaults to 8).
+//! * `taken` — `0`/`1`/`t`/`n`/`true`/`false` for conditional branches
+//!   (unconditional kinds are always taken).
+//!
+//! Blank lines, `#` comments, and an optional `pc,op,...` header line are
+//! skipped. Every parsed instruction passes [`diq_isa::Inst::validate`]
+//! before it is written, so a malformed line fails with its line number
+//! rather than producing an unreplayable trace.
+
+use super::writer::TraceWriter;
+use super::{TraceError, TraceMeta};
+use diq_isa::{ArchReg, BranchInfo, BranchKind, Inst, MemAccess, OpClass, ARCH_REGS_PER_CLASS};
+use std::io::BufRead;
+use std::path::Path;
+
+/// What an ingest run produced.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Instructions written to the trace.
+    pub instructions: u64,
+    /// Lines skipped (blank, comments, header).
+    pub skipped: u64,
+    /// Metadata of the written trace.
+    pub meta: TraceMeta,
+}
+
+fn parse_u64(field: &str, what: &str, line: usize) -> Result<u64, TraceError> {
+    let parsed = if let Some(hex) = field
+        .strip_prefix("0x")
+        .or_else(|| field.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        field.parse()
+    };
+    parsed.map_err(|_| TraceError::Invalid(format!("line {line}: bad {what} `{field}`")))
+}
+
+fn parse_reg(field: &str, line: usize) -> Result<Option<ArchReg>, TraceError> {
+    if field.is_empty() {
+        return Ok(None);
+    }
+    let bad = || TraceError::Invalid(format!("line {line}: bad register `{field}`"));
+    let (class_char, num) = field.split_at(1);
+    let idx: usize = num.parse().map_err(|_| bad())?;
+    if idx >= ARCH_REGS_PER_CLASS {
+        return Err(bad());
+    }
+    match class_char {
+        "r" | "i" => Ok(Some(ArchReg::int(idx as u8))),
+        "f" => Ok(Some(ArchReg::fp(idx as u8))),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_taken(field: &str, line: usize) -> Result<bool, TraceError> {
+    match field {
+        "1" | "t" | "T" | "true" | "y" => Ok(true),
+        "0" | "n" | "N" | "false" | "" => Ok(false),
+        _ => Err(TraceError::Invalid(format!(
+            "line {line}: bad taken flag `{field}`"
+        ))),
+    }
+}
+
+fn parse_line(line_no: usize, fields: &[&str]) -> Result<Inst, TraceError> {
+    let get = |i: usize| fields.get(i).copied().unwrap_or("");
+    let pc = parse_u64(get(0), "pc", line_no)?;
+    let op_name = get(1);
+    let (op, kind) = match op_name {
+        "alu" | "add" | "int_alu" => (OpClass::IntAlu, None),
+        "mul" | "int_mul" => (OpClass::IntMul, None),
+        "div" | "int_div" => (OpClass::IntDiv, None),
+        "fadd" | "fp_add" => (OpClass::FpAdd, None),
+        "fmul" | "fp_mul" => (OpClass::FpMul, None),
+        "fdiv" | "fp_div" => (OpClass::FpDiv, None),
+        "load" | "ld" => (OpClass::Load, None),
+        "store" | "st" => (OpClass::Store, None),
+        "br" | "branch" => (OpClass::Branch, Some(BranchKind::Conditional)),
+        "jmp" | "jump" => (OpClass::Branch, Some(BranchKind::Jump)),
+        "call" => (OpClass::Branch, Some(BranchKind::Call)),
+        "ret" | "return" => (OpClass::Branch, Some(BranchKind::Return)),
+        other => {
+            return Err(TraceError::Invalid(format!(
+                "line {line_no}: unknown op `{other}`"
+            )))
+        }
+    };
+    let dst = parse_reg(get(2), line_no)?;
+    let src1 = parse_reg(get(3), line_no)?;
+    let src2 = parse_reg(get(4), line_no)?;
+
+    let mem = match op {
+        OpClass::Load | OpClass::Store => {
+            let addr_field = get(5);
+            if addr_field.is_empty() {
+                return Err(TraceError::Invalid(format!(
+                    "line {line_no}: {op_name} needs an addr field"
+                )));
+            }
+            let addr = parse_u64(addr_field, "addr", line_no)?;
+            let size = if get(6).is_empty() {
+                8
+            } else {
+                parse_u64(get(6), "size", line_no)? as u8
+            };
+            Some(MemAccess { addr, size })
+        }
+        _ => None,
+    };
+    let branch = match kind {
+        Some(kind) => {
+            let taken = match kind {
+                BranchKind::Conditional => parse_taken(get(7), line_no)?,
+                _ => true,
+            };
+            let target_field = get(8);
+            if target_field.is_empty() {
+                return Err(TraceError::Invalid(format!(
+                    "line {line_no}: {op_name} needs a target field"
+                )));
+            }
+            let target = parse_u64(target_field, "target", line_no)?;
+            Some(BranchInfo {
+                kind,
+                taken,
+                target,
+            })
+        }
+        None => None,
+    };
+
+    let inst = Inst {
+        pc,
+        op,
+        dst,
+        src1,
+        src2,
+        mem,
+        branch,
+    };
+    inst.validate()
+        .map_err(|e| TraceError::Invalid(format!("line {line_no}: {e}")))?;
+    Ok(inst)
+}
+
+/// Converts an external text trace into a `.diqt` file at `out`.
+///
+/// `name` becomes the workload name replays report; `seed` is recorded in
+/// the metadata (0 fits ingested traces — there is no generator).
+///
+/// # Errors
+///
+/// The first unparsable line (with its 1-based line number), or any write
+/// failure.
+pub fn ingest_text(
+    input: impl BufRead,
+    out: impl AsRef<Path>,
+    name: &str,
+    seed: u64,
+    source: &str,
+) -> Result<IngestReport, TraceError> {
+    let mut writer = TraceWriter::create(out, name, seed, source)?;
+    let mut instructions = 0u64;
+    let mut skipped = 0u64;
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') || text.starts_with("pc,") {
+            skipped += 1;
+            continue;
+        }
+        let fields: Vec<&str> = text.split(',').map(str::trim).collect();
+        let inst = parse_line(line_no, &fields)?;
+        writer.push(&inst)?;
+        instructions += 1;
+    }
+    let meta = writer.finish()?;
+    Ok(IngestReport {
+        instructions,
+        skipped,
+        meta,
+    })
+}

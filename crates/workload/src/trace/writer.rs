@@ -1,0 +1,177 @@
+//! Recording `.diqt` traces.
+
+use super::encode::{encode_inst, DeltaState};
+use super::{
+    fnv1a64, TraceError, TraceMeta, BLOCK_INSTRS, FNV_OFFSET, FORMAT_VERSION, MAGIC, TRAILER_MAGIC,
+};
+use diq_isa::Inst;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Streams instructions into a `.diqt` file.
+///
+/// Push instructions with [`TraceWriter::push`], then call
+/// [`TraceWriter::finish`] to write the footer — a dropped writer leaves a
+/// truncated file that readers reject cleanly. Memory use is one block
+/// (raw + compressed), independent of trace length.
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    name: String,
+    seed: u64,
+    source: String,
+    raw: Vec<u8>,
+    comp: Vec<u8>,
+    block_in: u32,
+    state: DeltaState,
+    index: Vec<(u64, u64)>,
+    offset: u64,
+    content: u64,
+    instructions: u64,
+    max_raw: u32,
+    max_comp: u32,
+}
+
+impl TraceWriter {
+    /// Creates a trace file and writes its head.
+    ///
+    /// `name` is the workload name replays will report, `seed` the
+    /// recording generator's seed (0 when not applicable), and `source` a
+    /// free-form provenance string (e.g. the workload source URI).
+    ///
+    /// # Errors
+    ///
+    /// File creation or write failures.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: &str,
+        seed: u64,
+        source: &str,
+    ) -> Result<Self, TraceError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        Ok(TraceWriter {
+            out,
+            name: name.to_string(),
+            seed,
+            source: source.to_string(),
+            raw: Vec::new(),
+            comp: Vec::new(),
+            block_in: 0,
+            state: DeltaState::default(),
+            index: Vec::new(),
+            offset: 8,
+            content: FNV_OFFSET,
+            instructions: 0,
+            max_raw: 0,
+            max_comp: 0,
+        })
+    }
+
+    /// Appends one instruction.
+    ///
+    /// # Errors
+    ///
+    /// An instruction violating its class invariants
+    /// ([`TraceError::Invalid`]), or file I/O failures when a full block
+    /// flushes.
+    pub fn push(&mut self, inst: &Inst) -> Result<(), TraceError> {
+        encode_inst(&mut self.raw, inst, &mut self.state).map_err(TraceError::Invalid)?;
+        self.instructions += 1;
+        self.block_in += 1;
+        if self.block_in == BLOCK_INSTRS {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), TraceError> {
+        if self.block_in == 0 {
+            return Ok(());
+        }
+        let first = self.instructions - u64::from(self.block_in);
+        self.index.push((self.offset, first));
+        self.content = fnv1a64(self.content, &self.raw);
+        let checksum = fnv1a64(FNV_OFFSET, &self.raw);
+
+        self.comp.clear();
+        lzblock::compress(&self.raw, &mut self.comp);
+        let raw_len = self.raw.len() as u32;
+        let comp_len = self.comp.len() as u32;
+        self.max_raw = self.max_raw.max(raw_len);
+        self.max_comp = self.max_comp.max(comp_len);
+
+        self.out.write_all(&raw_len.to_le_bytes())?;
+        self.out.write_all(&comp_len.to_le_bytes())?;
+        self.out.write_all(&checksum.to_le_bytes())?;
+        self.out.write_all(&self.comp)?;
+        self.offset += 16 + u64::from(comp_len);
+
+        self.raw.clear();
+        self.block_in = 0;
+        self.state = DeltaState::default();
+        Ok(())
+    }
+
+    /// Flushes the last block, writes footer and trailer, and returns the
+    /// recorded metadata.
+    ///
+    /// # Errors
+    ///
+    /// File write failures.
+    pub fn finish(mut self) -> Result<TraceMeta, TraceError> {
+        self.flush_block()?;
+        let meta = TraceMeta {
+            name: self.name.clone(),
+            seed: self.seed,
+            source: self.source.clone(),
+            instructions: self.instructions,
+            blocks: self.index.len() as u64,
+            block_instrs: BLOCK_INSTRS,
+            content: self.content,
+            max_raw_block: self.max_raw,
+            max_comp_block: self.max_comp,
+        };
+        let footer_off = self.offset;
+        let meta_json = serde_json::to_string(&meta)
+            .map_err(|e| TraceError::Format(format!("encode meta: {e}")))?;
+        self.out
+            .write_all(&(meta_json.len() as u32).to_le_bytes())?;
+        self.out.write_all(meta_json.as_bytes())?;
+        for &(off, first) in &self.index {
+            self.out.write_all(&off.to_le_bytes())?;
+            self.out.write_all(&first.to_le_bytes())?;
+        }
+        self.out.write_all(&footer_off.to_le_bytes())?;
+        self.out
+            .write_all(&(self.index.len() as u32).to_le_bytes())?;
+        self.out.write_all(&TRAILER_MAGIC)?;
+        self.out.flush()?;
+        Ok(meta)
+    }
+}
+
+/// Records `n` instructions from an iterator into a `.diqt` file.
+///
+/// Convenience wrapper used by `diq trace record` and the tests.
+///
+/// # Errors
+///
+/// Anything [`TraceWriter`] reports. Recording fewer than `n` instructions
+/// (iterator exhausted) is not an error; the metadata reports the actual
+/// count.
+pub fn record(
+    path: impl AsRef<Path>,
+    name: &str,
+    seed: u64,
+    source: &str,
+    insts: impl IntoIterator<Item = Inst>,
+    n: u64,
+) -> Result<TraceMeta, TraceError> {
+    let mut w = TraceWriter::create(path, name, seed, source)?;
+    for inst in insts.into_iter().take(n as usize) {
+        w.push(&inst)?;
+    }
+    w.finish()
+}

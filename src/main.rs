@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! diq list                          benchmarks and schemes
-//! diq run <scheme> <benchmark> [n]  one simulation, full statistics
+//! diq run <scheme> <workload> [n]   one simulation, full statistics
+//! diq trace record|info|ingest      record, inspect, ingest .diqt traces
 //! diq figure <id>                   regenerate one paper artifact (fig2..fig15,
 //!                                   tab1, sec3, headline)
 //! diq figures                       regenerate everything
@@ -23,7 +24,7 @@ use diq::exp::{
 };
 use diq::serve::{run_worker, Client, ServeConfig, WorkerOptions};
 use diq::sim::{figures, Figure, Harness};
-use diq::workload::suite;
+use diq::workload::{suite, trace, TraceGenerator, WorkloadSource};
 use std::time::Duration;
 
 /// Default `diq serve` endpoint, shared by server, worker and submit.
@@ -55,7 +56,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          diq list\n  \
-         diq run <scheme> <benchmark> [instructions]\n  \
+         diq run <scheme> <workload> [instructions]\n  \
+         diq trace record <workload> [-n COUNT] [-o FILE.diqt]\n  \
+         diq trace info <FILE.diqt> [--json]\n  \
+         diq trace ingest <FILE.csv|-> -o FILE.diqt [-n NAME]\n  \
          diq figure <id>\n  \
          diq figures\n  \
          diq sweep <spec.json> [--store DIR] [--threads N] [--name RUN] [--summary-json FILE|-]\n  \
@@ -68,6 +72,10 @@ fn usage() -> ! {
          diq submit <spec.json> [--connect HOST:PORT] [--name RUN] [--watch]\n  \
          \x20         [--summary-json FILE|-]\n  \
          diq submit --shutdown [--connect HOST:PORT]\n\n\
+         Workloads are URIs anywhere a workload is named: kernel:gzip,\n\
+         profile:gzip/adversarial@7 (expected|stress|adversarial variants,\n\
+         seeded), trace:path/to/f.diqt (recorded streams), group:all, or a\n\
+         bare name. `diq trace record` replays bit-identically via trace:.\n\
          Instruction counts accept 100k/5M/1G suffixes, here and in DIQ_INSTRS\n\
          (the per-benchmark count for figures). The result store defaults to\n\
          ./results; `diq compare` exits 1 when run-b's geomean IPC regresses\n\
@@ -122,24 +130,24 @@ fn open_store(flags: &std::collections::HashMap<String, String>) -> ResultStore 
 }
 
 fn cmd_run(args: &[String]) {
-    let (Some(scheme_name), Some(bench_name)) = (args.first(), args.get(1)) else {
+    let (Some(scheme_name), Some(workload_uri)) = (args.first(), args.get(1)) else {
         usage();
     };
     let Some(scheme) = scheme_by_name(scheme_name) else {
         fail(format!("unknown scheme `{scheme_name}` (see `diq list`)"));
     };
-    let Some(bench) = suite::by_name(bench_name) else {
-        fail(format!("unknown benchmark `{bench_name}` (see `diq list`)"));
-    };
+    // One resolution path with `diq sweep` and `diq serve`: any workload
+    // URI (kernel:, profile:, trace:, or a bare name) runs here.
+    let source = WorkloadSource::resolve_one(workload_uri).unwrap_or_else(|e| fail(e));
     let n: u64 = match args.get(2) {
         Some(s) => parse_count(s)
             .unwrap_or_else(|| fail(format!("bad instruction count `{s}` (try 250000 or 100k)"))),
         None => diq::exp::DEFAULT_INSTRUCTIONS,
     };
     // One execution path with the harness and `diq sweep`: a Point streams
-    // its trace, so memory stays O(1) in the instruction count.
+    // its workload, so memory stays O(1) in the instruction count.
     let cfg = diq::isa::ProcessorConfig::hpca2004();
-    let stats = Point::new(cfg, scheme, bench, n).execute();
+    let stats = Point::from_source(cfg, scheme, source, n).execute();
     println!("{stats}");
     println!("energy breakdown:");
     for (c, pj) in stats.energy.breakdown() {
@@ -245,7 +253,16 @@ fn cmd_bench(args: &[String]) {
     let grid = spec.expand().unwrap_or_else(|e| fail(e));
     let mut points = Vec::new();
     for point in &grid {
-        let mut probe = ThroughputProbe::new(&point.machine, &point.scheme, &point.workload)
+        // The probe times the generator pipeline; trace-replay points have
+        // no generator to time, so they are skipped here.
+        let Some(workload) = point.spec() else {
+            eprintln!(
+                "  skipping {} (trace replay, not a generator)",
+                point.source
+            );
+            continue;
+        };
+        let mut probe = ThroughputProbe::new(&point.machine, &point.scheme, workload)
             .instructions(point.instructions);
         // `diq run` only drives the stock machine, so end-to-end timing is
         // meaningful (and measured) only on stock grid points.
@@ -344,6 +361,196 @@ fn bench_gate_ratio(
         .collect();
     let n = ratios.len();
     diq::stats::geometric_mean(ratios).map(|g| (g, n))
+}
+
+/// `diq trace record|info|ingest` — the on-disk `.diqt` trace pipeline.
+fn cmd_trace(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_trace_record(&args[1..]),
+        Some("info") => cmd_trace_info(&args[1..]),
+        Some("ingest") => cmd_trace_ingest(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Parses trace-subcommand args: positionals plus `-n/--instructions` and
+/// `-o/--out` style options (short or long, both taking a value).
+fn parse_trace_flags(
+    args: &[String],
+    allowed: &[(&str, &str)],
+    switches: &[&str],
+) -> (
+    Vec<String>,
+    std::collections::HashMap<String, String>,
+    Vec<String>,
+) {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut on = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if switches.contains(&a.as_str()) {
+            on.push(a.trim_start_matches('-').to_string());
+            continue;
+        }
+        if let Some((_, long)) = allowed
+            .iter()
+            .find(|(short, long)| a == short || a.trim_start_matches("--") == *long)
+            .filter(|_| a.starts_with('-'))
+        {
+            let Some(v) = it.next() else {
+                fail(format!("option `{a}` needs a value"));
+            };
+            flags.insert((*long).to_string(), v.clone());
+        } else if a.starts_with('-') && a != "-" {
+            fail(format!("unknown option `{a}`"));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags, on)
+}
+
+fn cmd_trace_record(args: &[String]) {
+    let (positional, flags, _) =
+        parse_trace_flags(args, &[("-n", "instructions"), ("-o", "out")], &[]);
+    let [uri] = positional.as_slice() else {
+        usage();
+    };
+    let source = WorkloadSource::resolve_one(uri).unwrap_or_else(|e| fail(e));
+    let Some(spec) = source.spec() else {
+        fail(format!(
+            "`{uri}` is already a trace; record needs a generated workload"
+        ));
+    };
+    let n: u64 = match flags.get("instructions") {
+        Some(s) => parse_count(s).unwrap_or_else(|| fail(format!("bad instruction count `{s}`"))),
+        None => diq::exp::DEFAULT_INSTRUCTIONS,
+    };
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("{}.diqt", spec.name.replace(['/', '@'], "-")));
+    let meta = trace::record(
+        &out,
+        &spec.name,
+        spec.seed,
+        &format!("diq trace record {uri}"),
+        TraceGenerator::new(spec),
+        n,
+    )
+    .unwrap_or_else(|e| fail(format!("record `{out}`: {e}")));
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "recorded {} instrs of `{}` to {out}: {} blocks, {} bytes \
+         ({:.2} bytes/instr), content {:016x}",
+        meta.instructions,
+        meta.name,
+        meta.blocks,
+        bytes,
+        bytes as f64 / meta.instructions.max(1) as f64,
+        meta.content,
+    );
+}
+
+fn cmd_trace_info(args: &[String]) {
+    let (positional, _, switches) = parse_trace_flags(args, &[], &["--json"]);
+    let [path] = positional.as_slice() else {
+        usage();
+    };
+    let meta = trace::read_meta(path).unwrap_or_else(|e| fail(format!("`{path}`: {e}")));
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    if switches.iter().any(|s| s == "json") {
+        // Hand-rolled object: `content` renders as a hex string (jq-safe;
+        // u64 does not fit in a double).
+        println!(
+            "{{\"name\":{},\"seed\":{},\"source\":{},\"instructions\":{},\
+             \"blocks\":{},\"block_instrs\":{},\"content\":\"{:016x}\",\
+             \"file_bytes\":{}}}",
+            json_str(&meta.name),
+            meta.seed,
+            json_str(&meta.source),
+            meta.instructions,
+            meta.blocks,
+            meta.block_instrs,
+            meta.content,
+            bytes,
+        );
+    } else {
+        println!("name:         {}", meta.name);
+        println!("seed:         {}", meta.seed);
+        println!("source:       {}", meta.source);
+        println!("instructions: {}", meta.instructions);
+        println!(
+            "blocks:       {} x {} instrs",
+            meta.blocks, meta.block_instrs
+        );
+        println!("content:      {:016x}", meta.content);
+        println!(
+            "file:         {bytes} bytes ({:.2} bytes/instr)",
+            bytes as f64 / meta.instructions.max(1) as f64
+        );
+    }
+}
+
+/// JSON string literal (quotes + escapes) for `diq trace info --json`.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn cmd_trace_ingest(args: &[String]) {
+    let (positional, flags, _) = parse_trace_flags(args, &[("-o", "out"), ("-n", "name")], &[]);
+    let [input] = positional.as_slice() else {
+        usage();
+    };
+    let Some(out) = flags.get("out") else {
+        fail("ingest needs -o/--out <file.diqt>");
+    };
+    let default_name = || {
+        if input == "-" {
+            return "stdin".to_string();
+        }
+        std::path::Path::new(input).file_stem().map_or_else(
+            || "ingested".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        )
+    };
+    let name = flags.get("name").cloned().unwrap_or_else(default_name);
+    let report = if input == "-" {
+        let stdin = std::io::stdin();
+        trace::ingest_text(stdin.lock(), out, &name, 0, "diq trace ingest -")
+    } else {
+        let file =
+            std::fs::File::open(input).unwrap_or_else(|e| fail(format!("open `{input}`: {e}")));
+        trace::ingest_text(
+            std::io::BufReader::new(file),
+            out,
+            &name,
+            0,
+            &format!("diq trace ingest {input}"),
+        )
+    }
+    .unwrap_or_else(|e| {
+        // A failed ingest must not leave a truncated .diqt behind.
+        let _ = std::fs::remove_file(out);
+        fail(format!("ingest `{input}`: {e}"))
+    });
+    println!(
+        "ingested {} instrs ({} lines skipped) to {out}: content {:016x}",
+        report.instructions, report.skipped, report.meta.content
+    );
 }
 
 fn cmd_compare(args: &[String]) {
@@ -583,6 +790,11 @@ fn main() {
             for label in SCHEME_LABELS {
                 println!("  {label}");
             }
+            println!(
+                "\nevery benchmark also takes profile variants \
+                 (profile:<name>/expected|stress|adversarial[@seed])\nand \
+                 recorded traces replay with trace:<file.diqt> — see `diq trace`"
+            );
         }
         Some("run") => cmd_run(&args[1..]),
         Some("figure") => {
@@ -604,6 +816,7 @@ fn main() {
                 println!("{fig}");
             }
         }
+        Some("trace") => cmd_trace(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),

@@ -14,7 +14,7 @@
 use diq::isa::ProcessorConfig;
 use diq::pipeline::{Simulator, TraceSource};
 use diq::sched::SchedulerConfig;
-use diq::workload::suite;
+use diq::workload::{suite, trace, TraceGenerator, TraceReader};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -62,6 +62,88 @@ fn allocations_during_run(
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(stats.committed, instructions);
     after - before
+}
+
+/// Allocations while replaying `instructions` from an opened trace reader
+/// (reader + simulator construction excluded: the reader's two block
+/// buffers are preallocated from the footer maxima at open).
+fn allocations_during_replay(
+    cfg: &ProcessorConfig,
+    sched: &SchedulerConfig,
+    reader: &mut TraceReader,
+    instructions: u64,
+    speculative: bool,
+) -> u64 {
+    let mut sim = Simulator::new(cfg, sched);
+    reader.set_speculative(speculative);
+    reader.set_limit(instructions);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let stats = sim.run_workload(reader, instructions);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(reader.error(), None);
+    assert_eq!(stats.committed, instructions);
+    after - before
+}
+
+/// Replaying a 1M-instruction trace allocates no more than replaying a
+/// short prefix of it: reader memory is a function of the block geometry,
+/// never of trace length. In wrong-path mode the pipeline's recovery
+/// machinery itself allocates per mispredict (pre-existing, source-
+/// independent), so there the reader is held to the generator's bar: a
+/// `Copy` trace-position checkpoint must never allocate more than the
+/// generator's buffer-reusing checkpoints.
+#[test]
+fn trace_replay_allocates_nothing_in_steady_state() {
+    let cfg = ProcessorConfig::hpca2004();
+    let spec = suite::by_name("gzip").expect("suite benchmark");
+    let path = std::env::temp_dir().join(format!("diqt-alloc-{}.diqt", std::process::id()));
+    let total = 1_000_000u64;
+    trace::record(
+        &path,
+        &spec.name,
+        spec.seed,
+        "alloc-test",
+        TraceGenerator::new(&spec),
+        total,
+    )
+    .unwrap();
+    let short = 5_000u64;
+    let long = 20_000u64;
+    for sched in SchedulerConfig::known() {
+        let mut reader = TraceReader::open(&path).unwrap();
+        let warm = allocations_during_replay(&cfg, &sched, &mut reader, short, false);
+        let mut reader = TraceReader::open(&path).unwrap();
+        let sustained = allocations_during_replay(&cfg, &sched, &mut reader, long, false);
+        assert_eq!(
+            warm,
+            sustained,
+            "{}: {} allocations for {short} instrs but {} for {long} — \
+             trace replay allocates in steady state",
+            sched.label(),
+            warm,
+            sustained
+        );
+    }
+
+    let mut wp_cfg = cfg;
+    wp_cfg.wrong_path = true;
+    for sched in [SchedulerConfig::mb_distr(), SchedulerConfig::iq_64_64()] {
+        let mut sim = Simulator::new(&wp_cfg, &sched);
+        let mut generator = TraceGenerator::new(&spec);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let _ = sim.run_workload(&mut generator, long);
+        let from_generator = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+        let mut reader = TraceReader::open(&path).unwrap();
+        let from_replay = allocations_during_replay(&wp_cfg, &sched, &mut reader, long, true);
+        assert!(
+            from_replay <= from_generator,
+            "{}: wrong-path replay made {from_replay} allocations, the generator \
+             {from_generator} — TracePos checkpoints must not add allocation",
+            sched.label()
+        );
+    }
+    let _ = std::fs::remove_file(path);
 }
 
 #[test]

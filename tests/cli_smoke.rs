@@ -58,3 +58,94 @@ fn diq_without_arguments_exits_with_usage() {
     let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
     assert!(stderr.contains("usage"), "stderr should show usage");
 }
+
+#[test]
+fn diq_trace_record_info_run_round_trip() {
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join(format!("diqt-cli-{}.diqt", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .args([
+            "trace",
+            "record",
+            "profile:gzip/adversarial@5",
+            "-n",
+            "2k",
+            "-o",
+        ])
+        .arg(&trace_path)
+        .output()
+        .expect("run `diq trace record`");
+    assert!(out.status.success(), "record failed: {out:?}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .args(["trace", "info"])
+        .arg(&trace_path)
+        .arg("--json")
+        .output()
+        .expect("run `diq trace info`");
+    assert!(out.status.success(), "info failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"instructions\":2000"), "{stdout}");
+    assert!(
+        stdout.contains("\"name\":\"gzip/adversarial@5\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"content\":\""), "{stdout}");
+
+    // The recorded trace replays through `diq run` by URI.
+    let uri = format!("trace:{}", trace_path.display());
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .args(["run", "MB_distr", &uri, "2000"])
+        .output()
+        .expect("run `diq run trace:`");
+    assert!(out.status.success(), "replay failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("gzip/adversarial@5"), "{stdout}");
+
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn diq_trace_ingest_accepts_csv() {
+    let dir = std::env::temp_dir();
+    let csv_path = dir.join(format!("diqt-cli-in-{}.csv", std::process::id()));
+    let trace_path = dir.join(format!("diqt-cli-in-{}.diqt", std::process::id()));
+    std::fs::write(
+        &csv_path,
+        "pc,op,dst,src1,src2,addr,size,taken,target\n\
+         0x1000,alu,r1,r2,r3,,,,\n\
+         0x1004,load,r4,r1,,0x2000,8,,\n\
+         0x1008,br,,r4,,,,1,0x1000\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .args(["trace", "ingest"])
+        .arg(&csv_path)
+        .arg("-o")
+        .arg(&trace_path)
+        .output()
+        .expect("run `diq trace ingest`");
+    assert!(out.status.success(), "ingest failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ingested 3 instrs"), "{stdout}");
+    let _ = std::fs::remove_file(csv_path);
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn diq_run_resolves_workload_uris() {
+    for uri in ["kernel:gzip", "profile:swim/stress", "gzip/expected@2"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+            .args(["run", "MB_distr", uri, "500"])
+            .output()
+            .expect("run `diq run`");
+        assert!(out.status.success(), "`diq run {uri}` failed: {out:?}");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_diq"))
+        .args(["run", "MB_distr", "trace:/nonexistent.diqt", "500"])
+        .output()
+        .expect("run `diq run`");
+    assert!(!out.status.success(), "missing trace must fail");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error"), "{stderr}");
+}

@@ -37,6 +37,23 @@ fn stdout_of(out: &Output) -> String {
 
 #[test]
 fn shipped_experiment_specs_parse_and_expand() {
+    // trace_smoke.json replays a recorded trace that CI (and `just
+    // trace-smoke`) records before sweeping; expansion hashes the file's
+    // content, so mirror that setup here. The path is gitignored.
+    let trace = repo_file("traces/gzip-50k.diqt");
+    if !trace.exists() {
+        std::fs::create_dir_all(trace.parent().unwrap()).unwrap();
+        let spec = diq::workload::suite::by_name("gzip").unwrap();
+        diq::workload::trace::record(
+            &trace,
+            &spec.name,
+            spec.seed,
+            "test setup",
+            diq::workload::TraceGenerator::new(&spec),
+            50_000,
+        )
+        .unwrap();
+    }
     let dir = repo_file("experiments");
     let mut seen = 0;
     for entry in fs::read_dir(dir).unwrap() {

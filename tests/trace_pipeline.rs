@@ -1,0 +1,158 @@
+//! The trace pipeline end to end: a workload recorded to a `.diqt` file
+//! and replayed through [`TraceReader`] must be indistinguishable from the
+//! generator that recorded it — bit-identical [`SimStats`] on every
+//! registered scheme — and wrong-path replay must run to completion with a
+//! clean dataflow checker even though the wrong-path instructions are
+//! synthesized rather than recorded.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::{SimStats, Simulator, TraceSource};
+use diq::sched::SchedulerConfig;
+use diq::workload::{trace, TraceGenerator, TraceReader, WorkloadSource};
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("diqt-golden-{tag}-{}.diqt", std::process::id()))
+}
+
+fn run_generator(cfg: &ProcessorConfig, sched: &SchedulerConfig, uri: &str, n: u64) -> SimStats {
+    let spec = WorkloadSource::resolve_one(uri)
+        .unwrap()
+        .spec()
+        .cloned()
+        .expect("generated workload");
+    let mut sim = Simulator::new(cfg, sched);
+    sim.set_benchmark(&spec.name);
+    let stream = TraceGenerator::new(&spec).take(n as usize);
+    sim.run_workload(&mut TraceSource::new(stream), n)
+}
+
+fn run_replay(cfg: &ProcessorConfig, sched: &SchedulerConfig, path: &PathBuf, n: u64) -> SimStats {
+    let mut reader = TraceReader::open(path).expect("open trace");
+    reader.set_limit(n);
+    let name = reader.meta().name.clone();
+    let mut sim = Simulator::new(cfg, sched);
+    sim.set_benchmark(&name);
+    let stats = sim.run_workload(&mut reader, n);
+    assert_eq!(reader.error(), None, "replay hit an error");
+    stats
+}
+
+/// Every URI scheme the registry resolves to a generated workload, recorded
+/// once and replayed on every registered scheduler scheme: the stats must
+/// match the live generator exactly, field for field.
+#[test]
+fn replayed_trace_reproduces_generator_stats_on_every_scheme() {
+    let cfg = ProcessorConfig::hpca2004();
+    let n = 6_000u64; // crosses a 4096-instruction block boundary
+    for (tag, uri) in [
+        ("kernel", "kernel:gzip"),
+        ("profile", "profile:gzip/adversarial@3"),
+        ("stress", "profile:misschase/stress"),
+        ("bare", "swim"),
+    ] {
+        let spec = WorkloadSource::resolve_one(uri)
+            .unwrap()
+            .spec()
+            .cloned()
+            .unwrap();
+        let path = tmp(tag);
+        trace::record(
+            &path,
+            &spec.name,
+            spec.seed,
+            uri,
+            TraceGenerator::new(&spec),
+            n,
+        )
+        .unwrap();
+        for sched in SchedulerConfig::known() {
+            let live = run_generator(&cfg, &sched, uri, n);
+            let replayed = run_replay(&cfg, &sched, &path, n);
+            assert_eq!(
+                live,
+                replayed,
+                "{uri} on {} diverges between generator and replay",
+                sched.label()
+            );
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Wrong-path replay: the reader synthesizes plausible wrong-path
+/// instructions after a redirect and seeks back on recovery. The replay
+/// must commit the full budget with zero checker violations and actually
+/// exercise the wrong path.
+#[test]
+fn wrong_path_replay_commits_cleanly() {
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.wrong_path = true;
+    let n = 6_000u64;
+    let spec = WorkloadSource::resolve_one("profile:gzip/adversarial")
+        .unwrap()
+        .spec()
+        .cloned()
+        .unwrap();
+    let path = tmp("wp");
+    trace::record(
+        &path,
+        &spec.name,
+        spec.seed,
+        "wp",
+        TraceGenerator::new(&spec),
+        n,
+    )
+    .unwrap();
+    for sched in [SchedulerConfig::mb_distr(), SchedulerConfig::iq_64_64()] {
+        let mut reader = TraceReader::open(&path).unwrap();
+        reader.set_speculative(true);
+        let mut sim = Simulator::new(&cfg, &sched);
+        sim.set_benchmark(&spec.name);
+        let stats = sim.run_workload(&mut reader, n);
+        assert_eq!(reader.error(), None);
+        assert_eq!(stats.committed, n, "{}", sched.label());
+        assert_eq!(stats.checker_violations, 0, "{}", sched.label());
+        assert!(
+            stats.wrong_path_issued > 0,
+            "{}: the adversarial profile must trigger wrong-path fetch",
+            sched.label()
+        );
+        // Wrong-path replay is still deterministic: same file, same stats.
+        let mut again = TraceReader::open(&path).unwrap();
+        again.set_speculative(true);
+        let mut sim2 = Simulator::new(&cfg, &sched);
+        sim2.set_benchmark(&spec.name);
+        let stats2 = sim2.run_workload(&mut again, n);
+        assert_eq!(stats, stats2, "{}", sched.label());
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// A replay driven past the end of the recording just drains: shorter
+/// budgets take a prefix, longer budgets commit what the trace holds.
+#[test]
+fn replay_budget_mismatches_are_benign() {
+    let cfg = ProcessorConfig::hpca2004();
+    let sched = SchedulerConfig::mb_distr();
+    let spec = WorkloadSource::resolve_one("gzip")
+        .unwrap()
+        .spec()
+        .cloned()
+        .unwrap();
+    let path = tmp("budget");
+    trace::record(
+        &path,
+        &spec.name,
+        spec.seed,
+        "b",
+        TraceGenerator::new(&spec),
+        1_000,
+    )
+    .unwrap();
+    let short = run_replay(&cfg, &sched, &path, 400);
+    assert_eq!(short.committed, 400);
+    let over = run_replay(&cfg, &sched, &path, 5_000);
+    assert_eq!(over.committed, 1_000, "drains at the recorded length");
+    let _ = std::fs::remove_file(path);
+}
