@@ -1,5 +1,6 @@
 //! Scheme configuration and construction.
 
+use crate::adaptive::{AdaptiveCamIssueQueue, AdaptiveConfig};
 use crate::cam::CamIssueQueue;
 use crate::fifo::IssueFifo;
 use crate::fu::FuTopology;
@@ -68,6 +69,20 @@ pub enum SchedulerConfig {
         /// Banks per queue (wakeup is confined to occupied banks).
         banks: usize,
     },
+    /// The CAM queue with a runtime bank power-gating controller
+    /// (adaptive queue geometry). With `adaptive.enabled == false` it is
+    /// the static [`Cam`](SchedulerConfig::Cam) byte for byte.
+    AdaptiveCam {
+        /// Integer-queue entries.
+        int_entries: usize,
+        /// FP-queue entries.
+        fp_entries: usize,
+        /// Banks per queue — also the autoscaling granularity.
+        banks: usize,
+        /// Controller knobs (epoch, thresholds, hysteresis, floor).
+        #[serde(default)]
+        adaptive: AdaptiveConfig,
+    },
     /// Palacharla-style FIFO queues.
     IssueFifo {
         /// Integer queue array.
@@ -135,6 +150,34 @@ impl SchedulerConfig {
             int_entries,
             fp_entries,
             banks,
+        }
+    }
+
+    /// The evaluation baseline geometry with the default bank-autoscaling
+    /// controller enabled (`IQ_64_64_adapt`).
+    #[must_use]
+    pub fn adaptive_iq_64_64() -> Self {
+        SchedulerConfig::AdaptiveCam {
+            int_entries: 64,
+            fp_entries: 64,
+            banks: 8,
+            adaptive: AdaptiveConfig::default(),
+        }
+    }
+
+    /// An adaptive CAM queue with explicit geometry and controller knobs.
+    #[must_use]
+    pub fn adaptive_cam(
+        int_entries: usize,
+        fp_entries: usize,
+        banks: usize,
+        adaptive: AdaptiveConfig,
+    ) -> Self {
+        SchedulerConfig::AdaptiveCam {
+            int_entries,
+            fp_entries,
+            banks,
+            adaptive,
         }
     }
 
@@ -211,9 +254,10 @@ impl SchedulerConfig {
 
     /// Every scheme label the CLI and experiment specs advertise, in display
     /// order. Each entry round-trips through [`by_label`](Self::by_label).
-    pub const KNOWN_LABELS: [&'static str; 8] = [
+    pub const KNOWN_LABELS: [&'static str; 9] = [
         "IQ_unbounded",
         "IQ_64_64",
+        "IQ_64_64_adapt",
         "IssueFIFO_16x16_8x16",
         "LatFIFO_16x16_8x16",
         "MixBUFF_16x16_8x16",
@@ -229,6 +273,7 @@ impl SchedulerConfig {
         vec![
             SchedulerConfig::unbounded_baseline(),
             SchedulerConfig::iq_64_64(),
+            SchedulerConfig::adaptive_iq_64_64(),
             SchedulerConfig::issue_fifo(16, 16, 8, 16),
             SchedulerConfig::lat_fifo(16, 16, 8, 16),
             SchedulerConfig::mix_buff(16, 16, 8, 16, None),
@@ -257,6 +302,30 @@ impl SchedulerConfig {
                     "IQ_unbounded".to_string()
                 } else {
                     format!("IQ_{int_entries}_{fp_entries}")
+                }
+            }
+            SchedulerConfig::AdaptiveCam {
+                int_entries,
+                fp_entries,
+                adaptive,
+                ..
+            } => {
+                // Controller knobs join the label only when they differ
+                // from the canonical registered configuration, so a sweep
+                // over aggressiveness keeps its points distinguishable.
+                let base = format!("IQ_{int_entries}_{fp_entries}_adapt");
+                if !adaptive.enabled {
+                    format!("{base}_off")
+                } else if *adaptive == AdaptiveConfig::default() {
+                    base
+                } else {
+                    format!(
+                        "{base}_e{}g{}s{}h{}",
+                        adaptive.epoch_cycles,
+                        adaptive.grow_occupancy_pct,
+                        adaptive.shrink_occupancy_pct,
+                        adaptive.hysteresis_epochs
+                    )
                 }
             }
             SchedulerConfig::IssueFifo {
@@ -306,7 +375,9 @@ impl SchedulerConfig {
     #[must_use]
     pub fn fu_topology(&self, cfg: &ProcessorConfig) -> FuTopology {
         match self {
-            SchedulerConfig::Cam { .. } => FuTopology::Shared { pool: cfg.fus },
+            SchedulerConfig::Cam { .. } | SchedulerConfig::AdaptiveCam { .. } => {
+                FuTopology::Shared { pool: cfg.fus }
+            }
             SchedulerConfig::IssueFifo {
                 int,
                 fp,
@@ -359,6 +430,20 @@ impl SchedulerConfig {
                 *int_entries,
                 *fp_entries,
                 *banks,
+                topology,
+                cfg,
+            )),
+            SchedulerConfig::AdaptiveCam {
+                int_entries,
+                fp_entries,
+                banks,
+                adaptive,
+            } => Box::new(AdaptiveCamIssueQueue::new(
+                name,
+                *int_entries,
+                *fp_entries,
+                *banks,
+                *adaptive,
                 topology,
                 cfg,
             )),
@@ -430,6 +515,34 @@ mod tests {
         );
         assert_eq!(SchedulerConfig::if_distr().label(), "IF_distr");
         assert_eq!(SchedulerConfig::mb_distr().label(), "MB_distr");
+        assert_eq!(
+            SchedulerConfig::adaptive_iq_64_64().label(),
+            "IQ_64_64_adapt"
+        );
+        assert_eq!(
+            SchedulerConfig::adaptive_cam(64, 64, 8, AdaptiveConfig::disabled()).label(),
+            "IQ_64_64_adapt_off"
+        );
+        let aggressive = AdaptiveConfig {
+            epoch_cycles: 64,
+            hysteresis_epochs: 1,
+            ..AdaptiveConfig::default()
+        };
+        assert_eq!(
+            SchedulerConfig::adaptive_cam(64, 64, 8, aggressive).label(),
+            "IQ_64_64_adapt_e64g70s35h1"
+        );
+    }
+
+    #[test]
+    fn every_known_label_round_trips_through_by_label() {
+        for (label, cfg) in SchedulerConfig::KNOWN_LABELS
+            .iter()
+            .zip(SchedulerConfig::known())
+        {
+            assert_eq!(cfg.label(), *label);
+            assert_eq!(SchedulerConfig::by_label(label), Some(cfg));
+        }
     }
 
     #[test]
@@ -466,9 +579,33 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let sc = SchedulerConfig::mb_distr();
-        let json = serde_json::to_string(&sc).unwrap();
-        let back: SchedulerConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(sc, back);
+        for sc in [
+            SchedulerConfig::mb_distr(),
+            SchedulerConfig::adaptive_iq_64_64(),
+        ] {
+            let json = serde_json::to_string(&sc).unwrap();
+            let back: SchedulerConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(sc, back);
+        }
+        // A terse spec-file form: controller knobs default field by field.
+        let terse: SchedulerConfig =
+            serde_json::from_str(r#"{"AdaptiveCam":{"int_entries":64,"fp_entries":64,"banks":8}}"#)
+                .unwrap();
+        assert_eq!(terse, SchedulerConfig::adaptive_iq_64_64());
+        let partial: SchedulerConfig = serde_json::from_str(
+            r#"{"AdaptiveCam":{"int_entries":64,"fp_entries":64,"banks":8,"adaptive":{"epoch_cycles":64}}}"#,
+        )
+        .unwrap();
+        match partial {
+            SchedulerConfig::AdaptiveCam { adaptive, .. } => {
+                assert_eq!(adaptive.epoch_cycles, 64);
+                assert!(adaptive.enabled);
+                assert_eq!(
+                    adaptive.hysteresis_epochs,
+                    AdaptiveConfig::default().hysteresis_epochs
+                );
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -67,6 +67,9 @@ pub(crate) struct CamEnergy {
     pub entry_read: f64,
     /// Selection-tree energy per active candidate.
     pub select: SelectSpec,
+    /// Per-cycle retention energy of one powered bank (only the adaptive
+    /// bank-gating scheme charges this; the static CAM ignores it).
+    pub bank_idle: f64,
     pub mux: MuxEnergy,
 }
 
@@ -99,6 +102,7 @@ impl CamEnergy {
             select: SelectSpec {
                 candidates: entries,
             },
+            bank_idle: cam.idle_energy_pj(tech),
             mux: MuxEnergy::new(topology, tech),
         }
     }

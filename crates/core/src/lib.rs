@@ -7,6 +7,7 @@
 //! | Scheme | Paper name | Wakeup | Dispatch placement | Selection |
 //! |--------|------------|--------|--------------------|-----------|
 //! | [`CamIssueQueue`] | `IQ_64_64` / unbounded baseline | CAM broadcast (unready operands only, banked) | any free entry | N oldest ready |
+//! | [`AdaptiveCamIssueQueue`] | `IQ_64_64_adapt` (adaptive geometry) | CAM broadcast, banks power-gated at runtime | any free entry within powered capacity | N oldest ready |
 //! | [`IssueFifo`] | `IssueFIFO` / `IF_distr` | none (ready-bit check at heads) | Palacharla dependence heuristics | FIFO heads, oldest first |
 //! | [`LatFifo`] | `LatFIFO` | none | estimated issue time (§3.1 recurrence) | FIFO heads |
 //! | [`MixBuff`] | `MixBUFF` / `MB_distr` | none | dependence chains in RAM buffers | 1/queue/cycle by 2-bit latency code ∥ age |
@@ -30,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+mod adaptive;
 mod cam;
 mod config;
 mod energy;
@@ -45,6 +47,7 @@ mod soa;
 pub(crate) mod test_util;
 mod wakeup;
 
+pub use adaptive::{AdaptiveCamIssueQueue, AdaptiveConfig};
 pub use cam::CamIssueQueue;
 pub use config::{QueueArrayConfig, SchedulerConfig};
 pub use estimate::IssueTimeEstimator;
@@ -246,4 +249,13 @@ pub trait Scheduler {
 
     /// The functional-unit topology this scheme was configured with.
     fn fu_topology(&self) -> &FuTopology;
+
+    /// Adaptive-geometry counters `(resize_events, gated_bank_cycles)`,
+    /// summed over both sides: how often the autoscaling controller changed
+    /// the powered-bank count, and how many bank-cycles were spent
+    /// power-gated. Statically-partitioned schemes report zeros (the
+    /// default).
+    fn adaptive_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }

@@ -18,7 +18,11 @@
 //! speculation, each gained the scan-shaped cancel — walk every entry,
 //! revert `tag`'s speculative readiness, and un-hold entries that issued
 //! speculatively. The pre-existing cycle behaviour is untouched.)
+//!
+//! New *schemes* may add their own scan twins here (the adaptive-geometry
+//! CAM below follows the PR 4–5 playbook), but existing twins stay frozen.
 
+use crate::adaptive::{AdaptiveConfig, BankController};
 use crate::energy::{CamEnergy, FifoEnergy, MixEnergy};
 use crate::estimate::IssueTimeEstimator;
 use crate::fu::FuTopology;
@@ -47,6 +51,19 @@ pub fn build_scan(config: &SchedulerConfig, cfg: &ProcessorConfig) -> Box<dyn Sc
             *int_entries,
             *fp_entries,
             *banks,
+            topology,
+        )),
+        SchedulerConfig::AdaptiveCam {
+            int_entries,
+            fp_entries,
+            banks,
+            adaptive,
+        } => Box::new(ScanAdaptiveCam::new(
+            name,
+            *int_entries,
+            *fp_entries,
+            *banks,
+            *adaptive,
             topology,
         )),
         SchedulerConfig::IssueFifo { int, fp, .. } => Box::new(ScanIssueFifo::new(
@@ -322,6 +339,221 @@ impl Scheduler for ScanCam {
 
     fn fu_topology(&self) -> &FuTopology {
         &self.topology
+    }
+}
+
+// ---- adaptive CAM (bank autoscaling) ---------------------------------
+
+/// Scan twin of the adaptive-geometry CAM queue: the [`ScanCam`] cycle
+/// behaviour verbatim, plus the *same* [`BankController`] the event-driven
+/// model runs (shared code — integer arithmetic over model-independent
+/// signals — so the two models cannot diverge on a resize decision).
+/// Power-gating is a dispatch capacity limit; entries are never moved.
+struct ScanAdaptiveCam {
+    name: String,
+    int: CamArray,
+    fp: CamArray,
+    int_ctrl: BankController,
+    fp_ctrl: BankController,
+    enabled: bool,
+    energy_model: CamEnergy,
+    meter: EnergyMeter,
+    topology: FuTopology,
+    tech: TechParams,
+}
+
+impl ScanAdaptiveCam {
+    fn new(
+        name: String,
+        int_entries: usize,
+        fp_entries: usize,
+        banks: usize,
+        adaptive: AdaptiveConfig,
+        topology: FuTopology,
+    ) -> Self {
+        let tech = TechParams::um100();
+        ScanAdaptiveCam {
+            name,
+            int: CamArray::new(int_entries, banks),
+            fp: CamArray::new(fp_entries, banks),
+            int_ctrl: BankController::new(adaptive, int_entries, banks),
+            fp_ctrl: BankController::new(adaptive, fp_entries, banks),
+            enabled: adaptive.enabled,
+            energy_model: CamEnergy::new(int_entries, banks, &topology, &tech),
+            meter: EnergyMeter::new(),
+            topology,
+            tech,
+        }
+    }
+
+    fn array(&mut self, side: Side) -> &mut CamArray {
+        match side {
+            Side::Int => &mut self.int,
+            Side::Fp => &mut self.fp,
+        }
+    }
+}
+
+impl Scheduler for ScanAdaptiveCam {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_dispatch(&mut self, d: &DispatchInst, _now: Cycle) -> Result<(), DispatchStall> {
+        let side = d.side();
+        let cap = match side {
+            Side::Int => self.int_ctrl.effective_capacity(),
+            Side::Fp => self.fp_ctrl.effective_capacity(),
+        };
+        let array = self.array(side);
+        if array.entries.len() >= cap {
+            return Err(DispatchStall::Full);
+        }
+        let mut ready = [true, true];
+        for (i, src) in d.srcs.iter().enumerate() {
+            if src.is_some() {
+                ready[i] = d.srcs_ready[i];
+            }
+        }
+        array.entries.push(CamEntry {
+            id: d.id,
+            op: d.op,
+            srcs: d.srcs,
+            ready,
+            held: false,
+        });
+        self.meter
+            .add(Component::Buff, self.energy_model.entry_write);
+        Ok(())
+    }
+
+    fn issue_cycle(&mut self, _now: Cycle, sink: &mut dyn IssueSink) {
+        if self.enabled {
+            self.meter.add(
+                Component::BankIdle,
+                (self.int_ctrl.powered() + self.fp_ctrl.powered()) as f64
+                    * self.energy_model.bank_idle,
+            );
+        }
+        let mut candidates: Vec<(u64, Side)> = Vec::new();
+        for (side, array) in [(Side::Int, &self.int), (Side::Fp, &self.fp)] {
+            for e in &array.entries {
+                if e.all_ready() && !e.held {
+                    candidates.push((e.id.0, side));
+                }
+            }
+            if !array.entries.is_empty() {
+                let active = array
+                    .entries
+                    .iter()
+                    .filter(|e| e.all_ready() && !e.held)
+                    .count();
+                self.meter.add(
+                    Component::Select,
+                    self.energy_model
+                        .select
+                        .select_energy_pj(&self.tech, active),
+                );
+            }
+        }
+        candidates.sort_unstable_by_key(|c| c.0);
+        for (age, side) in candidates {
+            let id = InstId(age);
+            let array = match side {
+                Side::Int => &self.int,
+                Side::Fp => &self.fp,
+            };
+            let Some(pos) = array.entries.iter().position(|e| e.id == id) else {
+                continue;
+            };
+            let e = array.entries[pos];
+            if sink.try_issue(id, e.op, None) {
+                if e.srcs.iter().flatten().any(|&r| sink.is_spec_ready(r)) {
+                    self.array(side).entries[pos].held = true;
+                } else {
+                    self.array(side).entries.swap_remove(pos);
+                }
+                self.meter
+                    .add(Component::Buff, self.energy_model.entry_read);
+                let (mux, pj) = self.energy_model.mux.event(e.op);
+                self.meter.add(mux, pj);
+            }
+        }
+        let len = self.int.entries.len();
+        self.int_ctrl.tick(len);
+        let len = self.fp.entries.len();
+        self.fp_ctrl.tick(len);
+    }
+
+    fn on_result(&mut self, dst: PhysReg, _now: Cycle) {
+        let mut banks = 0;
+        let mut listening = 0;
+        match dst.class() {
+            RegClass::Int => {
+                let (b, l) = self.int.wakeup(dst);
+                banks += b;
+                listening += l;
+            }
+            RegClass::Fp => {
+                let (b, l) = self.fp.wakeup(dst);
+                banks += b;
+                listening += l;
+                let (b, l) = self.int.wakeup(dst);
+                banks += b;
+                listening += l;
+            }
+        }
+        self.meter.add(
+            Component::Wakeup,
+            banks as f64 * self.energy_model.bank_broadcast
+                + listening as f64 * self.energy_model.matchline,
+        );
+    }
+
+    fn on_mispredict(&mut self) {}
+
+    fn squash(&mut self, from: InstId) {
+        let before = self.int.entries.len();
+        self.int.entries.retain(|e| e.id < from);
+        self.int_ctrl
+            .note_feedback((before - self.int.entries.len()) as u64);
+        let before = self.fp.entries.len();
+        self.fp.entries.retain(|e| e.id < from);
+        self.fp_ctrl
+            .note_feedback((before - self.fp.entries.len()) as u64);
+    }
+
+    fn cancel(&mut self, tag: PhysReg) {
+        match tag.class() {
+            RegClass::Int => {
+                self.int.cancel(tag);
+                self.int_ctrl.note_feedback(1);
+            }
+            RegClass::Fp => {
+                self.fp.cancel(tag);
+                self.fp_ctrl.note_feedback(1);
+                self.int.cancel(tag);
+                self.int_ctrl.note_feedback(1);
+            }
+        }
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        (self.int.entries.len(), self.fp.entries.len())
+    }
+
+    fn energy(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    fn fu_topology(&self) -> &FuTopology {
+        &self.topology
+    }
+
+    fn adaptive_stats(&self) -> (u64, u64) {
+        let (ri, gi) = self.int_ctrl.stats();
+        let (rf, gf) = self.fp_ctrl.stats();
+        (ri + rf, gi + gf)
     }
 }
 

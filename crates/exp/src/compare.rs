@@ -309,6 +309,8 @@ mod tests {
             wrong_path_squashed: 0,
             replayed: 0,
             replay_cycles_lost: 0,
+            resize_events: 0,
+            gated_bank_cycles: 0,
         }
     }
 
@@ -387,6 +389,28 @@ mod tests {
         );
         assert_eq!(c.points[0].energy_a, 20.0, "energies sum");
         assert!((c.geomean_ipc_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_ipc_is_a_hard_error_naming_the_point() {
+        let a = summary("base", vec![result("A", "gzip", 0.0, 10.0)]);
+        let b = summary("cand", vec![result("B", "gzip", 2.0, 10.0)]);
+        let err = Comparison::between(&a, &b).unwrap_err().to_string();
+        assert!(err.contains("base"), "{err}");
+        assert!(err.contains("gzip"), "{err}");
+    }
+
+    #[test]
+    fn nan_ipc_is_a_hard_error_not_a_green_gate() {
+        // A NaN IPC (e.g. a corrupt store record) slips past an `x <= 0.0`
+        // guard, turns the ratio geomean into NaN, and `NaN.max(0.0)` then
+        // reads as 0% regression — the gate silently passes. It must be a
+        // hard error naming the offending run and coordinate instead.
+        let a = summary("base", vec![result("A", "gzip", 2.0, 10.0)]);
+        let b = summary("cand", vec![result("B", "gzip", f64::NAN, 10.0)]);
+        let err = Comparison::between(&a, &b).unwrap_err().to_string();
+        assert!(err.contains("cand"), "{err}");
+        assert!(err.contains("gzip"), "{err}");
     }
 
     #[test]

@@ -241,6 +241,13 @@ pub struct PointResult {
     /// re-issues (zero under the oracle-latency model).
     #[serde(default)]
     pub replay_cycles_lost: u64,
+    /// Powered-bank resizes by an adaptive-geometry controller (zero for
+    /// static schemes or a disabled controller).
+    #[serde(default)]
+    pub resize_events: u64,
+    /// Bank-cycles spent power-gated by an adaptive-geometry controller.
+    #[serde(default)]
+    pub gated_bank_cycles: u64,
 }
 
 impl PointResult {
@@ -274,6 +281,8 @@ impl PointResult {
             wrong_path_squashed: stats.wrong_path_squashed,
             replayed: stats.replayed,
             replay_cycles_lost: stats.replay_cycles_lost,
+            resize_events: stats.resize_events,
+            gated_bank_cycles: stats.gated_bank_cycles,
         }
     }
 }

@@ -346,6 +346,8 @@ mod tests {
                 wrong_path_squashed: 0,
                 replayed: 0,
                 replay_cycles_lost: 0,
+                resize_events: 0,
+                gated_bank_cycles: 0,
             },
         }
     }

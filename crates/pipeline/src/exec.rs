@@ -204,8 +204,18 @@ impl Default for EventQueue {
 }
 
 impl EventQueue {
-    pub(crate) fn new() -> Self {
-        Self::default()
+    /// A queue whose node arena is pre-sized for `live_events` concurrent
+    /// events, so reaching that high-water mark never allocates mid-run.
+    /// An issued instruction holds at most two pending events (a speculated
+    /// load's wakeup + miss check), so `2 * rob_entries` covers any
+    /// schedule — including ones whose issue dynamics keep shifting deep
+    /// into a run (adaptive geometry), where the arena would otherwise
+    /// ratchet up long after warm-up.
+    pub(crate) fn with_capacity(live_events: usize) -> Self {
+        EventQueue {
+            nodes: Vec::with_capacity(live_events),
+            ..Self::default()
+        }
     }
 
     pub(crate) fn schedule(&mut self, at: Cycle, id: InstId, token: u64, kind: EventKind) {
@@ -291,7 +301,7 @@ mod tests {
 
     #[test]
     fn event_queue_orders_by_time() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::default();
         let mut due = Vec::new();
         q.schedule(5, InstId(1), 0, EventKind::Complete);
         q.schedule(3, InstId(2), 0, EventKind::Complete);

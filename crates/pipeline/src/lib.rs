@@ -318,7 +318,7 @@ impl Simulator {
             rename: RenameState::new(cfg),
             lsq: Lsq::with_capacity(cfg.rob_entries),
             fu,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(2 * cfg.rob_entries),
             rob: VecDeque::with_capacity(cfg.rob_entries),
             fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
             inflight: InflightTable::default(),
@@ -460,6 +460,9 @@ impl Simulator {
         self.stats.l2 = self.mem.l2_stats();
         self.stats.energy = self.sched.energy().clone();
         self.stats.lsq_forwards = self.lsq.forwards;
+        let (resizes, gated) = self.sched.adaptive_stats();
+        self.stats.resize_events = resizes;
+        self.stats.gated_bank_cycles = gated;
     }
 
     fn rob_entry_mut(&mut self, id: InstId) -> &mut RobEntry {

@@ -82,6 +82,13 @@ pub struct SimStats {
     /// speculative wakeup when the miss was detected (zero when nothing
     /// slipped into the window; one sample per speculated miss).
     pub replay_depth: Histogram,
+    /// Times an adaptive-geometry controller changed the powered-bank
+    /// count (grow + shrink, both sides; zero for static schemes or a
+    /// disabled controller).
+    pub resize_events: u64,
+    /// Bank-cycles spent power-gated by an adaptive-geometry controller —
+    /// the capacity the scheme did not pay retention energy for.
+    pub gated_bank_cycles: u64,
 }
 
 impl SimStats {
@@ -119,6 +126,8 @@ impl SimStats {
             replayed: 0,
             replay_cycles_lost: 0,
             replay_depth: Histogram::new(257),
+            resize_events: 0,
+            gated_bank_cycles: 0,
         }
     }
 
@@ -182,6 +191,13 @@ impl fmt::Display for SimStats {
                 self.wrong_path_dispatched,
                 self.wrong_path_issued,
                 self.wrong_path_squashed
+            )?;
+        }
+        if self.resize_events > 0 || self.gated_bank_cycles > 0 {
+            writeln!(
+                f,
+                "  adaptive geometry: {} resizes, {} gated bank-cycles",
+                self.resize_events, self.gated_bank_cycles
             )?;
         }
         if self.replay_depth.count() > 0 {

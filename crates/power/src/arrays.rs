@@ -100,6 +100,19 @@ impl CamSpec {
         let tagline_ff = self.tag_bits as f64 * self.entries as f64 * t.tagline_cap_per_cell_ff;
         t.switch_energy_pj(tagline_ff, 1.0) + comparing as f64 * t.matchline_energy_pj
     }
+
+    /// Per-cycle retention energy of one *powered* bank that performs no
+    /// broadcast: clock distribution into the comparator columns plus cell
+    /// leakage. Power-gating a bank eliminates exactly this cost, so the
+    /// adaptive schemes charge it only for banks the controller keeps on.
+    ///
+    /// Modelled as a small fixed fraction of the bank's worst-case
+    /// broadcast (every comparator enabled) — the standby:active ratios
+    /// CACTI-class models report for matchline arrays.
+    #[must_use]
+    pub fn idle_energy_pj(&self, t: &TechParams) -> f64 {
+        0.02 * self.broadcast_energy_pj(t, self.entries)
+    }
 }
 
 /// A selection arbiter choosing among `candidates` requesters.
@@ -245,6 +258,27 @@ mod tests {
             wakeup > 2.0 * ready,
             "wakeup {wakeup} pJ should exceed ready-bit read {ready} pJ"
         );
+    }
+
+    #[test]
+    fn bank_idle_is_a_sliver_of_a_broadcast() {
+        let tech = t();
+        let bank = CamSpec {
+            entries: 8,
+            tag_bits: 16,
+        };
+        let idle = bank.idle_energy_pj(&tech);
+        assert!(idle > 0.0);
+        // Retention must be far below one live broadcast (all comparators
+        // enabled — what a powered bank costs when actually used), or
+        // gating a bank would never pay for itself.
+        assert!(idle < 0.1 * bank.broadcast_energy_pj(&tech, bank.entries));
+        // And it grows with the bank: a taller bank retains more state.
+        let tall = CamSpec {
+            entries: 32,
+            tag_bits: 16,
+        };
+        assert!(tall.idle_energy_pj(&tech) > idle);
     }
 
     #[test]

@@ -38,10 +38,14 @@ pub enum Component {
     MuxFpAlu,
     /// Crossbar to FP mul/div units.
     MuxFpMul,
+    /// Per-cycle retention/clock energy of powered issue-queue banks
+    /// (adaptive bank-gating schemes only; appended last so the existing
+    /// discriminants — and every stored meter — keep their indices).
+    BankIdle,
 }
 
 /// All components in display order (the paper's stacking order).
-pub const ALL_COMPONENTS: [Component; 12] = [
+pub const ALL_COMPONENTS: [Component; 13] = [
     Component::Wakeup,
     Component::Buff,
     Component::Fifo,
@@ -54,6 +58,7 @@ pub const ALL_COMPONENTS: [Component; 12] = [
     Component::MuxIntMul,
     Component::MuxFpAlu,
     Component::MuxFpMul,
+    Component::BankIdle,
 ];
 
 impl Component {
@@ -82,6 +87,7 @@ impl Component {
             Component::MuxIntMul => "MuxIntMUL",
             Component::MuxFpAlu => "MuxFPALU",
             Component::MuxFpMul => "MuxFPMUL",
+            Component::BankIdle => "bank_idle",
         }
     }
 }

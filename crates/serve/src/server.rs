@@ -137,6 +137,10 @@ struct Job {
 }
 
 /// Commands for the single writer thread.
+// A `Record` carries a whole point record, but each value only crosses the
+// channel once on its way to disk — boxing would buy nothing (the same
+// call the protocol enums make).
+#[allow(clippy::large_enum_variant)]
 enum WriterCmd {
     Record(PointRecord),
     Manifest(RunManifest),

@@ -12,6 +12,7 @@ use diq_exp::{PointRecord, PointResult};
 use parking_lot::Mutex;
 use std::io;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,8 +50,13 @@ pub struct WorkerReport {
 /// # Errors
 ///
 /// Connection setup failures and protocol violations. A server that simply
-/// goes away mid-run is a clean exit, not an error: the server reassigns any
-/// lease this worker held.
+/// goes away while the worker is *idle* is a clean exit — the worker held
+/// nothing. Losing the connection **mid-point** is an error: the worker
+/// computed a result it could not deliver (its lease has likely expired and
+/// been reassigned), and a zero exit here would let smoke tests green-wash
+/// a crashed farm. The same applies when the heartbeat thread dies while a
+/// point is executing — the lease stopped being renewed long before the
+/// result was ready.
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> io::Result<WorkerReport> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
@@ -77,49 +83,74 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> io::Result<WorkerReport> 
     }
 
     // The heartbeat thread shares the write half; it stops when the channel
-    // disconnects (we drop `stop_tx` on the way out) or the socket dies.
+    // disconnects (we drop `stop_tx` on the way out) or the socket dies —
+    // and flags its death so the main loop knows the lease stopped being
+    // renewed while it was busy computing.
     let (stop_tx, stop_rx) = crossbeam::channel::unbounded::<()>();
     let hb_writer = Arc::clone(&writer);
     let hb_period = opts.heartbeat;
+    let hb_dead = Arc::new(AtomicBool::new(false));
+    let hb_dead_flag = Arc::clone(&hb_dead);
     let heartbeat = std::thread::spawn(move || {
         use crossbeam::channel::RecvTimeoutError;
         while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(hb_period) {
             if write_frame(&mut *hb_writer.lock(), &ToServer::Heartbeat).is_err() {
+                hb_dead_flag.store(true, Ordering::Release);
                 break;
             }
         }
     });
 
     let mut executed = 0usize;
-    send(&writer, &ToServer::Idle)?;
-    let outcome = loop {
-        match read_frame::<FromServer, _>(&mut stream) {
-            Ok(FromServer::Assign { lease, point }) => {
-                let record = PointRecord {
-                    key: point.key(),
-                    result: PointResult::from_stats(&point, &point.execute()),
-                };
-                executed += 1;
-                // Result then Idle: the server sees the completion before
-                // the availability, so progress counters never run ahead.
-                if send(&writer, &ToServer::Result { lease, record }).is_err() {
-                    break Ok(());
+    let outcome = match send(&writer, &ToServer::Idle) {
+        Err(e) => Err(e),
+        Ok(()) => loop {
+            match read_frame::<FromServer, _>(&mut stream) {
+                Ok(FromServer::Assign { lease, point }) => {
+                    let record = PointRecord {
+                        key: point.key(),
+                        result: PointResult::from_stats(&point, &point.execute()),
+                    };
+                    executed += 1;
+                    if hb_dead.load(Ordering::Acquire) {
+                        break Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "heartbeat thread died while a point was executing; \
+                             the lease has likely expired",
+                        ));
+                    }
+                    // Result then Idle: the server sees the completion before
+                    // the availability, so progress counters never run ahead.
+                    if let Err(e) = send(&writer, &ToServer::Result { lease, record }) {
+                        break Err(io::Error::new(
+                            e.kind(),
+                            format!("computed a point but could not deliver it: {e}"),
+                        ));
+                    }
+                    if send(&writer, &ToServer::Idle).is_err() {
+                        // The result above was delivered; losing the
+                        // connection while re-announcing idleness loses
+                        // nothing.
+                        break Ok(());
+                    }
                 }
-                if send(&writer, &ToServer::Idle).is_err() {
-                    break Ok(());
-                }
+                Ok(FromServer::Close) => break Ok(()),
+                Ok(_) => {} // unexpected but harmless push; ignore
+                // A vanished server is a clean retirement for an idle worker.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::ConnectionReset => break Ok(()),
+                Err(e) => break Err(e),
             }
-            Ok(FromServer::Close) => break Ok(()),
-            Ok(_) => {} // unexpected but harmless push; ignore
-            // A vanished server is a clean retirement for a worker.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => break Ok(()),
-            Err(e) => break Err(e),
-        }
+        },
     };
 
+    // Stop and join the heartbeat BEFORE tearing the socket down (every
+    // exit path funnels through here — no early returns above): a
+    // heartbeat mid-write into a socket we are closing turns a clean
+    // disconnect into a spurious ConnectionReset on the server side.
     drop(stop_tx); // disconnects the heartbeat channel → thread exits
     let _ = heartbeat.join();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
     outcome.map(|()| WorkerReport { executed })
 }
 

@@ -91,6 +91,38 @@ impl Histogram {
         self.max
     }
 
+    /// The `p`-th percentile (0 ≤ `p` ≤ 100, clamped) of the recorded
+    /// samples: the smallest bucket value whose cumulative count covers
+    /// `p`% of all samples.
+    ///
+    /// Returns `None` when the histogram is empty — an empty distribution
+    /// has no percentiles, and a sentinel like 0 would be indistinguishable
+    /// from a real all-zero distribution. Percentiles landing in the
+    /// overflow bucket report [`max`](Histogram::max): per-value resolution
+    /// ends at the cap, and the true maximum is the tightest bound the
+    /// histogram still tracks.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the sample that covers p% of the mass, 1-based; p = 0
+        // degenerates to the minimum rather than an out-of-range rank 0.
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i == self.buckets.len() - 1 {
+                    self.max
+                } else {
+                    i as u64
+                });
+            }
+        }
+        unreachable!("cumulative bucket mass covers every rank up to count")
+    }
+
     /// Fraction of samples with value ≥ `threshold` (0.0 when empty).
     ///
     /// Values beyond the cap are counted via the overflow bucket, so the
@@ -149,5 +181,73 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_cap_panics() {
         let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn empty_histogram_queries_are_well_defined() {
+        let h = Histogram::new(4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(100.0), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.frac_at_least(0), 0.0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let mut h = Histogram::new(16);
+        for v in 0..10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0), "p0 is the minimum");
+        assert_eq!(h.percentile(10.0), Some(0), "rank 1 of 10");
+        assert_eq!(h.percentile(50.0), Some(4), "rank 5 of 10");
+        assert_eq!(h.percentile(90.0), Some(8));
+        assert_eq!(h.percentile(100.0), Some(9), "p100 is the maximum");
+        // Out-of-range p clamps instead of panicking or extrapolating.
+        assert_eq!(h.percentile(-3.0), Some(0));
+        assert_eq!(h.percentile(250.0), Some(9));
+    }
+
+    #[test]
+    fn single_bucket_saturation() {
+        // cap = 1: one real bucket (value 0) plus overflow — the smallest
+        // legal geometry. Everything ≥ 1 saturates into overflow.
+        let mut h = Histogram::new(1);
+        for v in [0, 0, 1, 7, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        // Percentiles inside the real bucket resolve exactly; the rest
+        // saturate to the tracked maximum, not to the cap.
+        assert_eq!(h.percentile(40.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(1000));
+        assert!((h.mean() - 1008.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bucket_accounting_stays_exact() {
+        let mut h = Histogram::new(4);
+        for v in [4, 5, 6, 1_000_000] {
+            h.record(v); // all at/past the cap
+        }
+        // Every sample is in the overflow bucket, none in the real ones.
+        assert_eq!(h.overflow(), 4);
+        assert_eq!((0..4).map(|i| h.bucket(i)).sum::<u64>(), 0);
+        // Sum/mean/max use the true values, not the clamped bucket index.
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 1_000_015.0 / 4.0).abs() < 1e-9);
+        // frac_at_least is exact below the cap and conflates past it: a
+        // threshold beyond the cap still reports the whole overflow tail.
+        assert_eq!(h.frac_at_least(4), 1.0);
+        assert_eq!(h.frac_at_least(100), 1.0);
+        // Any percentile lands in overflow and reports the maximum.
+        assert_eq!(h.percentile(1.0), Some(1_000_000));
     }
 }

@@ -19,8 +19,8 @@ pub fn arithmetic_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
 }
 
 /// Harmonic mean — the aggregation the paper uses for IPC ("HARMEAN" in
-/// Figures 7 and 8). Returns `None` for an empty input or any non-positive
-/// element.
+/// Figures 7 and 8). Returns `None` for an empty input or any element that
+/// is not strictly positive (zero, negative, or NaN).
 ///
 /// # Example
 ///
@@ -32,7 +32,10 @@ pub fn harmonic_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
     let mut inv_sum = 0.0;
     let mut n = 0usize;
     for x in xs {
-        if x <= 0.0 {
+        // The explicit NaN check matters: `x <= 0.0` alone waves NaN
+        // through (every comparison with NaN is false) and it would poison
+        // the accumulator into a silent Some(NaN).
+        if x.is_nan() || x <= 0.0 {
             return None;
         }
         inv_sum += 1.0 / x;
@@ -41,8 +44,8 @@ pub fn harmonic_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
     (n > 0).then(|| n as f64 / inv_sum)
 }
 
-/// Geometric mean. Returns `None` for an empty input or any non-positive
-/// element.
+/// Geometric mean. Returns `None` for an empty input or any element that is
+/// not strictly positive (zero, negative, or NaN).
 ///
 /// # Example
 ///
@@ -54,7 +57,7 @@ pub fn geometric_mean<I: IntoIterator<Item = f64>>(xs: I) -> Option<f64> {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for x in xs {
-        if x <= 0.0 {
+        if x.is_nan() || x <= 0.0 {
             return None;
         }
         log_sum += x.ln();
@@ -105,6 +108,15 @@ mod tests {
         assert_eq!(harmonic_mean([1.0, 0.0]), None);
         assert_eq!(harmonic_mean([1.0, -1.0]), None);
         assert_eq!(harmonic_mean([]), None);
+    }
+
+    #[test]
+    fn means_reject_nan() {
+        // NaN sails through an `x <= 0.0` guard (all NaN comparisons are
+        // false) and poisons the accumulator; the guards must catch it.
+        assert_eq!(harmonic_mean([1.0, f64::NAN]), None);
+        assert_eq!(geometric_mean([1.0, f64::NAN]), None);
+        assert_eq!(geometric_mean([f64::NAN]), None);
     }
 
     #[test]

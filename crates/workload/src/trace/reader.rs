@@ -84,6 +84,13 @@ pub struct TraceReader {
     /// Correct-path instruction budget; the stream ends once `next_index`
     /// reaches it (non-speculative sources must bound themselves).
     limit: u64,
+    /// Latched once the correct-path stream reports end-of-stream. Raising
+    /// the limit afterwards must NOT resurrect a drained source (the run
+    /// loop treats `None` as final); only an explicit [`seek`] — a
+    /// deliberate reposition — re-arms the stream.
+    ///
+    /// [`seek`]: TraceReader::seek
+    ended: bool,
 }
 
 impl TraceReader {
@@ -195,6 +202,7 @@ impl TraceReader {
             synth: None,
             error: None,
             limit: u64::MAX,
+            ended: false,
         })
     }
 
@@ -226,6 +234,12 @@ impl TraceReader {
     /// is not counted). Non-speculative workloads must bound themselves:
     /// the run loop drains whatever the source yields past its commit
     /// target.
+    ///
+    /// Changing the limit re-bounds *future* reads only. Tightening it
+    /// below the current position ends the stream on the next read;
+    /// loosening it after the stream has already reported end-of-stream
+    /// does **not** resurrect it — a drained source stays drained until an
+    /// explicit [`seek`](TraceReader::seek) repositions it.
     pub fn set_limit(&mut self, n: u64) {
         self.limit = n;
     }
@@ -270,7 +284,8 @@ impl TraceReader {
         if self.synth.is_some() {
             return Ok(Some(self.synth_next()));
         }
-        if self.next_index >= self.meta.instructions.min(self.limit) {
+        if self.ended || self.next_index >= self.meta.instructions.min(self.limit) {
+            self.ended = true;
             return Ok(None);
         }
         let bi = u64::from(self.meta.block_instrs);
@@ -316,6 +331,10 @@ impl TraceReader {
     pub fn seek(&mut self, pos: TracePos) -> Result<(), TraceError> {
         let target = pos.index.min(self.meta.instructions);
         self.synth = pos.synth;
+        // Re-arm a drained stream *before* the same-position fast path: a
+        // restore to the exact index where the stream ended must still read
+        // against the current budget, not stay latched shut.
+        self.ended = false;
         if target == self.next_index {
             return Ok(());
         }

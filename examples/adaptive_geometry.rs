@@ -1,0 +1,118 @@
+//! The IPC-vs-gated-energy trade of adaptive queue geometry: the static
+//! `IQ_64_64` CAM baseline against its bank-autoscaling variant
+//! (`IQ_64_64_adapt`), per workload. The controller power-gates queue
+//! banks at epoch boundaries when mean occupancy stays low, so the
+//! adaptive scheme gives back a little IPC (dispatch stalls arrive at the
+//! powered capacity, not the physical one) in exchange for the retention
+//! energy of the gated banks.
+//!
+//! Two controllers are reported: the default (epoch 256, hysteresis 2)
+//! and an aggressive one (epoch 64, hysteresis 1) that chases phases
+//! harder — more resizes, more gated bank-cycles, more IPC risk.
+//!
+//! Run with: `cargo run --release --example adaptive_geometry`
+//! (load-hit speculation is on, so the controller's replay feedback veto
+//! is exercised too).
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::{SimStats, Simulator, TraceSource};
+use diq::sched::{AdaptiveConfig, SchedulerConfig};
+use diq::stats::Table;
+use diq::workload::suite;
+
+fn bank_idle_pj(stats: &SimStats) -> f64 {
+    stats
+        .energy
+        .breakdown()
+        .find(|(c, _)| c.paper_label() == "bank_idle")
+        .map_or(0.0, |(_, pj)| pj)
+}
+
+fn main() {
+    let n = 30_000u64;
+    let mut cfg = ProcessorConfig::hpca2004();
+    cfg.load_hit_speculation = true;
+
+    let aggressive = AdaptiveConfig {
+        epoch_cycles: 64,
+        hysteresis_epochs: 1,
+        ..AdaptiveConfig::default()
+    };
+    let variants = [
+        ("default", SchedulerConfig::adaptive_iq_64_64()),
+        (
+            "aggressive",
+            SchedulerConfig::adaptive_cam(64, 64, 8, aggressive),
+        ),
+    ];
+
+    let run = |sched: &SchedulerConfig, bench: &str| -> SimStats {
+        let spec = suite::by_name(bench).expect("suite benchmark");
+        let mut sim = Simulator::new(&cfg, sched);
+        sim.set_benchmark(bench);
+        sim.run_workload(&mut TraceSource::new(spec.generate(n as usize)), n)
+    };
+
+    for (tag, sched) in &variants {
+        let mut table = Table::new([
+            "workload",
+            "IPC static",
+            "IPC adapt",
+            "IPC delta",
+            "pJ/instr static",
+            "pJ/instr adapt",
+            "energy delta",
+            "idle pJ share",
+            "resizes",
+            "gated bank-cyc",
+        ]);
+        for bench in ["gzip", "mcf", "swim", "applu"] {
+            let stat = run(&SchedulerConfig::iq_64_64(), bench);
+            let adapt = run(sched, bench);
+            let stat_pj = stat.energy_pj() / stat.committed as f64;
+            let adapt_pj = adapt.energy_pj() / adapt.committed as f64;
+            // Same committed stream on both sides, so per-committed deltas
+            // are the scheme trade: IPC given up to earlier dispatch
+            // stalls vs. total energy moved by gating (the idle share is
+            // what the *powered* banks still cost — gated ones pay zero).
+            table.row(vec![
+                bench.to_string(),
+                format!("{:.4}", stat.ipc()),
+                format!("{:.4}", adapt.ipc()),
+                format!("{:6.3}%", 100.0 * (stat.ipc() - adapt.ipc()) / stat.ipc()),
+                format!("{stat_pj:.1}"),
+                format!("{adapt_pj:.1}"),
+                format!("{:6.3}%", 100.0 * (stat_pj - adapt_pj) / stat_pj),
+                format!("{:5.2}%", 100.0 * bank_idle_pj(&adapt) / adapt.energy_pj()),
+                format!("{}", adapt.resize_events),
+                format!("{}", adapt.gated_bank_cycles),
+            ]);
+        }
+        println!(
+            "adaptive geometry ({tag} controller: {}) vs static IQ_64_64 \
+             ({n} instructions/workload, load-hit speculation on):\n{table}",
+            match sched {
+                SchedulerConfig::AdaptiveCam { adaptive, .. } => format!(
+                    "epoch {}, grow {}%, shrink {}%, hysteresis {}",
+                    adaptive.epoch_cycles,
+                    adaptive.grow_occupancy_pct,
+                    adaptive.shrink_occupancy_pct,
+                    adaptive.hysteresis_epochs
+                ),
+                _ => unreachable!(),
+            }
+        );
+    }
+
+    println!(
+        "IPC delta = what the capacity gating costs. The energy comparison needs care:\n\
+         the static model meters no retention at all, while the adaptive scheme charges\n\
+         `bank_idle` for every *powered* bank-cycle — so a positive energy delta means\n\
+         gating saved more (smaller queues, fewer wakeup broadcasts into empty banks)\n\
+         than the retention metering added, and a negative one (mcf, whose replay\n\
+         pressure pins the queue wide open) is mostly that metering showing a cost the\n\
+         static baseline silently assumes is free. Gated bank-cycles is the direct\n\
+         gating win. Grid the controller knobs in a spec file with inline\n\
+         {{\"AdaptiveCam\": ...}} scheme objects to walk the frontier."
+    );
+}

@@ -114,6 +114,12 @@ bench-replay bench="misschase":
     cargo run --release --example load_replay {{bench}}
     cargo run --release -- sweep experiments/load_replay.json
 
+# Adaptive queue geometry vs the static CAM baseline: per-workload
+# IPC-vs-gated-energy deltas, resize counts and gated bank-cycles under
+# two controller aggressiveness settings (quick table via the example).
+bench-adaptive:
+    cargo run --release --example adaptive_geometry
+
 # Simulator-throughput benchmark: simulated instrs/sec per scheme, the
 # event-driven wakeup vs the frozen scan reference, appended to the local
 # store as BENCH_throughput.json — the same measurement CI's artifacts

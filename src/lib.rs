@@ -95,7 +95,7 @@ pub mod cli {
     /// `scheme_by_name(l).unwrap().label() == l`. The registry itself lives
     /// in `diq-core` ([`SchedulerConfig::KNOWN_LABELS`]) so experiment specs
     /// can resolve labels without this crate.
-    pub const SCHEME_LABELS: [&str; 8] = SchedulerConfig::KNOWN_LABELS;
+    pub const SCHEME_LABELS: [&str; 9] = SchedulerConfig::KNOWN_LABELS;
 
     /// The configurations behind [`SCHEME_LABELS`], in the same order.
     #[must_use]

@@ -12,7 +12,7 @@
 
 use diq::isa::ProcessorConfig;
 use diq::pipeline::{SimStats, Simulator, TraceSource};
-use diq::sched::SchedulerConfig;
+use diq::sched::{AdaptiveConfig, SchedulerConfig};
 use diq::workload::{suite, TraceGenerator};
 
 /// Runs the event-driven scheduler and the frozen scan reference on two
@@ -450,6 +450,72 @@ fn speculation_produces_wrong_path_work_and_the_off_switch_is_exact() {
         off_stats, legacy_stats,
         "a generator workload with wrong_path off must be bit-identical to a trace workload"
     );
+}
+
+/// With the controller **disabled**, the adaptive CAM must reproduce its
+/// static parent's numbers byte for byte — same cycles, same stall
+/// breakdown, same energy `f64`s, zero adaptive counters — across every
+/// machine mode (stall model, wrong path, load-hit speculation, both).
+/// Only the scheme label may differ.
+#[test]
+fn disabled_controller_reproduces_the_static_parent_byte_for_byte() {
+    let parent = SchedulerConfig::iq_64_64();
+    let off = SchedulerConfig::adaptive_cam(64, 64, 8, AdaptiveConfig::disabled());
+    for (wrong_path, load_hit_speculation) in
+        [(false, false), (true, false), (false, true), (true, true)]
+    {
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.wrong_path = wrong_path;
+        cfg.load_hit_speculation = load_hit_speculation;
+        cfg.mem.dl1.size_bytes = 1024; // miss-heavy: exercise cancel/replay
+        let spec = suite::by_name("mcf").unwrap();
+        let run = |sched: &SchedulerConfig| -> SimStats {
+            let mut sim = Simulator::new(&cfg, sched);
+            sim.set_benchmark("mcf");
+            if wrong_path {
+                sim.run_workload(&mut TraceGenerator::new(&spec), 3_000)
+            } else {
+                sim.run_workload(&mut TraceSource::new(spec.generate(3_000)), 3_000)
+            }
+        };
+        let want = run(&parent);
+        let mut got = run(&off);
+        assert_eq!(got.resize_events, 0, "a disabled controller never resizes");
+        assert_eq!(
+            got.gated_bank_cycles, 0,
+            "a disabled controller never gates"
+        );
+        assert_eq!(got.scheme, "IQ_64_64_adapt_off");
+        got.scheme.clone_from(&want.scheme);
+        assert_eq!(
+            got, want,
+            "wp={wrong_path} lhs={load_hit_speculation}: IQ_64_64_adapt_off \
+             must equal IQ_64_64 byte for byte"
+        );
+    }
+}
+
+/// An **enabled** controller on a long miss-heavy run actually resizes and
+/// gates banks, reports it through `SimStats`, charges bank-idle retention
+/// energy — and stays bit-identical to its scan twin while doing so, with
+/// wrong-path and load-hit speculation both on.
+#[test]
+fn enabled_controller_resizes_gates_and_stays_bit_identical() {
+    let aggressive = AdaptiveConfig {
+        epoch_cycles: 64,
+        hysteresis_epochs: 1,
+        ..AdaptiveConfig::default()
+    };
+    let sched = SchedulerConfig::adaptive_cam(64, 64, 8, aggressive);
+    let stats = assert_identical_replaying(&sched, "mcf", 5_000, Some(1024), true);
+    assert!(stats.resize_events > 0, "controller never resized");
+    assert!(stats.gated_bank_cycles > 0, "controller never gated a bank");
+    let idle = stats
+        .energy
+        .breakdown()
+        .find(|(c, _)| c.paper_label() == "bank_idle");
+    let (_, idle_pj) = idle.expect("an enabled controller meters bank-idle energy");
+    assert!(idle_pj > 0.0, "bank-idle retention energy must accrue");
 }
 
 /// `run_workload` is the one entry point (the PR 6 shims are gone): a

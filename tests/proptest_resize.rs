@@ -1,0 +1,229 @@
+//! Property test for adaptive queue geometry: random controller knobs
+//! (epoch lengths, thresholds, hysteresis) put resize decisions at random
+//! cycles, random workloads put random occupancy under them, and wrong-path
+//! plus load-hit speculation keep squashes, cancels and in-flight wakeups
+//! landing *across* those resize points. Tag aliasing comes free: squash
+//! rewinds the id counter and returns physical registers to the free-list
+//! front, so the correct path reuses both namespaces immediately after a
+//! geometry change.
+//!
+//! The shrink-safety invariant under test: a shrink must never strand a
+//! listed waiter or a held replay entry. Power-gating is a *capacity*
+//! limit, never a slot migration, so a stranded entry would show up here as
+//! a deadlock (the simulator's loud 100k-cycle watchdog), a drain failure,
+//! a checker violation, or a divergence from the scan twin — all asserted
+//! on every case.
+
+use diq::isa::ProcessorConfig;
+use diq::pipeline::{Simulator, TraceSource};
+use diq::sched::{AdaptiveConfig, SchedulerConfig};
+use diq::workload::{BenchClass, BranchPattern, MemPattern, OpMix, TraceGenerator, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A random always-valid workload shaped like `proptest_replay`'s:
+/// load-heavy, pointer-chasing, branchy enough to squash mid-window — so
+/// occupancy swings hard and the controller keeps crossing its thresholds.
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1usize..=24,  // live chains
+        1usize..=5,   // min chain len
+        0usize..=5,   // extra chain len
+        0.05f64..0.4, // load frac
+        0.0f64..0.12, // store frac
+        0.0f64..0.25, // branch frac
+        0.0f64..0.3,  // branch noise
+        0.0f64..0.6,  // pointer-chase frac
+        0.0f64..1.0,  // fp-ness of the mix
+        14u32..22,    // log2 footprint (16 KB .. 2 MB)
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(
+                chains,
+                len_lo,
+                len_extra,
+                loads,
+                stores,
+                branches,
+                noise,
+                chase,
+                fpness,
+                lgfoot,
+                seed,
+            )| {
+                WorkloadSpec {
+                    name: "resizeprop".into(),
+                    class: if fpness > 0.5 {
+                        BenchClass::Fp
+                    } else {
+                        BenchClass::Int
+                    },
+                    live_chains: chains,
+                    chain_len: (len_lo, len_lo + len_extra),
+                    chain_starts_with_load: 0.6,
+                    chain_ends_with_store: 0.3,
+                    cross_dep_prob: 0.1,
+                    mix: OpMix {
+                        int_alu: 1.0 - fpness,
+                        int_mul: 0.02,
+                        int_div: 0.002,
+                        fp_add: fpness,
+                        fp_mul: fpness * 0.8,
+                        fp_div: fpness * 0.02,
+                    },
+                    mem: MemPattern {
+                        load_frac: loads,
+                        store_frac: stores,
+                        footprint_bytes: 1 << lgfoot,
+                        stride: 8,
+                        random_frac: 0.5,
+                        pointer_chase_frac: chase,
+                    },
+                    branch: BranchPattern {
+                        branch_frac: branches,
+                        taken_bias: 0.8,
+                        noise,
+                        sites: 64,
+                        code_bytes: 4096,
+                        call_frac: 0.03,
+                    },
+                    seed,
+                }
+            },
+        )
+        .prop_filter("fractions must leave room for arithmetic", |s| {
+            s.validate().is_ok()
+        })
+}
+
+/// Random controller knobs. Short epochs and shallow hysteresis put resize
+/// decisions at many random points inside a 600-instruction run; the
+/// threshold pair is drawn with `shrink < grow` so the controller always
+/// has a dead band rather than a degenerate oscillator.
+fn arb_adaptive() -> impl Strategy<Value = AdaptiveConfig> {
+    (
+        8u64..=128, // epoch cycles
+        45u32..=90, // grow threshold (% occupancy)
+        5u32..=40,  // shrink threshold
+        1u32..=3,   // hysteresis epochs
+        1usize..=4, // min powered banks
+        0u64..=32,  // feedback guard
+    )
+        .prop_map(
+            |(epoch, grow, shrink, hys, min_banks, guard)| AdaptiveConfig {
+                enabled: true,
+                epoch_cycles: epoch,
+                grow_occupancy_pct: grow,
+                shrink_occupancy_pct: shrink,
+                hysteresis_epochs: hys,
+                min_banks,
+                feedback_guard: guard,
+            },
+        )
+}
+
+/// A random D-cache small enough that misses are the common case, so
+/// speculative windows and replays straddle resize points.
+fn arb_dl1_bytes() -> impl Strategy<Value = usize> {
+    (8usize..13).prop_map(|lg| 1usize << lg) // 256 B .. 4 KB
+}
+
+/// Random queue geometry: small enough that the capacity limit binds.
+fn arb_geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..=8, 1usize..=3).prop_map(|(banks, per_bank)| {
+        let entries = banks * per_bank * 4;
+        (entries, entries, banks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Wrong-path and load-hit speculation both ON over random resize
+    /// schedules: the event model must stay bit-identical to its scan twin,
+    /// retire the exact budget, keep the dataflow checker clean, and drain
+    /// to empty — a shrink that stranded a waiter or a held replay entry
+    /// fails at least one of these on the spot.
+    #[test]
+    fn random_resize_points_strand_nothing(
+        spec in arb_workload(),
+        adaptive in arb_adaptive(),
+        geometry in arb_geometry(),
+        dl1 in arb_dl1_bytes(),
+    ) {
+        let (int_entries, fp_entries, banks) = geometry;
+        let mut cfg = ProcessorConfig::hpca2004();
+        cfg.load_hit_speculation = true;
+        cfg.wrong_path = true;
+        cfg.mem.dl1.size_bytes = dl1;
+        let n = 600u64;
+        let sched = SchedulerConfig::adaptive_cam(int_entries, fp_entries, banks, adaptive);
+
+        let mut fast = Simulator::new(&cfg, &sched);
+        fast.set_benchmark(&spec.name);
+        let fast_stats = fast.run_workload(&mut TraceGenerator::new(&spec), n);
+
+        let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+        scan.set_benchmark(&spec.name);
+        let scan_stats = scan.run_workload(&mut TraceGenerator::new(&spec), n);
+
+        prop_assert_eq!(
+            &fast_stats,
+            &scan_stats,
+            "{}: SimStats diverge across resize points",
+            sched.label()
+        );
+        prop_assert_eq!(fast_stats.checker_violations, 0, "{}", sched.label());
+        prop_assert_eq!(fast_stats.committed, n, "{}", sched.label());
+        prop_assert_eq!(
+            fast.queue_occupancy(),
+            (0, 0),
+            "{}: queues failed to drain — a resize stranded an entry",
+            sched.label()
+        );
+        prop_assert_eq!(
+            scan.queue_occupancy(),
+            (0, 0),
+            "{}: scan queues failed to drain",
+            sched.label()
+        );
+    }
+
+    /// The stall-model path (no speculation) with replays off is the purest
+    /// occupancy game: the controller shrinks into a busy queue and the
+    /// capacity limit alone must produce identical stall breakdowns, issue
+    /// order and energy in both models.
+    #[test]
+    fn resize_under_the_stall_model_is_bit_identical(
+        spec in arb_workload(),
+        adaptive in arb_adaptive(),
+        geometry in arb_geometry(),
+    ) {
+        let (int_entries, fp_entries, banks) = geometry;
+        let cfg = ProcessorConfig::hpca2004();
+        let n = 600u64;
+        let trace = spec.generate(n as usize);
+        let sched = SchedulerConfig::adaptive_cam(int_entries, fp_entries, banks, adaptive);
+
+        let mut fast = Simulator::new(&cfg, &sched);
+        fast.set_benchmark(&spec.name);
+        let fast_stats = fast.run_workload(&mut TraceSource::new(trace.clone()), n);
+
+        let mut scan = Simulator::with_scheduler(&cfg, sched.build_scan(&cfg));
+        scan.set_benchmark(&spec.name);
+        let scan_stats = scan.run_workload(&mut TraceSource::new(trace), n);
+
+        prop_assert_eq!(
+            &fast_stats,
+            &scan_stats,
+            "{}: SimStats diverge under the stall model",
+            sched.label()
+        );
+        prop_assert_eq!(fast_stats.checker_violations, 0, "{}", sched.label());
+        prop_assert_eq!(fast_stats.committed, n, "{}", sched.label());
+        prop_assert_eq!(fast.queue_occupancy(), (0, 0), "{}", sched.label());
+    }
+}

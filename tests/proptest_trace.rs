@@ -106,6 +106,61 @@ proptest! {
         let _ = std::fs::remove_file(path);
     }
 
+    /// `set_limit` vs checkpoint/restore ordering: whatever order limits
+    /// and seeks arrive in, a restored stream drains at the budget that is
+    /// *current*, not the one in force when the checkpoint was taken — and
+    /// a restore to the exact drain position (seek's same-index fast path)
+    /// re-arms the stream just like any other restore.
+    #[test]
+    fn limit_changes_across_checkpoint_restore_drain_at_the_current_budget(
+        seed in any::<u64>(),
+        cut_a in 1u64..2_000,
+        cut_b in 1u64..2_000,
+        checkpoint_frac in 0.0f64..1.0,
+    ) {
+        let n = 2_000u64;
+        let (tight, loose) = (cut_a.min(cut_b), cut_a.max(cut_b).max(cut_a.min(cut_b) + 1));
+        let mut spec = suite::by_name("gzip").unwrap();
+        spec.seed = seed;
+        let path = tmp("limit");
+        trace::record(&path, "t", seed, "prop", TraceGenerator::new(&spec), n).unwrap();
+
+        let mut r = TraceReader::open(&path).unwrap();
+        r.set_limit(loose);
+        let checkpoint_at = ((tight - 1) as f64 * checkpoint_frac) as u64;
+        for _ in 0..checkpoint_at {
+            r.try_next().unwrap().unwrap();
+        }
+        let checkpoint = r.pos();
+        // Drain at the loose budget.
+        let mut drained = checkpoint_at;
+        while r.try_next().unwrap().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(drained, loose.min(n), "first drain obeys the loose limit");
+
+        // Tighten AFTER the checkpoint, then restore: the new budget wins.
+        r.set_limit(tight);
+        r.seek(checkpoint).unwrap();
+        let mut count = checkpoint_at;
+        while r.try_next().unwrap().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, tight, "restored stream must drain at the tightened budget");
+
+        // Restore to the exact drain position and loosen: the same-index
+        // seek still re-arms, and the stream continues to the new budget.
+        let at_drain = r.pos();
+        r.seek(at_drain).unwrap();
+        r.set_limit(loose);
+        let mut count = tight;
+        while r.try_next().unwrap().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, loose.min(n), "same-position restore re-arms the stream");
+        let _ = std::fs::remove_file(path);
+    }
+
     /// A single flipped byte anywhere in the file either errors cleanly or
     /// leaves the instruction stream untouched (flips inside footer
     /// metadata that is not stream-affecting, e.g. the recorded name).
@@ -133,4 +188,48 @@ proptest! {
         }
         let _ = std::fs::remove_file(path);
     }
+}
+
+/// Raising the limit after the stream reported end-of-stream must NOT
+/// resurrect it: the run loop treats `None` as final, so a source that
+/// springs back to life mid-protocol would feed instructions nobody is
+/// budgeting for. Only an explicit `seek` re-arms a drained reader.
+#[test]
+fn raising_the_limit_does_not_resurrect_a_drained_stream() {
+    let spec = suite::by_name("gzip").unwrap();
+    let path = tmp("resurrect");
+    trace::record(
+        &path,
+        "t",
+        spec.seed,
+        "test",
+        TraceGenerator::new(&spec),
+        2_000,
+    )
+    .unwrap();
+
+    let mut r = TraceReader::open(&path).unwrap();
+    r.set_limit(100);
+    let mut count = 0;
+    while r.try_next().unwrap().is_some() {
+        count += 1;
+    }
+    assert_eq!(count, 100);
+
+    r.set_limit(200);
+    assert_eq!(
+        r.try_next().unwrap(),
+        None,
+        "a drained stream must stay drained when the limit is raised"
+    );
+
+    // An explicit reposition is the sanctioned way back in.
+    let pos = r.pos();
+    r.seek(pos).unwrap();
+    let mut count = 100;
+    while r.try_next().unwrap().is_some() {
+        count += 1;
+    }
+    assert_eq!(count, 200, "after a seek the stream reads to the new limit");
+    let _ = std::fs::remove_file(path);
 }

@@ -9,10 +9,13 @@
 //! 3. the losing concurrent submission reports 100% cache/dedup hits — it
 //!    rode entirely on its peer's executions.
 
-use diq::exp::{sweep, ExperimentSpec, ResultStore};
+use diq::exp::{sweep, ExperimentSpec, Point, ResultStore};
+use diq::isa::ProcessorConfig;
+use diq::sched::SchedulerConfig;
 use diq::serve::protocol::{read_frame, write_frame, FromServer, ToServer, PROTOCOL_VERSION};
 use diq::serve::{run_worker, Client, ServeConfig, WorkerOptions};
-use std::net::TcpStream;
+use diq::workload::suite;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -150,6 +153,57 @@ fn distributed_sweep_with_worker_crash_matches_single_process_sweep() {
 
     let _ = std::fs::remove_dir_all(&served_dir);
     let _ = std::fs::remove_dir_all(&swept_dir);
+}
+
+#[test]
+fn worker_losing_the_server_mid_point_exits_with_an_error() {
+    // A fake server assigns one point and then vanishes. The worker is left
+    // computing under a lease nobody is renewing; once it notices — a dead
+    // heartbeat socket or a failed result delivery — `run_worker` must
+    // return `Err`, never a clean report. (The pre-fix worker swallowed the
+    // failed delivery as a clean retirement, so `diq worker` exited zero
+    // and smoke tests green-washed a crashed farm.)
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let fake_server = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let ToServer::Register { .. } = read_frame(&mut sock).unwrap() else {
+            panic!("expected Register");
+        };
+        write_frame(&mut sock, &FromServer::Registered { worker: 1 }).unwrap();
+        loop {
+            match read_frame::<ToServer, _>(&mut sock).unwrap() {
+                ToServer::Idle => break,
+                ToServer::Heartbeat => {}
+                other => panic!("expected Idle, got {other:?}"),
+            }
+        }
+        // A point big enough that several 1 ms heartbeats fire while it
+        // executes — the worker must notice the dead socket mid-compute.
+        let point = Point::new(
+            ProcessorConfig::hpca2004(),
+            SchedulerConfig::mb_distr(),
+            suite::by_name("gzip").unwrap(),
+            20_000,
+        );
+        write_frame(&mut sock, &FromServer::Assign { lease: 7, point }).unwrap();
+        drop(sock); // the server "crashes" mid-point
+    });
+
+    let report = run_worker(
+        &addr,
+        &WorkerOptions {
+            name: "orphaned".into(),
+            heartbeat: Duration::from_millis(1),
+        },
+    );
+    fake_server.join().unwrap();
+    assert!(
+        report.is_err(),
+        "a worker that computed a point it could not deliver must exit \
+         nonzero, got {report:?}"
+    );
 }
 
 #[test]
